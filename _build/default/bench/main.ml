@@ -1,0 +1,146 @@
+(* The benchmark harness.
+
+   Running this executable regenerates every table and figure of the
+   paper's evaluation (Section 3 communication models, Section 4/5
+   validation, Figures 5-12) on the simulated XT4 and prints them, then
+   times the library itself with Bechamel: one Test.make per
+   (model-evaluated) paper table/figure, plus micro-benchmarks of the model,
+   simulator and kernels.
+
+   Usage: dune exec bench/main.exe [-- --full] [-- --skip-figures]
+     --full          also run the large (slow) simulation points
+     --skip-figures  only run the Bechamel timings *)
+
+open Bechamel
+open Toolkit
+
+let args = Array.to_list Sys.argv
+
+let scale =
+  if List.mem "--full" args then Harness.Experiments.Full
+  else Harness.Experiments.Quick
+
+(* --- Part 1: regenerate the paper's tables and figures --- *)
+
+let regenerate () =
+  Fmt.pr "##### Paper reproduction: every table and figure #####@.";
+  Harness.Experiments.run_all ~scale Fmt.stdout;
+  Fmt.pr "@."
+
+(* --- Part 2: Bechamel timings --- *)
+
+let xt4 = Loggp.Params.xt4
+
+(* One Test.make per model-evaluated paper table/figure: regenerating a
+   figure is a model-evaluation workload, and its cost is what makes the
+   model useful for rapid design-space exploration. (The simulation-backed
+   experiments — fig3a/b, tab2, eq9, valid, fig6, shmpi — are regenerated
+   once above but not timed in a loop.) *)
+let figure_tests =
+  let mk id =
+    Test.make ~name:("figure/" ^ id)
+      (Staged.stage (fun () ->
+           match Harness.Experiments.find id with
+           | Some f -> ignore (f ())
+           | None -> assert false))
+  in
+  Test.make_grouped ~name:"figures"
+    (List.map mk
+       [ "tab3"; "tab4"; "sp2"; "fig5"; "fig7a"; "fig7b"; "fig8"; "fig9";
+         "fig10"; "fig11"; "fig12"; "sweeptimes"; "memory"; "shape" ])
+
+let model_tests =
+  let iteration cores =
+    let app = Apps.Chimaera.p240 () in
+    let cfg = Wavefront_core.Plugplay.config xt4 ~cores in
+    Test.make
+      ~name:(Printf.sprintf "plugplay/iteration-P%d" cores)
+      (Staged.stage (fun () ->
+           ignore (Wavefront_core.Plugplay.iteration app cfg)))
+  in
+  Test.make_grouped ~name:"model"
+    [
+      iteration 1024;
+      iteration 16384;
+      iteration 131072;
+      Test.make ~name:"comm/total-offnode"
+        (Staged.stage (fun () ->
+             ignore (Loggp.Comm_model.total_offnode xt4.offnode 4096)));
+      Test.make ~name:"allreduce/eq9"
+        (Staged.stage (fun () ->
+             ignore (Loggp.Allreduce.time xt4 ~cores:8192)));
+      (let points =
+         List.map
+           (fun s -> (s, Loggp.Comm_model.total_offnode xt4.offnode s))
+           Xtsim.Pingpong.figure3_sizes
+       in
+       Test.make ~name:"fit/offnode"
+         (Staged.stage (fun () -> ignore (Loggp.Fit.fit_offnode points))));
+    ]
+
+let sim_tests =
+  Test.make_grouped ~name:"simulator"
+    [
+      (let machine = Xtsim.Pingpong.machine_for xt4 Loggp.Comm_model.Off_node in
+       Test.make ~name:"pingpong-4KB"
+         (Staged.stage (fun () ->
+              ignore (Xtsim.Pingpong.half_round_trip ~rounds:16 machine ~size:4096))));
+      (let app = Apps.Sweep3d.params (Wgrid.Data_grid.cube 32) in
+       let machine = Xtsim.Machine.v xt4 (Wgrid.Proc_grid.of_cores 64) in
+       Test.make ~name:"wavefront-64c-32^3"
+         (Staged.stage (fun () ->
+              ignore (Xtsim.Wavefront_sim.run machine app))));
+    ]
+
+let kernel_tests =
+  Test.make_grouped ~name:"kernels"
+    [
+      (let phi = Array.make (16 * 16 * 16) 0.0 in
+       Test.make ~name:"transport-16^3-sweep"
+         (Staged.stage (fun () ->
+              Array.fill phi 0 (Array.length phi) 0.0;
+              Kernels.Transport.sweep_sequential Kernels.Transport.default
+                ~nx:16 ~ny:16 ~nz:16 ~dir:(1, 1, 1) ~htile:4 ~phi)));
+      (let v = Kernels.Lu_kernel.init_block ~nx:16 ~ny:16 ~nz:16 in
+       Test.make ~name:"lu-16^3-sweep"
+         (Staged.stage (fun () ->
+              Kernels.Lu_kernel.sweep_block v ~nx:16 ~ny:16 ~nz:16)));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"wavefront"
+    [ figure_tests; model_tests; sim_tests; kernel_tests ]
+
+let run_bechamel () =
+  Fmt.pr "##### Bechamel timings #####@.";
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] all_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let pp_time ppf ns =
+    if ns < 1e3 then Fmt.pf ppf "%8.1f ns" ns
+    else if ns < 1e6 then Fmt.pf ppf "%8.2f us" (ns /. 1e3)
+    else if ns < 1e9 then Fmt.pf ppf "%8.2f ms" (ns /. 1e6)
+    else Fmt.pf ppf "%8.2f s " (ns /. 1e9)
+  in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) ->
+          Fmt.pr "  %-45s %a/run (r2 %s)@." name pp_time t
+            (match Analyze.OLS.r_square ols with
+            | Some r2 -> Printf.sprintf "%.3f" r2
+            | None -> "-")
+      | _ -> Fmt.pr "  %-45s (no estimate)@." name)
+    rows
+
+let () =
+  if not (List.mem "--skip-figures" args) then regenerate ();
+  run_bechamel ()

@@ -1,0 +1,342 @@
+(* The wavefront command-line tool: predictions, validation runs, parameter
+   fitting and figure regeneration for the plug-and-play wavefront model. *)
+
+open Cmdliner
+open Wavefront_core
+
+(* --- Shared argument parsing --- *)
+
+let app_names = [ "lu"; "sweep3d"; "chimaera" ]
+
+let app_arg =
+  let doc = Fmt.str "Application: %s." (String.concat ", " app_names) in
+  Arg.(value & opt (enum (List.map (fun n -> (n, n)) app_names)) "sweep3d"
+       & info [ "a"; "app" ] ~docv:"APP" ~doc)
+
+let grid_arg =
+  let doc = "Problem size as NX,NY,NZ (or a single N for a cube)." in
+  let parse s =
+    match String.split_on_char ',' s |> List.map int_of_string_opt with
+    | [ Some n ] -> Ok (Wgrid.Data_grid.cube n)
+    | [ Some nx; Some ny; Some nz ] -> Ok (Wgrid.Data_grid.v ~nx ~ny ~nz)
+    | _ -> Error (`Msg "expected N or NX,NY,NZ")
+  in
+  let print ppf (g : Wgrid.Data_grid.t) = Wgrid.Data_grid.pp ppf g in
+  Arg.(value
+       & opt (conv (parse, print)) (Wgrid.Data_grid.cube 240)
+       & info [ "g"; "grid" ] ~docv:"GRID" ~doc)
+
+let cores_arg =
+  Arg.(value & opt int 1024
+       & info [ "p"; "cores" ] ~docv:"P" ~doc:"Total number of cores.")
+
+let cpn_arg =
+  Arg.(value & opt int 2
+       & info [ "cores-per-node" ] ~docv:"C"
+           ~doc:"Cores per node (1, 2, 4, 8 or 16).")
+
+let htile_arg =
+  Arg.(value & opt (some float) None
+       & info [ "htile" ] ~docv:"H" ~doc:"Override the tile height Htile.")
+
+let wg_arg =
+  Arg.(value & opt (some float) None
+       & info [ "wg" ] ~docv:"US"
+           ~doc:"Override the per-cell computation time Wg (us).")
+
+let iterations_arg =
+  Arg.(value & opt (some int) None
+       & info [ "iterations" ] ~docv:"N"
+           ~doc:"Wavefront iterations per time step.")
+
+let groups_arg =
+  Arg.(value & opt int 1
+       & info [ "energy-groups" ] ~docv:"N" ~doc:"Energy groups per time step.")
+
+let steps_arg =
+  Arg.(value & opt int 1
+       & info [ "time-steps" ] ~docv:"N" ~doc:"Time steps in the run.")
+
+let platform_arg =
+  let doc = "Platform parameters: xt4 or sp2." in
+  Arg.(value
+       & opt (enum [ ("xt4", Loggp.Params.xt4); ("sp2", Loggp.Params.sp2) ])
+           Loggp.Params.xt4
+       & info [ "platform" ] ~docv:"PLATFORM" ~doc)
+
+let spec_arg =
+  Arg.(value & opt (some file) None
+       & info [ "spec" ] ~docv:"FILE"
+           ~doc:
+             "Model the application described by a KEY = VALUE spec file \
+              instead of a built-in benchmark (see Apps.Spec).")
+
+let make_app ?spec name grid ~htile ~wg ~iterations =
+  let app =
+    match spec with
+    | Some path -> (
+        match Apps.Spec.of_file path with
+        | Ok app -> app
+        | Error (`Msg m) -> Fmt.failwith "%s: %s" path m)
+    | None -> (
+        match name with
+        | "lu" -> Apps.Lu.params ?wg ?iterations grid
+        | "sweep3d" -> Apps.Sweep3d.params ?wg ?iterations grid
+        | "chimaera" -> Apps.Chimaera.params ?wg ?iterations grid
+        | _ -> assert false)
+  in
+  match htile with Some h -> App_params.with_htile app h | None -> app
+
+let make_cfg platform ~cores ~cpn =
+  let platform = Loggp.Params.with_cores_per_node platform cpn in
+  Plugplay.config ~cmp:(Wgrid.Cmp.of_cores_per_node cpn) platform ~cores
+
+(* --- predict --- *)
+
+let predict spec app_name grid cores cpn htile wg iterations groups steps
+    platform =
+  let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
+  let cfg = make_cfg platform ~cores ~cpn in
+  let r = Plugplay.iteration app cfg in
+  let run = Predictor.run ~energy_groups:groups ~time_steps:steps () in
+  let total = Predictor.total_time ~run app cfg in
+  Fmt.pr "@[<v>%a@,@,platform: %s, %d cores (%d/node)@,%a@,@,\
+          per time step: %a (%d iterations x %d groups)@,\
+          total (%d steps): %a (%.2f days)@]@."
+    App_params.pp app platform.Loggp.Params.name cores cpn Plugplay.pp_result
+    r Units.pp_time
+    (float_of_int groups *. Predictor.time_step_time app cfg)
+    app.iterations groups steps Units.pp_time total (Units.to_days total)
+
+let predict_cmd =
+  let doc = "Predict wavefront execution time with the plug-and-play model" in
+  Cmd.v (Cmd.info "predict" ~doc)
+    Term.(const predict $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
+          $ htile_arg $ wg_arg $ iterations_arg $ groups_arg $ steps_arg
+          $ platform_arg)
+
+(* --- explain --- *)
+
+let explain spec app_name grid cores cpn htile wg iterations platform =
+  let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
+  let cfg = make_cfg platform ~cores ~cpn in
+  Fmt.pr "%a@." (fun ppf () -> Explain.worksheet ppf app cfg) ();
+  Fmt.pr "@.%a@." Sensitivity.pp (Sensitivity.analyze app cfg)
+
+let explain_cmd =
+  let doc = "Show the full model worksheet and input sensitivities" in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const explain $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
+          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg)
+
+(* --- simulate --- *)
+
+let simulate app_name grid cores cpn htile wg iterations =
+  let app = make_app app_name grid ~htile ~wg ~iterations in
+  let pg = Wgrid.Proc_grid.of_cores cores in
+  let cmp = Wgrid.Cmp.of_cores_per_node cpn in
+  let machine = Xtsim.Machine.v ~cmp Loggp.Params.xt4 pg in
+  Fmt.pr "simulating %s on %a...@." app.App_params.name Xtsim.Machine.pp machine;
+  let o = Xtsim.Wavefront_sim.run machine app in
+  let cfg = make_cfg Loggp.Params.xt4 ~cores ~cpn in
+  let model = Plugplay.time_per_iteration app cfg in
+  Fmt.pr "@[<v>%a@,model prediction: %a/iteration (error %+.2f%%)@]@."
+    Xtsim.Wavefront_sim.pp_outcome o Units.pp_time model
+    (100.0 *. (model -. o.per_iteration) /. o.per_iteration)
+
+let simulate_cmd =
+  let doc = "Execute the wavefront code on the event-level simulated machine" in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const simulate $ app_arg $ grid_arg $ cores_arg $ cpn_arg
+          $ htile_arg $ wg_arg $ iterations_arg)
+
+(* --- figure --- *)
+
+let scale_arg =
+  Arg.(value & flag
+       & info [ "full" ]
+           ~doc:"Include the large (slow) simulation points.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~docv:"DIR"
+           ~doc:"Also write each table as DIR/<id>.csv.")
+
+let write_csv dir (t : Harness.Table.t) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (String.lowercase_ascii t.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (Harness.Table.to_csv t);
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+let figure ids full csv =
+  let scale = if full then Harness.Experiments.Full else Quick in
+  let run_id (_id, f) =
+    let artifacts = f () in
+    List.iter (Harness.Experiments.render_artifact Fmt.stdout) artifacts;
+    Option.iter
+      (fun dir ->
+        List.iter
+          (function
+            | Harness.Experiments.Table t -> write_csv dir t
+            | Plot _ -> ())
+          artifacts)
+      csv
+  in
+  match ids with
+  | [] -> List.iter run_id (Harness.Experiments.all ~scale ())
+  | ids ->
+      List.iter
+        (fun id ->
+          match Harness.Experiments.find ~scale id with
+          | Some f -> run_id (id, f)
+          | None -> Fmt.invalid_arg "unknown experiment %S" id)
+        ids
+
+let figure_cmd =
+  let doc = "Regenerate the paper's tables and figures (all, or by id)" in
+  let ids =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"ID"
+             ~doc:
+               (Fmt.str "Experiment ids: %s."
+                  (String.concat ", " (Harness.Experiments.ids ()))))
+  in
+  Cmd.v (Cmd.info "figure" ~doc) Term.(const figure $ ids $ scale_arg $ csv_arg)
+
+(* --- scale --- *)
+
+let scaling app_name grid cpn htile wg iterations =
+  let app = make_app app_name grid ~htile ~wg ~iterations in
+  let rows =
+    Metrics.strong_scaling ~cmp:(Wgrid.Cmp.of_cores_per_node cpn)
+      ~platform:Loggp.Params.xt4
+      ~core_counts:[ 64; 256; 1024; 4096; 16384; 65536 ]
+      app
+  in
+  Fmt.pr "%a on the XT4 (%d cores/node):@." App_params.pp app cpn;
+  Fmt.pr "  %8s %14s %10s %10s@." "cores" "t/iter" "speedup" "efficiency";
+  List.iter
+    (fun (r : Metrics.scaling_row) ->
+      Fmt.pr "  %8d %14s %10.1f %9.1f%%@." r.cores
+        (Fmt.str "%a" Units.pp_time r.t_iteration)
+        r.speedup (100.0 *. r.efficiency))
+    rows
+
+let scale_cmd =
+  let doc = "Strong-scaling table: time, speedup, efficiency" in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(const scaling $ app_arg $ grid_arg $ cpn_arg $ htile_arg $ wg_arg
+          $ iterations_arg)
+
+(* --- report --- *)
+
+let report app_name grid cores cpn htile wg iterations trace_csv =
+  let app = make_app app_name grid ~htile ~wg ~iterations in
+  let pg = Wgrid.Proc_grid.of_cores cores in
+  let cmp = Wgrid.Cmp.of_cores_per_node cpn in
+  let machine = Xtsim.Machine.v ~cmp Loggp.Params.xt4 pg in
+  let est = Xtsim.Wavefront_sim.estimated_events machine app ~iterations:1 in
+  Fmt.pr "simulating %s on %a (~%d events)...@." app.App_params.name
+    Xtsim.Machine.pp machine est;
+  let trace = Xtsim.Trace.create () in
+  let o = Xtsim.Wavefront_sim.run ~trace machine app in
+  Fmt.pr "%a@.@." Xtsim.Wavefront_sim.pp_outcome o;
+  Fmt.pr "%a@.@." Xtsim.Report.pp (Xtsim.Report.of_outcome machine o);
+  Fmt.pr "message mix:@.";
+  List.iter
+    (fun (proto, n) -> Fmt.pr "  %-10s %d@." proto n)
+    (Xtsim.Trace.by_protocol trace);
+  match trace_csv with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Xtsim.Trace.to_csv trace);
+      close_out oc;
+      Fmt.pr "trace written to %s (%d of %d messages)@." path
+        (Xtsim.Trace.recorded trace) (Xtsim.Trace.total trace)
+
+let report_cmd =
+  let doc = "Simulate a run and report utilization and message mix" in
+  let trace_csv =
+    Arg.(value & opt (some string) None
+         & info [ "trace-csv" ] ~docv:"FILE"
+             ~doc:"Write the message trace as CSV.")
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const report $ app_arg $ grid_arg $ cores_arg $ cpn_arg $ htile_arg
+          $ wg_arg $ iterations_arg $ trace_csv)
+
+(* --- fit --- *)
+
+let fit real =
+  if real then begin
+    let curve =
+      Shmpi.Pingpong.curve ~rounds:100
+        ~sizes:[ 64; 256; 1024; 4096; 16384; 65536 ] ()
+    in
+    let p = Shmpi.Pingpong.fit_platform curve in
+    Fmt.pr "measured shared-memory ping-pong:@.";
+    List.iter (fun (s, t) -> Fmt.pr "  %6d B: %8.3f us@." s t) curve;
+    Fmt.pr "fitted: %a@." Loggp.Params.pp p
+  end
+  else begin
+    let sizes = Xtsim.Pingpong.figure3_sizes in
+    let off_pts = Xtsim.Pingpong.curve Loggp.Params.xt4 Off_node ~sizes in
+    let on_pts = Xtsim.Pingpong.curve Loggp.Params.xt4 On_chip ~sizes in
+    let off, _ = Loggp.Fit.fit_offnode off_pts in
+    let on, _ = Loggp.Fit.fit_onchip on_pts in
+    Fmt.pr "fitted from the simulated XT4 microbenchmark:@.";
+    Fmt.pr "  off-node: %a@." Loggp.Params.pp_offnode off;
+    Fmt.pr "  on-chip:  %a@." Loggp.Params.pp_onchip on
+  end
+
+let fit_cmd =
+  let doc = "Fit LogGP parameters from a ping-pong microbenchmark" in
+  let real =
+    Arg.(value & flag
+         & info [ "real" ]
+             ~doc:"Measure this machine's shared-memory transport instead \
+                   of the simulated XT4.")
+  in
+  Cmd.v (Cmd.info "fit" ~doc) Term.(const fit $ real)
+
+(* --- measure-wg --- *)
+
+let measure () =
+  let wg6 = Kernels.Measure.transport_wg () in
+  let wg10 =
+    Kernels.Measure.transport_wg ~config:(Kernels.Transport.v ~angles:10 ()) ()
+  in
+  let lu = Kernels.Measure.lu_wg () in
+  let lu_pre = Kernels.Measure.lu_wg_pre () in
+  Fmt.pr
+    "@[<v>measured on this machine (us/cell):@,\
+     transport, 6 angles (Sweep3D-like):  %.4f@,\
+     transport, 10 angles (Chimaera-like): %.4f@,\
+     LU sweep kernel:                      %.4f@,\
+     LU pre-computation:                   %.4f@]@."
+    wg6 wg10 lu lu_pre
+
+let measure_cmd =
+  let doc = "Measure per-cell kernel times (the model's Wg inputs) for real" in
+  Cmd.v (Cmd.info "measure-wg" ~doc) Term.(const measure $ const ())
+
+(* --- main --- *)
+
+let default =
+  Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+
+let () =
+  let info =
+    Cmd.info "wavefront" ~version:"1.0.0"
+      ~doc:
+        "Plug-and-play LogGP performance model for pipelined wavefront \
+         computations (Mudalige, Vernon & Jarvis, IPDPS 2008)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ predict_cmd; explain_cmd; simulate_cmd; report_cmd; figure_cmd;
+            scale_cmd; fit_cmd; measure_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_wavefront.ml: App_params Apps Fmt List Loggp Plugplay Predictor Sweeps Units Wavefront_core Wgrid Xtsim

@@ -1,0 +1,1 @@
+examples/energy_pipeline.ml: Apps Energy_groups Fmt List Loggp Plugplay Units Wavefront_core Wgrid Xtsim

@@ -1,0 +1,1 @@
+examples/multicore_study.ml: Apps Fmt List Loggp Plugplay Predictor Printf Units Wavefront_core Wgrid

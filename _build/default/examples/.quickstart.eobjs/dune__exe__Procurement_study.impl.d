@@ -1,0 +1,1 @@
+examples/procurement_study.ml: Apps Fmt List Loggp Plugplay Predictor Units Wavefront_core

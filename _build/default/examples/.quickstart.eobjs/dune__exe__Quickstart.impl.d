@@ -1,0 +1,1 @@
+examples/quickstart.ml: App_params Apps Fmt List Loggp Plugplay Predictor Units Wavefront_core Wgrid Xtsim

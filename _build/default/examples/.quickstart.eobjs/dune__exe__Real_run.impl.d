@@ -1,0 +1,1 @@
+examples/real_run.ml: Apps Fmt Kernels List Loggp Shmpi Sweeps Wavefront_core Wgrid

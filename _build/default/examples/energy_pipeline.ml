@@ -1,0 +1,63 @@
+(* The Section 5.5 application redesign, end to end: quantify the pipeline
+   fill that sequential energy groups pay, project the pipelined-group
+   variant, compute its convergence break-even, and confirm the projection
+   with an executable simulation of both schedules.
+
+   Run with: dune exec examples/energy_pipeline.exe *)
+
+open Wavefront_core
+
+let platform = Loggp.Params.xt4
+let groups = 30
+
+let () =
+  Fmt.pr "Sweep3D, 4x4x1000 cells per processor, %d energy groups@.@." groups;
+
+  (* 1. Model: how much of the runtime is pipeline fill, and what does
+     pipelining the energy groups save? *)
+  Fmt.pr "%8s %14s %12s %12s %12s %12s@." "cores" "sequential" "fill share"
+    "pipelined" "saving" "break-even";
+  List.iter
+    (fun cores ->
+      let app = Apps.Sweep3d.weak_4x4x1000 ~cores () in
+      let cfg = Plugplay.config platform ~cores in
+      let r = Plugplay.iteration app cfg in
+      let seq = Energy_groups.sequential_time ~groups app cfg in
+      let fill =
+        float_of_int groups
+        *. ((2.0 *. r.t_fullfill) +. (2.0 *. r.t_diagfill))
+      in
+      let pipe = Energy_groups.pipelined_time ~groups app cfg in
+      Fmt.pr "%8d %14s %11.1f%% %12s %11.1f%% %11.1f%%@." cores
+        (Fmt.str "%a" Units.pp_time seq)
+        (100.0 *. fill /. seq)
+        (Fmt.str "%a" Units.pp_time pipe)
+        (100.0 *. Energy_groups.saving ~groups app cfg)
+        (100.0 *. Energy_groups.break_even_extra_iterations ~groups app cfg))
+    [ 1024; 4096; 16384; 65536 ];
+
+  (* 2. Check the projection by executing both schedules on the simulated
+     machine (smaller scale, fewer groups, same structure). *)
+  let sim_groups = 6 in
+  let cores = 144 in
+  let app = Apps.Sweep3d.weak_4x4x1000 ~cores () in
+  let app = { app with grid = { app.grid with nz = 120 } } in
+  let machine = Xtsim.Machine.v platform (Wgrid.Proc_grid.of_cores cores) in
+  let seq_sim =
+    float_of_int sim_groups
+    *. (Xtsim.Wavefront_sim.run machine app).per_iteration
+  in
+  let pipe_sim =
+    (Xtsim.Wavefront_sim.run machine
+       (Energy_groups.pipelined_app app ~groups:sim_groups))
+      .per_iteration
+  in
+  let cfg = Plugplay.config platform ~cores in
+  Fmt.pr
+    "@.simulated check (%d cores, %d groups):@.\
+    \  sequential: %a simulated vs %a modeled@.\
+    \  pipelined:  %a simulated vs %a modeled@."
+    cores sim_groups Units.pp_time seq_sim Units.pp_time
+    (Energy_groups.sequential_time ~groups:sim_groups app cfg)
+    Units.pp_time pipe_sim Units.pp_time
+    (Energy_groups.pipelined_time ~groups:sim_groups app cfg)

@@ -1,0 +1,53 @@
+(* A platform-design study in the style of paper Section 5.3: how many
+   cores per node should the next machine have for wavefront workloads, and
+   what does the shared memory bus cost?
+
+   Run with: dune exec examples/multicore_study.exe *)
+
+open Wavefront_core
+
+let platform = Loggp.Params.xt4
+let app = Apps.Sweep3d.p1b ()
+let run = Predictor.run ~energy_groups:30 ~time_steps:10_000 ()
+
+let days cores ~cpn ~contention =
+  let cmp = Wgrid.Cmp.of_cores_per_node cpn in
+  Units.to_days
+    (Predictor.total_time ~run app
+       (Plugplay.config ~cmp ~contention platform ~cores))
+
+let () =
+  (* Execution time by node width, at fixed node counts (Figure 10). *)
+  Fmt.pr "execution time (days) by cores/node:@.";
+  Fmt.pr "  %8s" "nodes";
+  List.iter (fun c -> Fmt.pr " %8s" (Printf.sprintf "%d c/n" c)) [ 1; 2; 4; 8; 16 ];
+  Fmt.pr "@.";
+  List.iter
+    (fun nodes ->
+      Fmt.pr "  %8d" nodes;
+      List.iter
+        (fun cpn -> Fmt.pr " %8.1f" (days (nodes * cpn) ~cpn ~contention:true))
+        [ 1; 2; 4; 8; 16 ];
+      Fmt.pr "@.")
+    [ 8192; 16384; 32768; 65536 ];
+
+  (* The bus-contention ablation: what a perfect (contention-free) node
+     interconnect would buy at each node width. *)
+  Fmt.pr "@.shared-bus contention cost at 32K nodes:@.";
+  List.iter
+    (fun cpn ->
+      let with_bus = days (32768 * cpn) ~cpn ~contention:true in
+      let without = days (32768 * cpn) ~cpn ~contention:false in
+      Fmt.pr "  %2d cores/node: %6.1f days with bus, %6.1f without (%+.0f%%)@."
+        cpn with_bus without
+        (100.0 *. (with_bus -. without) /. without))
+    [ 2; 4; 8; 16 ];
+
+  (* The paper's design observation: a 16-core node with one bus per 4-core
+     group behaves like quad-core nodes. We approximate the partitioned-bus
+     node by a 2x2 rectangle with 4x the nodes. *)
+  Fmt.pr "@.16-core nodes, one bus per 4 cores (paper Section 5.3):@.";
+  let monolithic = days (8192 * 16) ~cpn:16 ~contention:true in
+  let partitioned = days (32768 * 4) ~cpn:4 ~contention:true in
+  Fmt.pr "  8K nodes, single shared bus:   %6.1f days@." monolithic;
+  Fmt.pr "  same cores, bus per 4 cores:   %6.1f days@." partitioned

@@ -1,0 +1,58 @@
+(* A procurement and configuration study in the style of paper Section 5.2:
+   an organization runs large particle-transport simulations (Sweep3D, 10^9
+   cells, 30 energy groups) and must decide how many cores to buy and how to
+   split them among concurrent simulations.
+
+   Run with: dune exec examples/procurement_study.exe *)
+
+open Wavefront_core
+
+let platform = Loggp.Params.xt4
+let app = Apps.Sweep3d.p1b ()
+let run = Predictor.run ~energy_groups:30 ~time_steps:10_000 ()
+
+let () =
+  (* How long does one 10^4-step simulation take at each machine size? *)
+  Fmt.pr "single-simulation runtime (10^9 cells, 10^4 steps, 30 groups):@.";
+  List.iter
+    (fun cores ->
+      let t = Predictor.total_time ~run app (Plugplay.config platform ~cores) in
+      Fmt.pr "  %6d cores: %7.1f days@." cores (Units.to_days t))
+    [ 8192; 16384; 32768; 65536; 131072 ];
+
+  (* Partitioning a 128K-core machine: per-problem rate vs aggregate. *)
+  Fmt.pr "@.partitioning 128K cores among parallel simulations:@.";
+  List.iter
+    (fun jobs ->
+      let m =
+        Predictor.partition ~run ~platform ~avail:131072 ~jobs app
+      in
+      Fmt.pr
+        "  %2d jobs x %6d cores: %6.0f steps/month each, %7.0f aggregate@."
+        jobs m.cores_per_job m.steps_per_month
+        (float_of_int jobs *. m.steps_per_month))
+    [ 1; 2; 4; 8; 16 ];
+
+  (* The paper's two quantitative criteria. *)
+  Fmt.pr "@.optimal partition by criterion:@.";
+  List.iter
+    (fun avail ->
+      let best c =
+        Predictor.best_partition ~run ~platform ~avail
+          ~candidates:[ 1; 2; 4; 8; 16; 32 ] ~criterion:c app
+      in
+      let rx = best `R_over_x and r2x = best `R2_over_x in
+      Fmt.pr
+        "  %6d cores: min R/X -> %d jobs of %d; min R^2/X -> %d jobs of %d@."
+        avail rx.jobs rx.cores_per_job r2x.jobs r2x.cores_per_job)
+    [ 32768; 65536; 131072 ];
+
+  (* Sensitivity: would the answers change for the smaller 20M problem? *)
+  Fmt.pr "@.same study for the 20M-cell problem on 32K cores:@.";
+  let small = Apps.Sweep3d.p20m () in
+  List.iter
+    (fun jobs ->
+      let m = Predictor.partition ~run ~platform ~avail:32768 ~jobs small in
+      Fmt.pr "  %2d jobs x %5d cores: %8.0f steps/month each@." jobs
+        m.cores_per_job m.steps_per_month)
+    [ 1; 2; 4; 8; 16 ]

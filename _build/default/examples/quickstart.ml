@@ -1,0 +1,51 @@
+(* Quickstart: predict the runtime of a wavefront benchmark on a large
+   machine, validate the prediction against an executable simulation at a
+   smaller scale, and evaluate one software design change — the whole
+   plug-and-play workflow in a page of code.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Wavefront_core
+
+let () =
+  (* 1. Pick a platform (the dual-core Cray XT4 of the paper, Table 2) and
+     an application (Chimaera, 240^3 cells — just a Table 3 parameter set). *)
+  let platform = Loggp.Params.xt4 in
+  let app = Apps.Chimaera.p240 () in
+
+  (* 2. Predict the per-iteration and per-time-step time on 8192 cores. *)
+  let cfg = Plugplay.config platform ~cores:8192 in
+  let r = Plugplay.iteration app cfg in
+  Fmt.pr "Chimaera 240^3 on 8192 XT4 cores:@.";
+  Fmt.pr "  per iteration: %a   per time step (419 iters): %a@."
+    Units.pp_time r.t_iteration Units.pp_time
+    (Predictor.time_step_time app cfg);
+
+  (* 3. Where does the time go? (computation vs communication) *)
+  let c = Plugplay.components app cfg in
+  Fmt.pr "  computation %a, communication %a (%.0f%% comm)@." Units.pp_time
+    c.computation Units.pp_time c.communication
+    (100.0 *. c.communication /. c.total);
+
+  (* 4. Check the model against an actual (simulated) execution at a scale
+     the simulator handles quickly. *)
+  let cores = 256 in
+  let pg = Wgrid.Proc_grid.of_cores cores in
+  let machine = Xtsim.Machine.v platform pg in
+  let sim = Xtsim.Wavefront_sim.run machine app in
+  let model =
+    Plugplay.time_per_iteration app (Plugplay.config ~pgrid:pg platform ~cores)
+  in
+  Fmt.pr "@.validation at %d cores: simulated %a, model %a (%+.1f%%)@." cores
+    Units.pp_time sim.per_iteration Units.pp_time model
+    (100.0 *. (model -. sim.per_iteration) /. sim.per_iteration);
+
+  (* 5. Evaluate a design change before anyone implements it: give Chimaera
+     a tile-height parameter (Section 5.1 of the paper). *)
+  Fmt.pr "@.what if Chimaera could block its tiles (Htile > 1)?@.";
+  List.iter
+    (fun h ->
+      let tuned = App_params.with_htile app (float_of_int h) in
+      Fmt.pr "  Htile = %d: %a per time step@." h Units.pp_time
+        (Predictor.time_step_time tuned cfg))
+    [ 1; 2; 4; 8 ]

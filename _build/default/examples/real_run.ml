@@ -1,0 +1,57 @@
+(* The full plug-and-play workflow on the machine you are sitting at, with
+   nothing simulated: measure the transport's LogGP parameters with a real
+   ping-pong over OCaml domains, measure Wg from the real transport kernel,
+   run a real distributed sweep, and compare with the model.
+
+   On a machine with fewer free hardware cores than ranks the domains
+   time-slice and the measured wall time approaches the serialized-work
+   bound rather than the parallel prediction; both are printed.
+
+   Run with: dune exec examples/real_run.exe *)
+
+let () =
+  Fmt.pr "measuring shared-memory ping-pong (OCaml domains)...@.";
+  let curve =
+    Shmpi.Pingpong.curve ~rounds:100 ~sizes:[ 64; 512; 4096; 32768; 131072 ] ()
+  in
+  List.iter (fun (s, t) -> Fmt.pr "  %7d B: %8.2f us@." s t) curve;
+  let platform = Shmpi.Pingpong.fit_platform curve in
+  Fmt.pr "fitted platform: %a@.@." Loggp.Params.pp platform;
+
+  Fmt.pr "measuring Wg of the real transport kernel...@.";
+  let wg = Kernels.Measure.transport_wg ~n:32 () in
+  Fmt.pr "  Wg = %.4f us/cell (6 angles)@.@." wg;
+
+  let grid = Wgrid.Data_grid.v ~nx:32 ~ny:32 ~nz:32 in
+  let pg = Wgrid.Proc_grid.v ~cols:2 ~rows:2 in
+  Fmt.pr "running a real 2x2 distributed Sweep3D-style iteration (%a)...@."
+    Wgrid.Data_grid.pp grid;
+  let plan = Kernels.Sweep_exec.plan ~htile:4 grid pg in
+  let out = Kernels.Sweep_exec.run plan in
+
+  (* Check the distributed result against the sequential reference before
+     trusting the timing. *)
+  let ok =
+    Kernels.Sweep_exec.gather plan out.blocks
+    = Kernels.Sweep_exec.run_sequential plan
+  in
+  Fmt.pr "  result equals sequential reference: %b@." ok;
+
+  let app =
+    Apps.Custom.params ~name:"real transport"
+      ~schedule:Sweeps.Schedule.sweep3d ~htile:4.0
+      ~bytes_per_cell:(8.0 *. 6.0) ~wg grid
+  in
+  let cfg =
+    Wavefront_core.Plugplay.config ~cmp:(Wgrid.Cmp.v ~cx:2 ~cy:2) ~pgrid:pg
+      ~contention:false platform ~cores:4
+  in
+  let model = Wavefront_core.Plugplay.time_per_iteration app cfg in
+  let serial =
+    4.0
+    *. Wavefront_core.Plugplay.time_per_iteration app
+         { cfg with platform = Wavefront_core.Plugplay.zero_comm_platform platform }
+  in
+  Fmt.pr "  measured wall time:        %8.0f us@." out.wall_time;
+  Fmt.pr "  model (4 parallel cores):  %8.0f us@." model;
+  Fmt.pr "  serialized-work bound:     %8.0f us@." serial

@@ -1,0 +1,1 @@
+lib/apps/chimaera.ml: Loggp Sweeps Wavefront_core Wgrid

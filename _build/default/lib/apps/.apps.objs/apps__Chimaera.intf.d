@@ -1,0 +1,1 @@
+lib/apps/chimaera.mli: Wavefront_core Wgrid

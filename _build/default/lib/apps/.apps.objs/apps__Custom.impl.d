@@ -1,0 +1,1 @@
+lib/apps/custom.ml: Option Sweeps Wavefront_core

@@ -1,0 +1,1 @@
+lib/apps/custom.mli: Sweeps Wavefront_core Wgrid

@@ -1,0 +1,1 @@
+lib/apps/lu.ml: Option Sweeps Wavefront_core Wgrid

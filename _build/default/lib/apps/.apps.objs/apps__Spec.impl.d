@@ -1,0 +1,1 @@
+lib/apps/spec.ml: Custom Fmt Fun In_channel List Option Result String Wavefront_core Wgrid

@@ -1,0 +1,1 @@
+lib/apps/spec.mli: Wavefront_core

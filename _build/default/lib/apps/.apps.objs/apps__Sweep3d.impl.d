@@ -1,0 +1,1 @@
+lib/apps/sweep3d.ml: Loggp Sweeps Wavefront_core Wgrid

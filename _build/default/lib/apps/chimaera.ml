@@ -1,0 +1,28 @@
+(* Chimaera, the AWE particle-transport benchmark (paper Table 3 column).
+
+   Structure: 8 sweeps with nfull = 4, ndiag = 2 (Figure 2(c), determined by
+   the paper's authors from the source). Fixed tile height of one cell (the
+   code has no Htile parameter yet; Section 5.1 notes its architects are
+   adding one, which [params ~htile] lets us evaluate). Ten angles per cell,
+   8 bytes per angle per boundary cell, one all-reduce per iteration. The
+   benchmark problem needs 419 iterations per time step. *)
+
+let default_wg = 1.0 (* us per cell for all 10 angles; calibrated *)
+let angles = 10
+let default_iterations = 419
+
+let params ?(wg = default_wg) ?(htile = 1.0) ?(iterations = default_iterations)
+    grid =
+  let bytes_per_cell = 8.0 *. float_of_int angles in
+  Wavefront_core.App_params.v ~name:"Chimaera" ~grid ~wg ~htile
+    ~schedule:Sweeps.Schedule.chimaera ~bytes_per_cell_ew:bytes_per_cell
+    ~bytes_per_cell_ns:bytes_per_cell
+    ~nonwavefront:
+      (Allreduce { count = 1; msg_size = Loggp.Allreduce.default_msg_size })
+    ~iterations ()
+
+let p240 ?wg ?htile ?iterations () =
+  params ?wg ?htile ?iterations Wgrid.Data_grid.chimaera_240
+
+let p240_tall ?wg ?htile ?iterations () =
+  params ?wg ?htile ?iterations Wgrid.Data_grid.chimaera_tall

@@ -1,0 +1,20 @@
+(* Builder for modeling a new or hypothetical wavefront code: the
+   plug-and-play workflow of the paper reduced to one function call. Supply
+   the Table 3 inputs you know; everything else defaults to the simplest
+   wavefront behaviour (LU-like two full sweeps, no pre-computation, nothing
+   between iterations). *)
+
+let params ?(name = "custom") ?schedule ?(nsweeps = 2) ?nfull ?(ndiag = 0)
+    ?(wg_pre = 0.0) ?(htile = 1.0) ?(bytes_per_cell = 8.0)
+    ?(nonwavefront = Wavefront_core.App_params.No_op) ?(iterations = 1) ~wg
+    grid =
+  let schedule =
+    match schedule with
+    | Some s -> s
+    | None ->
+        let nfull = Option.value nfull ~default:(min 2 nsweeps) in
+        Sweeps.Schedule.make ~nsweeps ~nfull ~ndiag
+  in
+  Wavefront_core.App_params.v ~name ~grid ~wg ~wg_pre ~htile ~schedule
+    ~bytes_per_cell_ew:bytes_per_cell ~bytes_per_cell_ns:bytes_per_cell
+    ~nonwavefront ~iterations ()

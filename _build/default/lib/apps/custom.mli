@@ -1,0 +1,22 @@
+(** Builder for modeling a new or hypothetical wavefront code with the
+    plug-and-play model: provide the Table 3 inputs you know, get an
+    {!Wavefront_core.App_params.t}.
+
+    If no explicit [schedule] is given, one is synthesized from [nsweeps],
+    [nfull] (default [min 2 nsweeps]) and [ndiag] via
+    {!Sweeps.Schedule.make}. *)
+
+val params :
+  ?name:string ->
+  ?schedule:Sweeps.Schedule.t ->
+  ?nsweeps:int ->
+  ?nfull:int ->
+  ?ndiag:int ->
+  ?wg_pre:float ->
+  ?htile:float ->
+  ?bytes_per_cell:float ->
+  ?nonwavefront:Wavefront_core.App_params.nonwavefront ->
+  ?iterations:int ->
+  wg:float ->
+  Wgrid.Data_grid.t ->
+  Wavefront_core.App_params.t

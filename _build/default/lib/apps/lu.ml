@@ -1,0 +1,42 @@
+(* LU, the NAS parallel benchmark representing a compressible Navier-Stokes
+   solver (paper Table 3 column).
+
+   Structure: 2 sweeps per iteration, each fully completing before the next
+   begins (nfull = 2, ndiag = 0). LU performs a per-cell pre-calculation
+   before the boundary receives (Wg_pre), a fixed tile height of one cell,
+   boundary messages of 40 bytes per boundary cell (five 8-byte flow
+   variables), and a four-point stencil computation between iterations. *)
+
+let default_wg = 0.3 (* us per cell *)
+let default_wg_pre = 0.06 (* us per cell before the receives *)
+let default_wg_stencil = 0.08 (* us per cell in the inter-sweep stencil *)
+let bytes_per_cell = 40.0
+let default_iterations = 250
+
+let params ?(wg = default_wg) ?(wg_pre = default_wg_pre)
+    ?(wg_stencil = default_wg_stencil) ?(iterations = default_iterations)
+    grid =
+  Wavefront_core.App_params.v ~name:"LU" ~grid ~wg ~wg_pre ~htile:1.0
+    ~schedule:Sweeps.Schedule.lu ~bytes_per_cell_ew:bytes_per_cell
+    ~bytes_per_cell_ns:bytes_per_cell
+    ~nonwavefront:
+      (Stencil { wg_stencil; halo_bytes_per_cell = bytes_per_cell })
+    ~iterations ()
+
+(* The NAS-LU problem classes (cubic grids; iteration counts from the
+   benchmark definitions). *)
+type cls = A | B | C | D | E
+
+let class_size = function A -> 64 | B -> 102 | C -> 162 | D -> 408 | E -> 1020
+
+let class_iterations = function A | B | C -> 250 | D | E -> 300
+
+let of_class ?wg ?wg_pre ?wg_stencil ?iterations cls =
+  let iterations =
+    Some (Option.value iterations ~default:(class_iterations cls))
+  in
+  params ?wg ?wg_pre ?wg_stencil ?iterations
+    (Wgrid.Data_grid.cube (class_size cls))
+
+let class_e ?wg ?wg_pre ?wg_stencil ?iterations () =
+  params ?wg ?wg_pre ?wg_stencil ?iterations Wgrid.Data_grid.lu_class_e

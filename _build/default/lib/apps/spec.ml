@@ -1,0 +1,151 @@
+(* Textual application specifications: the plug-and-play workflow without
+   recompiling. A spec is a list of KEY = VALUE lines ('#' starts a
+   comment); unknown keys are an error, so typos fail loudly.
+
+     # hydra.spec
+     name = hydra
+     nx = 480    ny and nz likewise
+     wg = 1.4                  # us per cell, measured
+     wg_pre = 0.15             # optional, default 0
+     htile = 2                 # optional, default 1
+     nsweeps = 4               # optional, default 2
+     nfull = 2                 # optional, default min 2 nsweeps
+     ndiag = 1                 # optional, default 0
+     bytes_per_cell = 96       # boundary payload per cell
+     iterations = 200          # optional, default 1
+     nonwavefront = allreduce 2   # or: stencil WG HALO | fixed US | none
+*)
+
+type error = [ `Msg of string ]
+
+let err fmt = Fmt.kstr (fun m -> Error (`Msg m)) fmt
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then Ok None
+  else
+    match String.index_opt line '=' with
+    | None -> err "line %d: expected KEY = VALUE, got %S" lineno line
+    | Some i ->
+        let key = String.trim (String.sub line 0 i) in
+        let value =
+          String.trim (String.sub line (i + 1) (String.length line - i - 1))
+        in
+        if key = "" || value = "" then
+          err "line %d: empty key or value" lineno
+        else Ok (Some (String.lowercase_ascii key, value))
+
+let parse_bindings text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Error e -> Error e
+        | Ok None -> go acc (lineno + 1) rest
+        | Ok (Some kv) -> go (kv :: acc) (lineno + 1) rest)
+  in
+  go [] 1 lines
+
+let known_keys =
+  [ "name"; "nx"; "ny"; "nz"; "wg"; "wg_pre"; "htile"; "nsweeps"; "nfull";
+    "ndiag"; "bytes_per_cell"; "iterations"; "nonwavefront" ]
+
+let of_string text =
+  match parse_bindings text with
+  | Error e -> Error e
+  | Ok bindings -> (
+      match
+        List.find_opt (fun (k, _) -> not (List.mem k known_keys)) bindings
+      with
+      | Some (k, _) ->
+          err "unknown key %S (known: %s)" k (String.concat ", " known_keys)
+      | None -> (
+          let get k = List.assoc_opt k bindings in
+          let get_int k =
+            match get k with
+            | None -> Ok None
+            | Some v -> (
+                match int_of_string_opt v with
+                | Some i -> Ok (Some i)
+                | None -> err "%s: expected an integer, got %S" k v)
+          in
+          let get_float k =
+            match get k with
+            | None -> Ok None
+            | Some v -> (
+                match float_of_string_opt v with
+                | Some f -> Ok (Some f)
+                | None -> err "%s: expected a number, got %S" k v)
+          in
+          let ( let* ) = Result.bind in
+          let require k = function
+            | Some v -> Ok v
+            | None -> err "missing required key %S" k
+          in
+          let* nx = get_int "nx" in
+          let* nx = require "nx" nx in
+          let* ny = get_int "ny" in
+          let* ny = require "ny" ny in
+          let* nz = get_int "nz" in
+          let* nz = require "nz" nz in
+          let* wg = get_float "wg" in
+          let* wg = require "wg" wg in
+          let* wg_pre = get_float "wg_pre" in
+          let* htile = get_float "htile" in
+          let* nsweeps = get_int "nsweeps" in
+          let* nfull = get_int "nfull" in
+          let* ndiag = get_int "ndiag" in
+          let* bytes_per_cell = get_float "bytes_per_cell" in
+          let* iterations = get_int "iterations" in
+          let* nonwavefront =
+            match get "nonwavefront" with
+            | None | Some "none" -> Ok None
+            | Some v -> (
+                match String.split_on_char ' ' v |> List.filter (( <> ) "") with
+                | [ "allreduce"; n ] -> (
+                    match int_of_string_opt n with
+                    | Some count ->
+                        Ok
+                          (Some
+                             (Wavefront_core.App_params.Allreduce
+                                { count; msg_size = 8 }))
+                    | None -> err "nonwavefront: bad all-reduce count %S" n)
+                | [ "stencil"; wg_s; halo ] -> (
+                    match
+                      (float_of_string_opt wg_s, float_of_string_opt halo)
+                    with
+                    | Some wg_stencil, Some halo_bytes_per_cell ->
+                        Ok
+                          (Some
+                             (Stencil { wg_stencil; halo_bytes_per_cell }))
+                    | _ -> err "nonwavefront: bad stencil %S" v)
+                | [ "fixed"; us ] -> (
+                    match float_of_string_opt us with
+                    | Some t -> Ok (Some (Fixed t))
+                    | None -> err "nonwavefront: bad fixed cost %S" v)
+                | _ ->
+                    err
+                      "nonwavefront: expected 'allreduce N', 'stencil WG \
+                       HALO', 'fixed US' or 'none', got %S"
+                      v)
+          in
+          try
+            Ok
+              (Custom.params
+                 ?name:(get "name")
+                 ?nsweeps ?nfull
+                 ?ndiag:(Option.map Fun.id ndiag)
+                 ?wg_pre ?htile ?bytes_per_cell ?nonwavefront ?iterations ~wg
+                 (Wgrid.Data_grid.v ~nx ~ny ~nz))
+          with Invalid_argument m -> err "%s" m))
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error m -> Error (`Msg m)

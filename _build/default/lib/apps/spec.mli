@@ -1,0 +1,8 @@
+(** Textual application specifications (KEY = VALUE lines, ['#'] comments):
+    the plug-and-play workflow without recompiling. See the implementation
+    header for the format; required keys are [nx], [ny], [nz] and [wg]. *)
+
+type error = [ `Msg of string ]
+
+val of_string : string -> (Wavefront_core.App_params.t, error) result
+val of_file : string -> (Wavefront_core.App_params.t, error) result

@@ -1,0 +1,1 @@
+lib/core/app_params.ml: Data_grid Decomp Fmt Sweeps Wgrid

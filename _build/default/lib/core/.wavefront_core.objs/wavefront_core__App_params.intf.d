@@ -1,0 +1,1 @@
+lib/core/app_params.mli: Data_grid Fmt Proc_grid Sweeps Wgrid

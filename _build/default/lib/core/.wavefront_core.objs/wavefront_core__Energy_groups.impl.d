@@ -1,0 +1,1 @@
+lib/core/energy_groups.ml: App_params Plugplay Sweeps

@@ -1,0 +1,1 @@
+lib/core/energy_groups.mli: App_params Plugplay

@@ -1,0 +1,1 @@
+lib/core/explain.ml: App_params Cmp Decomp Fmt List Loggp Plugplay Proc_grid Sweeps Tile Units Wgrid

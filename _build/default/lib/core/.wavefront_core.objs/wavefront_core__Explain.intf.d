@@ -1,0 +1,1 @@
+lib/core/explain.mli: App_params Format Plugplay

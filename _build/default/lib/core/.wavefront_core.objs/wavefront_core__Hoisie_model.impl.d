@@ -1,0 +1,1 @@
+lib/core/hoisie_model.ml: App_params Decomp Loggp Plugplay Proc_grid Tile Wgrid

@@ -1,0 +1,1 @@
+lib/core/hoisie_model.mli: App_params Plugplay

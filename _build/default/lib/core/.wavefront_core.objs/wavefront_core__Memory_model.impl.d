@@ -1,0 +1,1 @@
+lib/core/memory_model.ml: App_params Cmp Decomp Fmt Proc_grid Wgrid

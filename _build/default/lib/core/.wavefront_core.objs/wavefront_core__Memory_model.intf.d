@@ -1,0 +1,1 @@
+lib/core/memory_model.mli: App_params Cmp Fmt Proc_grid Wgrid

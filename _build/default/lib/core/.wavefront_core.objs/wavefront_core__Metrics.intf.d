@@ -1,0 +1,1 @@
+lib/core/metrics.mli: App_params Loggp Plugplay Wgrid

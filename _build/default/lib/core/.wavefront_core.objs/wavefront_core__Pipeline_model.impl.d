@@ -1,0 +1,1 @@
+lib/core/pipeline_model.ml: App_params Array Cmp Float List Loggp Plugplay Proc_grid Sweeps Wgrid

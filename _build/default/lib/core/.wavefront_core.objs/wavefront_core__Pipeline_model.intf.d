@@ -1,0 +1,1 @@
+lib/core/pipeline_model.mli: App_params Plugplay Proc_grid Wgrid

@@ -1,0 +1,1 @@
+lib/core/plugplay.ml: App_params Array Cmp Decomp Float Fmt List Loggp Proc_grid Sweeps Tile Units Wgrid

@@ -1,0 +1,1 @@
+lib/core/plugplay.mli: App_params Cmp Fmt Loggp Proc_grid Sweeps Wgrid

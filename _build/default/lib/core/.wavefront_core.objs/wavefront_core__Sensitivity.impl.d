@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: App_params Fmt List Loggp Plugplay

@@ -1,0 +1,1 @@
+lib/core/sweep3d_model.ml: Array Data_grid Decomp Float Loggp Proc_grid Tile Wgrid

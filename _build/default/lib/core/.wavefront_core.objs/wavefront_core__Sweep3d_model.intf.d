@@ -1,0 +1,1 @@
+lib/core/sweep3d_model.mli: Data_grid Loggp Proc_grid Wgrid

@@ -1,0 +1,20 @@
+(** The energy-group pipelining redesign of paper Section 5.5: run each pair
+    of sweeps for all energy groups before moving on, eliminating per-group
+    pipeline fill. *)
+
+val pipelined_app : App_params.t -> groups:int -> App_params.t
+(** The application with [nsweeps * groups] sweeps and unchanged
+    [nfull]/[ndiag]. *)
+
+val sequential_time : groups:int -> App_params.t -> Plugplay.config -> float
+(** [groups] back-to-back iterations (one per group), us. *)
+
+val pipelined_time : groups:int -> App_params.t -> Plugplay.config -> float
+
+val saving : groups:int -> App_params.t -> Plugplay.config -> float
+(** Fraction of the sequential time saved by pipelining. *)
+
+val break_even_extra_iterations :
+  groups:int -> App_params.t -> Plugplay.config -> float
+(** The fractional iteration-count increase the redesign can absorb before
+    it stops paying (the paper's convergence caveat, quantified). *)

@@ -1,0 +1,90 @@
+(* A human-readable worksheet of the model evaluation: every equation of
+   Table 5 with the numbers substituted, so a user can audit exactly where a
+   prediction comes from — the transparency that makes an analytic model
+   preferable to a black box. *)
+
+open Wgrid
+module Comm = Loggp.Comm_model
+
+let pp_equation ppf (label, formula, value) =
+  Fmt.pf ppf "  %-12s %-52s = %a" label formula Units.pp_time value
+
+let worksheet ppf (app : App_params.t) (cfg : Plugplay.config) =
+  let pg = cfg.pgrid in
+  let r = Plugplay.iteration app cfg in
+  let c = App_params.counts app in
+  let cells_x = Decomp.cells_x app.grid pg in
+  let cells_y = Decomp.cells_y app.grid pg in
+  let off = cfg.platform.offnode in
+  let ntiles = Tile.ntiles ~nz:app.grid.nz ~htile:app.htile in
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "== inputs ==@,";
+  Fmt.pf ppf "  %a@," App_params.pp app;
+  Fmt.pf ppf "  platform: %a@," Loggp.Params.pp cfg.platform;
+  Fmt.pf ppf "  processor grid: %a (%d cores), %a, contention %b@,@,"
+    Proc_grid.pp pg (Proc_grid.cores pg) Cmp.pp cfg.cmp cfg.contention;
+  Fmt.pf ppf "== per-tile work (r1) ==@,";
+  pp_equation ppf
+    ( "W (r1b)",
+      Fmt.str "Wg * Htile * Nx/n * Ny/m = %g * %g * %.2f * %.2f" app.wg
+        app.htile cells_x cells_y,
+      r.w );
+  Fmt.pf ppf "@,";
+  pp_equation ppf
+    ( "Wpre (r1a)",
+      Fmt.str "Wg_pre * Htile * Nx/n * Ny/m = %g * %g * %.2f * %.2f"
+        app.wg_pre app.htile cells_x cells_y,
+      r.w_pre );
+  Fmt.pf ppf "@,@,== messages (Table 3) ==@,";
+  Fmt.pf ppf "  east/west %d B (%s), north/south %d B (%s)@,@," r.msg_ew
+    (if r.msg_ew <= off.eager_limit then "eager" else "rendezvous")
+    r.msg_ns
+    (if r.msg_ns <= off.eager_limit then "eager" else "rendezvous");
+  Fmt.pf ppf "== pipeline fills (r2, r3) ==@,";
+  pp_equation ppf
+    ( "Tdiagfill",
+      Fmt.str "StartP(1,m): %d north hops" (pg.rows - 1),
+      r.t_diagfill );
+  Fmt.pf ppf "@,";
+  pp_equation ppf
+    ( "Tfullfill",
+      Fmt.str "StartP(n,m): %d + %d hops" (pg.rows - 1) (pg.cols - 1),
+      r.t_fullfill );
+  Fmt.pf ppf "@,@,== stack (r4) ==@,";
+  pp_equation ppf
+    ( "Tstack",
+      Fmt.str
+        "(RecvW + RecvN + W + SendE + SendS + Wpre) * %.0f tiles - Wpre"
+        ntiles,
+      r.t_stack );
+  Fmt.pf ppf "@,";
+  Fmt.pf ppf "    where RecvW = %a, SendE = %a (off-node, %d B)@,"
+    Units.pp_time
+    (Comm.receive_offnode off r.msg_ew)
+    Units.pp_time
+    (Comm.send_offnode off r.msg_ew)
+    r.msg_ew;
+  (if cfg.contention then
+     let cew, cns = Plugplay.contention_coeffs cfg.cmp in
+     Fmt.pf ppf "    bus interference (Table 6): %.1f * I on E/W, %.1f * I on N/S@,"
+       cew cns);
+  Fmt.pf ppf "@,== epilogue ==@,";
+  pp_equation ppf
+    ( "Tnonwf",
+      Fmt.str "%a" App_params.pp_nonwavefront app.nonwavefront,
+      r.t_nonwavefront );
+  Fmt.pf ppf "@,@,== iteration (r5) ==@,";
+  pp_equation ppf
+    ( "Titer",
+      Fmt.str "%d*Tdiagfill + %d*Tfullfill + %d*Tstack + Tnonwf" c.ndiag
+        c.nfull c.nsweeps,
+      r.t_iteration );
+  Fmt.pf ppf "@,@,== per-sweep contributions ==@,";
+  List.iteri
+    (fun k (g, t) ->
+      Fmt.pf ppf "  sweep %d (%a): %a@," (k + 1) Sweeps.Schedule.pp_gate g
+        Units.pp_time t)
+    (Plugplay.sweep_times app cfg);
+  Fmt.pf ppf "@,time per time step (%d iterations): %a@]" app.iterations
+    Units.pp_time
+    (Plugplay.time_per_time_step app cfg)

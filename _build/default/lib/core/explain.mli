@@ -1,0 +1,4 @@
+(** A human-readable worksheet of a model evaluation: the Table 5 equations
+    with the numbers substituted, for auditing a prediction. *)
+
+val worksheet : Format.formatter -> App_params.t -> Plugplay.config -> unit

@@ -1,0 +1,38 @@
+(* A Hoisie-style single-sweep wavefront model (paper reference [1]),
+   included as a second baseline. It models one sweep as pipeline fill to the
+   far corner plus the per-tile stage cost repeated down the stack, and an
+   iteration as nsweeps independent sweeps — i.e. it ignores the precedence
+   overlap that the plug-and-play model captures with nfull/ndiag, so it
+   overestimates codes whose consecutive sweeps pipeline behind each other.
+   Comparing it with the plug-and-play model quantifies the value of the
+   sweep-structure parameters. *)
+
+open Wgrid
+module Comm = Loggp.Comm_model
+
+let stage_cost (app : App_params.t) (cfg : Plugplay.config) =
+  let pg = cfg.pgrid in
+  let w = app.wg *. Decomp.cells_per_tile app.grid pg ~htile:app.htile in
+  let w_pre = app.wg_pre *. Decomp.cells_per_tile app.grid pg ~htile:app.htile in
+  let msg_ew = App_params.message_size_ew app pg in
+  let msg_ns = App_params.message_size_ns app pg in
+  let off = cfg.platform.offnode in
+  let comm =
+    Comm.receive_offnode off msg_ew +. Comm.receive_offnode off msg_ns
+    +. Comm.send_offnode off msg_ew +. Comm.send_offnode off msg_ns
+  in
+  w +. w_pre +. comm
+
+let sweep_time app (cfg : Plugplay.config) =
+  let { Proc_grid.cols = n; rows = m } = cfg.pgrid in
+  let stage = stage_cost app cfg in
+  let fill = float_of_int (n + m - 2) *. stage in
+  let ntiles =
+    Tile.ntiles ~nz:app.App_params.grid.nz ~htile:app.App_params.htile
+  in
+  fill +. (ntiles *. stage)
+
+let time_per_iteration app (cfg : Plugplay.config) =
+  let c = App_params.counts app in
+  (float_of_int c.nsweeps *. sweep_time app cfg)
+  +. Plugplay.nonwavefront_time app cfg

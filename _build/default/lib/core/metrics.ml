@@ -1,0 +1,83 @@
+(* Scaling metrics on top of the per-iteration model: speedup, parallel
+   efficiency, and the smallest core count meeting a time target — the
+   quantities procurement discussions (paper Section 5.2) revolve around. *)
+
+let time app cfg = Plugplay.time_per_iteration app cfg
+
+(* The serial execution time the model implies: one core, no communication,
+   all sweeps and the non-wavefront computation. *)
+let serial_time (app : App_params.t) (cfg : Plugplay.config) =
+  let serial_cfg =
+    Plugplay.config ~cmp:Wgrid.Cmp.single_core
+      ~pgrid:(Wgrid.Proc_grid.v ~cols:1 ~rows:1)
+      (Plugplay.zero_comm_platform cfg.platform)
+      ~cores:1
+  in
+  time app serial_cfg
+
+let speedup app cfg =
+  serial_time app cfg /. time app cfg
+
+let efficiency app cfg =
+  speedup app cfg /. float_of_int (Wgrid.Proc_grid.cores cfg.pgrid)
+
+type scaling_row = {
+  cores : int;
+  t_iteration : float;
+  speedup : float;
+  efficiency : float;
+}
+
+let strong_scaling ?cmp ?contention ~platform ~core_counts app =
+  List.map
+    (fun cores ->
+      let cfg = Plugplay.config ?cmp ?contention platform ~cores in
+      {
+        cores;
+        t_iteration = time app cfg;
+        speedup = speedup app cfg;
+        efficiency = efficiency app cfg;
+      })
+    core_counts
+
+(* Smallest power-of-two core count whose per-iteration time meets the
+   target, within the given bound. *)
+let cores_for_target ?cmp ?contention ~platform ~target_us ~max_cores app =
+  if target_us <= 0.0 then invalid_arg "Metrics.cores_for_target";
+  let rec go cores =
+    if cores > max_cores then None
+    else
+      let cfg = Plugplay.config ?cmp ?contention platform ~cores in
+      if time app cfg <= target_us then Some cores else go (cores * 2)
+  in
+  go 1
+
+(* Parallel efficiency lost to each overhead class, at a given scale:
+   evaluate the model with pieces disabled. *)
+type overhead_breakdown = {
+  ideal : float;  (** perfectly parallel compute time, us *)
+  fill : float;  (** pipeline-fill overhead on the critical path *)
+  communication : float;  (** send/receive/contention costs *)
+  nonwavefront : float;
+}
+
+let overheads (app : App_params.t) (cfg : Plugplay.config) =
+  let r = Plugplay.iteration app cfg in
+  let c = App_params.counts app in
+  let comp_cfg =
+    { cfg with
+      platform = Plugplay.zero_comm_platform cfg.platform;
+      contention = false }
+  in
+  let rz = Plugplay.iteration app comp_cfg in
+  let fill =
+    (float_of_int c.ndiag *. rz.t_diagfill)
+    +. (float_of_int c.nfull *. rz.t_fullfill)
+  in
+  let ideal = float_of_int c.nsweeps *. rz.t_stack in
+  {
+    ideal;
+    fill;
+    communication = r.t_iteration -. rz.t_iteration -. r.t_nonwavefront +. rz.t_nonwavefront;
+    nonwavefront = r.t_nonwavefront;
+  }

@@ -1,0 +1,45 @@
+(** Scaling metrics on top of the per-iteration model: speedup, parallel
+    efficiency, sizing to a time target, and an overhead decomposition. *)
+
+val serial_time : App_params.t -> Plugplay.config -> float
+(** The model's implied one-core, zero-communication iteration time. *)
+
+val speedup : App_params.t -> Plugplay.config -> float
+val efficiency : App_params.t -> Plugplay.config -> float
+
+type scaling_row = {
+  cores : int;
+  t_iteration : float;
+  speedup : float;
+  efficiency : float;
+}
+
+val strong_scaling :
+  ?cmp:Wgrid.Cmp.t ->
+  ?contention:bool ->
+  platform:Loggp.Params.t ->
+  core_counts:int list ->
+  App_params.t ->
+  scaling_row list
+
+val cores_for_target :
+  ?cmp:Wgrid.Cmp.t ->
+  ?contention:bool ->
+  platform:Loggp.Params.t ->
+  target_us:float ->
+  max_cores:int ->
+  App_params.t ->
+  int option
+(** Smallest power-of-two core count whose iteration time meets the target,
+    or [None] if none does within [max_cores]. *)
+
+type overhead_breakdown = {
+  ideal : float;  (** perfectly-pipelined compute time of the sweeps *)
+  fill : float;  (** pipeline-fill overhead (compute part) *)
+  communication : float;
+  nonwavefront : float;
+}
+
+val overheads : App_params.t -> Plugplay.config -> overhead_breakdown
+(** Decomposition of the iteration time; the four parts sum to the (r5)
+    total. *)

@@ -1,0 +1,244 @@
+(* The plug-and-play re-usable LogGP model (paper Section 4, Tables 5 and 6).
+
+   Equations implemented here, with their paper labels:
+
+     Wpre = Wg_pre * Htile * Nx/n * Ny/m                               (r1a)
+     W    = Wg     * Htile * Nx/n * Ny/m                               (r1b)
+     StartP(1,1) = Wpre                                                (r2a)
+     StartP(i,j) = max(StartP(i-1,j) + W + Total_commE + ReceiveN,
+                       StartP(i,j-1) + W + SendE + Total_commS)        (r2b)
+     Tdiagfill = StartP(1,m)                                           (r3a)
+     Tfullfill = StartP(n,m)                                           (r3b)
+     Tstack = (ReceiveW + ReceiveN + W + SendE + SendS + Wpre)
+              * Nz/Htile - Wpre                                        (r4)
+     Titer  = ndiag*Tdiagfill + nfull*Tfullfill
+              + nsweeps*Tstack + Tnonwavefront                         (r5)
+
+   For multi-core nodes, each communication term in (r2b) is classified
+   on-chip or off-node by the position of the cores involved inside the
+   Cx x Cy node rectangle (Table 6), all communication in (r4) is off-node
+   (the stack proceeds at the rate of the slowest direction), and the
+   shared-bus interference term I = o_dma + size * G_dma is added to the
+   sends and receives of (r4). *)
+
+open Wgrid
+module Comm = Loggp.Comm_model
+
+type config = {
+  platform : Loggp.Params.t;
+  cmp : Cmp.t;
+  pgrid : Proc_grid.t;
+  contention : bool;
+  sync_terms : bool;
+}
+
+let config ?cmp ?pgrid ?(contention = true) ?(sync_terms = false) platform
+    ~cores =
+  if cores < 1 then invalid_arg "Plugplay.config: cores must be >= 1";
+  let cmp =
+    match cmp with
+    | Some c -> c
+    | None -> Cmp.of_cores_per_node platform.Loggp.Params.cores_per_node
+  in
+  let pgrid =
+    match pgrid with Some g -> g | None -> Proc_grid.of_cores cores
+  in
+  if Proc_grid.cores pgrid <> cores then
+    invalid_arg "Plugplay.config: pgrid does not match the core count";
+  { platform; cmp; pgrid; contention; sync_terms }
+
+type result = {
+  w : float;
+  w_pre : float;
+  msg_ew : int;
+  msg_ns : int;
+  t_diagfill : float;
+  t_fullfill : float;
+  t_stack : float;
+  t_nonwavefront : float;
+  t_iteration : float;
+}
+
+(* Shared-bus interference coefficients for the sends and receives of (r4),
+   generalizing the three cases of Table 6 (1x2 -> I on the N/S operations;
+   2x2 -> I on every operation; 2x4 -> 2I on every operation): cores sharing
+   a bus interfere in proportion to Cx*Cy/4 when the rectangle spans both
+   dimensions, and only the spanned dimension suffers when the rectangle is a
+   single row or column of cores. *)
+let contention_coeffs (cmp : Cmp.t) =
+  let cpn = float_of_int (Cmp.cores_per_node cmp) in
+  if cmp.cx = 1 && cmp.cy = 1 then (0.0, 0.0)
+  else if cmp.cx = 1 then (0.0, cpn /. 2.0)
+  else if cmp.cy = 1 then (cpn /. 2.0, 0.0)
+  else (cpn /. 4.0, cpn /. 4.0)
+
+(* The pipeline-fill recurrence (r2a)/(r2b). Returns the StartP array
+   (row-major, core (i,j) at index (j-1)*cols + (i-1)). *)
+let start_times (app : App_params.t) cfg ~w ~w_pre ~msg_ew ~msg_ns =
+  ignore app;
+  let { Proc_grid.cols; rows } = cfg.pgrid in
+  let start = Array.make (cols * rows) 0.0 in
+  let idx i j = ((j - 1) * cols) + (i - 1) in
+  let locality src dir = Cmp.link_locality cfg.cmp ~src dir in
+  for j = 1 to rows do
+    for i = 1 to cols do
+      if i = 1 && j = 1 then start.(idx 1 1) <- w_pre (* r2a *)
+      else begin
+        let from_west =
+          if i = 1 then neg_infinity
+          else
+            let arrive =
+              Comm.total cfg.platform (locality (i - 1, j) E) msg_ew
+            in
+            let recv_north =
+              if j = 1 then 0.0
+              else Comm.receive cfg.platform (locality (i, j - 1) S) msg_ns
+            in
+            start.(idx (i - 1) j) +. w +. arrive +. recv_north
+        in
+        let from_north =
+          if j = 1 then neg_infinity
+          else
+            let send_east =
+              if i = cols then 0.0
+              else Comm.send cfg.platform (locality (i, j - 1) E) msg_ew
+            in
+            let arrive =
+              Comm.total cfg.platform (locality (i, j - 1) S) msg_ns
+            in
+            start.(idx i (j - 1)) +. w +. send_east +. arrive
+        in
+        start.(idx i j) <- Float.max from_west from_north
+      end
+    done
+  done;
+  start
+
+(* The non-wavefront (between-iteration) cost. *)
+let nonwavefront_time (app : App_params.t) cfg =
+  match app.nonwavefront with
+  | No_op -> 0.0
+  | Fixed t -> t
+  | Allreduce { count; msg_size } ->
+      let cores = Proc_grid.cores cfg.pgrid in
+      float_of_int count *. Loggp.Allreduce.time ~msg_size cfg.platform ~cores
+  | Stencil { wg_stencil; halo_bytes_per_cell } ->
+      let cells_x = Decomp.cells_x app.grid cfg.pgrid in
+      let cells_y = Decomp.cells_y app.grid cfg.pgrid in
+      let nz = float_of_int app.grid.nz in
+      let compute = wg_stencil *. cells_x *. cells_y *. nz in
+      let face extent =
+        Decomp.message_size ~bytes_per_cell:halo_bytes_per_cell ~htile:nz
+          ~extent
+      in
+      let halo =
+        (2.0 *. Comm.total_offnode cfg.platform.offnode (face cells_y))
+        +. (2.0 *. Comm.total_offnode cfg.platform.offnode (face cells_x))
+      in
+      compute +. halo
+
+let iteration (app : App_params.t) cfg =
+  let pg = cfg.pgrid in
+  let cells_tile = Decomp.cells_per_tile app.grid pg ~htile:app.htile in
+  let w = app.wg *. cells_tile (* r1b *) in
+  let w_pre = app.wg_pre *. cells_tile (* r1a *) in
+  let msg_ew = App_params.message_size_ew app pg in
+  let msg_ns = App_params.message_size_ns app pg in
+  let start = start_times app cfg ~w ~w_pre ~msg_ew ~msg_ns in
+  let at i j = start.(((j - 1) * pg.cols) + (i - 1)) in
+  let t_diagfill = at 1 pg.rows (* r3a *) in
+  let t_fullfill = at pg.cols pg.rows (* r3b *) in
+  (* (r4): all communication off-node; bus interference added per Table 6. *)
+  let off = cfg.platform.offnode in
+  let coeff_ew, coeff_ns =
+    if cfg.contention then contention_coeffs cfg.cmp else (0.0, 0.0)
+  in
+  let i_ew = coeff_ew *. Comm.contention_i cfg.platform.onchip msg_ew in
+  let i_ns = coeff_ns *. Comm.contention_i cfg.platform.onchip msg_ns in
+  (* Optional handshake back-propagation terms of the Table 4 model
+     ((m-1)L and (n-2)L per tile): significant on high-latency platforms
+     like the SP/2, negligible on the XT4 (paper Section 4.2). *)
+  let sync =
+    if cfg.sync_terms then
+      float_of_int (pg.rows - 1 + max 0 (pg.cols - 2)) *. off.l
+    else 0.0
+  in
+  let per_tile =
+    Comm.receive_offnode off msg_ew +. i_ew (* ReceiveW *)
+    +. Comm.receive_offnode off msg_ns +. i_ns (* ReceiveN *)
+    +. w
+    +. Comm.send_offnode off msg_ew +. i_ew (* SendE *)
+    +. Comm.send_offnode off msg_ns +. i_ns (* SendS *)
+    +. w_pre +. sync
+  in
+  let ntiles = Tile.ntiles ~nz:app.grid.nz ~htile:app.htile in
+  let t_stack = (per_tile *. ntiles) -. w_pre in
+  let t_nonwavefront = nonwavefront_time app cfg in
+  let c = App_params.counts app in
+  let t_iteration =
+    (float_of_int c.ndiag *. t_diagfill)
+    +. (float_of_int c.nfull *. t_fullfill)
+    +. (float_of_int c.nsweeps *. t_stack)
+    +. t_nonwavefront
+  in
+  {
+    w; w_pre; msg_ew; msg_ns; t_diagfill; t_fullfill; t_stack;
+    t_nonwavefront; t_iteration;
+  }
+
+let time_per_iteration app cfg = (iteration app cfg).t_iteration
+
+(* Per-sweep critical-path contributions implied by the (r5) accounting:
+   a Follow-gated sweep adds one stack time, a Diagonal-gated sweep adds a
+   diagonal fill on top, a Full-gated sweep a full fill. The contributions
+   sum to the iteration time minus the non-wavefront term. *)
+let sweep_times app cfg =
+  let r = iteration app cfg in
+  List.map
+    (fun (g : Sweeps.Schedule.gate) ->
+      let t =
+        match g with
+        | Follow -> r.t_stack
+        | Diagonal -> r.t_diagfill +. r.t_stack
+        | Full -> r.t_fullfill +. r.t_stack
+      in
+      (g, t))
+    (Sweeps.Schedule.gates app.App_params.schedule)
+
+let time_per_time_step app cfg =
+  float_of_int app.App_params.iterations *. time_per_iteration app cfg
+
+(* --- Computation/communication decomposition (for Figure 11) --- *)
+
+type components = {
+  total : float;
+  computation : float;
+  communication : float;
+}
+
+(* A platform with all communication costs zeroed: evaluating the model on
+   it yields the pure-computation component of the critical path. *)
+let zero_comm_platform (p : Loggp.Params.t) : Loggp.Params.t =
+  {
+    p with
+    offnode = { g = 0.0; l = 0.0; o = 0.0; o_h = 0.0; eager_limit = max_int };
+    onchip =
+      { g_copy = 0.0; g_dma = 0.0; o_copy = 0.0; o_dma = 0.0;
+        eager_limit = max_int };
+  }
+
+let components app cfg =
+  let total = time_per_iteration app cfg in
+  let comp_cfg =
+    { cfg with platform = zero_comm_platform cfg.platform; contention = false }
+  in
+  let computation = time_per_iteration app comp_cfg in
+  { total; computation; communication = total -. computation }
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "@[<v>W=%a Wpre=%a msgs EW=%dB NS=%dB@,Tdiagfill=%a Tfullfill=%a \
+     Tstack=%a Tnonwf=%a@,T_iteration=%a@]"
+    Units.pp_time r.w Units.pp_time r.w_pre r.msg_ew r.msg_ns Units.pp_time
+    r.t_diagfill Units.pp_time r.t_fullfill Units.pp_time r.t_stack
+    Units.pp_time r.t_nonwavefront Units.pp_time r.t_iteration

@@ -1,0 +1,73 @@
+(* Whole-run predictions on top of the per-iteration model: a production
+   particle-transport run solves [time_steps] time steps, each requiring
+   [iterations] wavefront iterations per energy group for [energy_groups]
+   groups (paper Section 5.2: 30 energy groups imply a 30-fold increase over
+   a single group). *)
+
+type run = { energy_groups : int; time_steps : int }
+
+let run ?(energy_groups = 1) ~time_steps () =
+  if energy_groups < 1 || time_steps < 1 then
+    invalid_arg "Predictor.run: counts must be >= 1";
+  { energy_groups; time_steps }
+
+let time_step_time app cfg = Plugplay.time_per_time_step app cfg
+
+let total_time ~run:r app cfg =
+  float_of_int r.energy_groups *. float_of_int r.time_steps
+  *. time_step_time app cfg
+
+(* Throughput metrics for the partitioning studies of Section 5.2: R is the
+   time to complete one simulation; running [jobs] simulations in parallel on
+   equal partitions of [avail] cores completes [jobs] simulations every R, so
+   X = jobs / R. The paper's two optimization criteria are R/X and R^2/X. *)
+type partition_metrics = {
+  jobs : int;
+  cores_per_job : int;
+  r : float;  (** time to complete one simulation, us *)
+  x : float;  (** simulations completed per us *)
+  r_over_x : float;
+  r2_over_x : float;
+  steps_per_month : float;  (** time steps solved per problem per month *)
+}
+
+let partition ~run:r ~platform ?cmp ?contention ~avail ~jobs app =
+  if jobs < 1 then invalid_arg "Predictor.partition: jobs must be >= 1";
+  if avail mod jobs <> 0 then
+    invalid_arg "Predictor.partition: jobs must divide the available cores";
+  let cores_per_job = avail / jobs in
+  let cfg = Plugplay.config ?cmp ?contention platform ~cores:cores_per_job in
+  let rt = total_time ~run:r app cfg in
+  let x = float_of_int jobs /. rt in
+  let steps_per_month =
+    float_of_int r.time_steps *. Units.month /. rt
+  in
+  {
+    jobs;
+    cores_per_job;
+    r = rt;
+    x;
+    r_over_x = rt /. x;
+    r2_over_x = rt *. rt /. x;
+    steps_per_month;
+  }
+
+let best_partition ~run:r ~platform ?cmp ?contention ~avail ~candidates
+    ~criterion app =
+  let metric m =
+    match criterion with
+    | `R_over_x -> m.r_over_x
+    | `R2_over_x -> m.r2_over_x
+  in
+  let ms =
+    List.filter_map
+      (fun jobs ->
+        if jobs >= 1 && avail mod jobs = 0 then
+          Some (partition ~run:r ~platform ?cmp ?contention ~avail ~jobs app)
+        else None)
+      candidates
+  in
+  match ms with
+  | [] -> invalid_arg "Predictor.best_partition: no feasible job counts"
+  | first :: rest ->
+      List.fold_left (fun b m -> if metric m < metric b then m else b) first rest

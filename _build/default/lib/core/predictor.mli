@@ -1,0 +1,51 @@
+(** Whole-run predictions and the procurement metrics of Section 5.2.
+
+    A production run solves [time_steps] time steps; each time step performs
+    the application's [iterations] wavefront iterations once per energy
+    group. Times in microseconds. *)
+
+type run = { energy_groups : int; time_steps : int }
+
+val run : ?energy_groups:int -> time_steps:int -> unit -> run
+
+val time_step_time : App_params.t -> Plugplay.config -> float
+(** Time for one time step of one energy group
+    ([iterations * t_iteration]). *)
+
+val total_time : run:run -> App_params.t -> Plugplay.config -> float
+
+type partition_metrics = {
+  jobs : int;  (** simulations run in parallel *)
+  cores_per_job : int;
+  r : float;  (** time to complete one simulation, us *)
+  x : float;  (** simulations completed per us *)
+  r_over_x : float;  (** the paper's R/X criterion (Figure 8) *)
+  r2_over_x : float;  (** the paper's R^2/X criterion *)
+  steps_per_month : float;  (** time steps solved per problem per month
+                                (Figure 7) *)
+}
+
+val partition :
+  run:run ->
+  platform:Loggp.Params.t ->
+  ?cmp:Wgrid.Cmp.t ->
+  ?contention:bool ->
+  avail:int ->
+  jobs:int ->
+  App_params.t ->
+  partition_metrics
+(** Metrics when [avail] cores are split into [jobs] equal partitions, one
+    simulation per partition. Raises [Invalid_argument] if [jobs] does not
+    divide [avail]. *)
+
+val best_partition :
+  run:run ->
+  platform:Loggp.Params.t ->
+  ?cmp:Wgrid.Cmp.t ->
+  ?contention:bool ->
+  avail:int ->
+  candidates:int list ->
+  criterion:[ `R_over_x | `R2_over_x ] ->
+  App_params.t ->
+  partition_metrics
+(** The candidate job count minimizing the chosen criterion (Figure 9). *)

@@ -1,0 +1,96 @@
+(* Sensitivity of the prediction to its inputs: elasticities computed by
+   central finite differences. Wg is measured and platform parameters are
+   fitted, so every input carries uncertainty; the elasticity
+   (dT/T) / (dx/x) says which uncertainties matter at a given scale — e.g.
+   compute-bound configurations are insensitive to L, communication-bound
+   ones are not. *)
+
+type input = Wg | Wg_pre | Htile | G | L | O | Msg_payload
+
+let all_inputs = [ Wg; Wg_pre; Htile; G; L; O; Msg_payload ]
+
+let input_name = function
+  | Wg -> "Wg"
+  | Wg_pre -> "Wg_pre"
+  | Htile -> "Htile"
+  | G -> "G"
+  | L -> "L"
+  | O -> "o"
+  | Msg_payload -> "message payload"
+
+(* Scale input [x] of the (app, platform) pair by [f]. *)
+let perturb (app : App_params.t) (cfg : Plugplay.config) input f =
+  let scale_off (p : Loggp.Params.offnode) = function
+    | G -> { p with g = p.g *. f }
+    | L -> { p with l = p.l *. f }
+    | O -> { p with o = p.o *. f }
+    | _ -> p
+  in
+  let scale_on (p : Loggp.Params.onchip) = function
+    | G -> { p with g_copy = p.g_copy *. f; g_dma = p.g_dma *. f }
+    | O -> { p with o_copy = p.o_copy *. f; o_dma = p.o_dma *. f }
+    | _ -> p
+  in
+  let scale_stencil (nwf : App_params.nonwavefront) = function
+    | Wg -> (
+        (* The stencil's per-cell work is compute, like Wg. *)
+        match nwf with
+        | Stencil s -> App_params.Stencil { s with wg_stencil = s.wg_stencil *. f }
+        | other -> other)
+    | Msg_payload -> (
+        match nwf with
+        | Stencil s ->
+            Stencil { s with halo_bytes_per_cell = s.halo_bytes_per_cell *. f }
+        | other -> other)
+    | _ -> nwf
+  in
+  let app =
+    match input with
+    | Wg ->
+        { app with wg = app.wg *. f;
+          nonwavefront = scale_stencil app.nonwavefront Wg }
+    | Wg_pre -> { app with wg_pre = app.wg_pre *. f }
+    | Htile -> { app with htile = app.htile *. f }
+    | Msg_payload ->
+        {
+          app with
+          bytes_per_cell_ew = app.bytes_per_cell_ew *. f;
+          bytes_per_cell_ns = app.bytes_per_cell_ns *. f;
+          nonwavefront = scale_stencil app.nonwavefront Msg_payload;
+        }
+    | G | L | O -> app
+  in
+  let platform =
+    {
+      cfg.platform with
+      offnode = scale_off cfg.platform.offnode input;
+      onchip = scale_on cfg.platform.onchip input;
+    }
+  in
+  (app, { cfg with platform })
+
+(* Elasticity of the iteration time with respect to [input]:
+   (dT/T) / (dx/x), by a central difference with relative step [h]. *)
+let elasticity ?(h = 0.01) app cfg input =
+  let t f =
+    let app', cfg' = perturb app cfg input f in
+    Plugplay.time_per_iteration app' cfg'
+  in
+  let t0 = t 1.0 in
+  let up = t (1.0 +. h) and down = t (1.0 -. h) in
+  (up -. down) /. (2.0 *. h *. t0)
+
+type row = { input : input; elasticity : float }
+
+let analyze ?h app cfg =
+  List.map
+    (fun input -> { input; elasticity = elasticity ?h app cfg input })
+    all_inputs
+
+let pp_row ppf r =
+  Fmt.pf ppf "%-16s %+.4f" (input_name r.input) r.elasticity
+
+let pp ppf rows =
+  Fmt.pf ppf "@[<v>elasticities (1%% input change -> %% time change):@,%a@]"
+    (Fmt.list (fun ppf r -> Fmt.pf ppf "  %a" pp_row r))
+    rows

@@ -1,0 +1,116 @@
+(* The previous, Sweep3D-specific LogGP model of Sundaram-Stukel & Vernon
+   (paper Table 4, equations s1-s5), kept as a baseline to contrast with the
+   plug-and-play model. One core per node; all communication off-node.
+
+     W(i,j)  = Wg * mmi * mk * jt * it                                  (s1)
+     StartP  = max(StartP(i-1,j) + W + Total_comm + Receive,
+                   StartP(i,j-1) + W + Send + Total_comm)               (s2)
+     Time5,6 = StartP(1,m)
+               + 2[(W + SendE + ReceiveN + (m-1)L) * #kblocks*mmo/mmi]  (s3)
+     Time7,8 = StartP(n-1,m)
+               + 2[(W + SendE + ReceiveW + ReceiveN + (m-1)L + (n-2)L)
+                   * #kblocks*mmo/mmi] + ReceiveW + W                   (s4)
+     T       = 2(Time5,6 + Time7,8)                                     (s5)
+
+   Note that Wg in this older model is the computation time for ONE angle of
+   one cell; our [wg] input keeps the new model's all-angles meaning and is
+   divided by mmo here. The (m-1)L and (n-2)L synchronization terms model
+   back-propagation of handshake replies; they mattered on the SP/2 and are a
+   negligible fraction of execution time on the XT4 (paper Section 4.2), so
+   they can be disabled. *)
+
+open Wgrid
+module Comm = Loggp.Comm_model
+
+type inputs = {
+  platform : Loggp.Params.t;
+  grid : Data_grid.t;
+  pgrid : Proc_grid.t;
+  wg : float;  (** all-angles per-cell computation time, us *)
+  mmi : int;
+  mmo : int;
+  mk : int;
+  bytes_per_angle : float;  (** boundary payload per cell per angle, 8B *)
+  sync_terms : bool;
+}
+
+let v ?(bytes_per_angle = 8.0) ?(sync_terms = false) ~platform ~grid ~pgrid
+    ~wg ~mmi ~mmo ~mk () =
+  if mmi < 1 || mmo < mmi || mk < 1 then
+    invalid_arg "Sweep3d_model.v: need 1 <= mmi <= mmo and mk >= 1";
+  if wg <= 0.0 then invalid_arg "Sweep3d_model.v: wg must be positive";
+  { platform; grid; pgrid; wg; mmi; mmo; mk; bytes_per_angle; sync_terms }
+
+type result = {
+  w_block : float;  (** (s1): work per mmi-angle block of a tile *)
+  time_5_6 : float;
+  time_7_8 : float;
+  t_sweeps : float;  (** (s5): total time for the eight sweeps *)
+}
+
+let iteration t =
+  let { Proc_grid.cols = n; rows = m } = t.pgrid in
+  let it = Decomp.cells_x t.grid t.pgrid in
+  let jt = Decomp.cells_y t.grid t.pgrid in
+  let off = t.platform.offnode in
+  (* (s1) with Wg converted from all-angles to per-angle. *)
+  let w =
+    t.wg /. float_of_int t.mmo *. float_of_int t.mmi *. float_of_int t.mk
+    *. jt *. it
+  in
+  (* Message sizes: boundary values for the mmi angles of an mk-cell tile. *)
+  let block = float_of_int (t.mmi * t.mk) *. t.bytes_per_angle in
+  let msg_ew = int_of_float (Float.ceil (block *. jt)) in
+  let msg_ns = int_of_float (Float.ceil (block *. it)) in
+  let total = Comm.total_offnode off in
+  let send = Comm.send_offnode off in
+  let receive = Comm.receive_offnode off in
+  (* (s2) *)
+  let start = Array.make (n * m) 0.0 in
+  let idx i j = ((j - 1) * n) + (i - 1) in
+  for j = 1 to m do
+    for i = 1 to n do
+      if i = 1 && j = 1 then start.(idx 1 1) <- 0.0
+      else begin
+        let west =
+          if i = 1 then neg_infinity
+          else
+            start.(idx (i - 1) j) +. w +. total msg_ew
+            +. (if j = 1 then 0.0 else receive msg_ns)
+        in
+        let north =
+          if j = 1 then neg_infinity
+          else
+            start.(idx i (j - 1)) +. w
+            +. (if i = n then 0.0 else send msg_ew)
+            +. total msg_ns
+        in
+        start.(idx i j) <- Float.max west north
+      end
+    done
+  done;
+  let at i j = start.(idx i j) in
+  let blocks_per_stack =
+    float_of_int (Tile.kblocks ~nz:t.grid.nz ~mk:t.mk)
+    *. float_of_int t.mmo /. float_of_int t.mmi
+  in
+  let sync_m = if t.sync_terms then float_of_int (m - 1) *. off.l else 0.0 in
+  let sync_n = if t.sync_terms then float_of_int (n - 2) *. off.l else 0.0 in
+  (* (s3) *)
+  let time_5_6 =
+    at 1 m
+    +. (2.0 *. ((w +. send msg_ew +. receive msg_ns +. sync_m) *. blocks_per_stack))
+  in
+  (* (s4) *)
+  let time_7_8 =
+    at (max 1 (n - 1)) m
+    +. (2.0
+        *. ((w +. send msg_ew +. receive msg_ew +. receive msg_ns +. sync_m
+             +. sync_n)
+           *. blocks_per_stack))
+    +. receive msg_ew +. w
+  in
+  (* (s5) *)
+  { w_block = w; time_5_6; time_7_8; t_sweeps = 2.0 *. (time_5_6 +. time_7_8) }
+
+let t_sweeps t = (iteration t).t_sweeps

@@ -1,0 +1,1 @@
+lib/grid/cmp.ml: Fmt Loggp Proc_grid

@@ -1,0 +1,1 @@
+lib/grid/cmp.mli: Fmt Loggp Proc_grid

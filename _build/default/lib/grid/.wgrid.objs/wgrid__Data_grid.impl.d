@@ -1,0 +1,1 @@
+lib/grid/data_grid.ml: Fmt

@@ -1,0 +1,1 @@
+lib/grid/data_grid.mli: Fmt

@@ -1,0 +1,1 @@
+lib/grid/decomp.ml: Data_grid Float Fmt List Proc_grid

@@ -1,0 +1,1 @@
+lib/grid/decomp.mli: Data_grid Fmt Proc_grid

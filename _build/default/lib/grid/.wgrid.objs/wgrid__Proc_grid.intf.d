@@ -1,0 +1,1 @@
+lib/grid/proc_grid.mli: Fmt

@@ -1,0 +1,21 @@
+(* The 3-D discretized data grid of Figure 1(a). *)
+
+type t = { nx : int; ny : int; nz : int }
+
+let v ~nx ~ny ~nz =
+  if nx < 1 || ny < 1 || nz < 1 then
+    invalid_arg "Data_grid.v: dimensions must be >= 1";
+  { nx; ny; nz }
+
+let cube n = v ~nx:n ~ny:n ~nz:n
+let cells t = t.nx * t.ny * t.nz
+let pp ppf t = Fmt.pf ppf "%dx%dx%d" t.nx t.ny t.nz
+
+(* Paper workloads (Section 5). The 20-million-cell and 10^9-cell Sweep3D
+   problems are LANL sizes of interest; 10^9 is the 1000^3 cube and we
+   realize "20 million" as 272 x 272 x 270 = 19,983,360 cells. *)
+let chimaera_240 = cube 240
+let chimaera_tall = v ~nx:240 ~ny:240 ~nz:960
+let sweep3d_1b = cube 1000
+let sweep3d_20m = v ~nx:272 ~ny:272 ~nz:270
+let lu_class_e = cube 1000

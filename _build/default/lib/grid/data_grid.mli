@@ -1,0 +1,26 @@
+(** The 3-D discretized data grid of Figure 1(a), [Nx * Ny * Nz] cells. *)
+
+type t = { nx : int; ny : int; nz : int }
+
+val v : nx:int -> ny:int -> nz:int -> t
+(** Raises [Invalid_argument] on non-positive dimensions. *)
+
+val cube : int -> t
+val cells : t -> int
+val pp : t Fmt.t
+
+(** {2 Paper workloads (Section 5)} *)
+
+val chimaera_240 : t
+(** 240^3, the largest cubic Chimaera benchmark size. *)
+
+val chimaera_tall : t
+(** 240 x 240 x 960, the other AWE size of interest (Section 5.1). *)
+
+val sweep3d_1b : t
+(** 10^9 cells (1000^3), a LANL size of interest. *)
+
+val sweep3d_20m : t
+(** ~20 million cells (272 x 272 x 270). *)
+
+val lu_class_e : t

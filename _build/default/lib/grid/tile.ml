@@ -1,0 +1,22 @@
+(* Tile heights and stack sizes (paper Sections 2.1 and 4.1).
+
+   Each processor's data partition is a stack of tiles, each Htile grid
+   points high. Sweep3D computes mmi of the mmo angles per tile of mk cells
+   before communicating, which the model folds into an effective tile height
+   Htile = mk * mmi / mmo (Table 3). *)
+
+let htile_sweep3d ~mk ~mmi ~mmo =
+  if mk < 1 || mmi < 1 || mmo < 1 then invalid_arg "Tile.htile_sweep3d";
+  if mmi > mmo then invalid_arg "Tile.htile_sweep3d: mmi must be <= mmo";
+  float_of_int mk *. float_of_int mmi /. float_of_int mmo
+
+let ntiles ~nz ~htile =
+  if htile <= 0.0 then invalid_arg "Tile.ntiles: htile must be > 0";
+  if nz < 1 then invalid_arg "Tile.ntiles: nz must be >= 1";
+  float_of_int nz /. htile
+
+let ntiles_int ~nz ~htile = int_of_float (Float.ceil (ntiles ~nz ~htile))
+
+let kblocks ~nz ~mk =
+  if mk < 1 || nz < 1 then invalid_arg "Tile.kblocks";
+  (nz + mk - 1) / mk

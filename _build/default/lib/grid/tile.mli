@@ -1,0 +1,15 @@
+(** Tile heights and stack sizes (paper Sections 2.1 and 4.1). *)
+
+val htile_sweep3d : mk:int -> mmi:int -> mmo:int -> float
+(** The effective tile height [Htile = mk * mmi / mmo] of Table 3: Sweep3D
+    communicates after computing [mmi] of the [mmo] angles of an [mk]-cell
+    tile. Raises [Invalid_argument] if [mmi > mmo] or any input is < 1. *)
+
+val ntiles : nz:int -> htile:float -> float
+(** [Nz / Htile], the (real-valued) number of tiles per processor stack. *)
+
+val ntiles_int : nz:int -> htile:float -> int
+(** Ceiling of {!ntiles}, for the executable substrates. *)
+
+val kblocks : nz:int -> mk:int -> int
+(** Number of k-blocks, [ceil (Nz / mk)] (Table 4's #kblocks). *)

@@ -1,0 +1,1 @@
+lib/harness/exp_ablation.ml: App_params Apps Fmt List Loggp Option Pipeline_model Plugplay Sweeps Table Wavefront_core Wgrid Xtsim

@@ -1,0 +1,1 @@
+lib/harness/exp_capacity.ml: Apps Fmt List Loggp Memory_model Metrics Printf Table Wavefront_core Wgrid

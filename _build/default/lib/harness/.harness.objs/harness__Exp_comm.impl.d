@@ -1,0 +1,1 @@
+lib/harness/exp_comm.ml: List Loggp Printf Table Wgrid Xtsim

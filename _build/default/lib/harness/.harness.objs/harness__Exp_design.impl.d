@@ -1,0 +1,1 @@
+lib/harness/exp_design.ml: App_params Apps Energy_groups Float Fmt List Loggp Plugplay Predictor Table Units Wavefront_core Wgrid Xtsim

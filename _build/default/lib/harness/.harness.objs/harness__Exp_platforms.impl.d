@@ -1,0 +1,1 @@
+lib/harness/exp_platforms.ml: App_params Apps List Loggp Plugplay Predictor Table Units Wavefront_core

@@ -1,0 +1,1 @@
+lib/harness/exp_plots.ml: App_params Apps Float Fmt List Loggp Plot Plugplay Predictor Sweeps Units Wavefront_core Wgrid Xtsim

@@ -1,0 +1,1 @@
+lib/harness/exp_real.ml: Apps Kernels List Loggp Plugplay Printf Shmpi Sweeps Table Wavefront_core Wgrid

@@ -1,0 +1,1 @@
+lib/harness/exp_shape.ml: Apps Float List Loggp Plugplay Printf Table Wavefront_core Wgrid

@@ -1,0 +1,1 @@
+lib/harness/exp_summary.ml: App_params Apps Energy_groups Exp_comm Float Fmt List Loggp Pipeline_model Plugplay Predictor String Sweep3d_model Table Units Wavefront_core Wgrid Xtsim

@@ -1,0 +1,1 @@
+lib/harness/exp_valid.ml: App_params Apps Hoisie_model List Loggp Plugplay Printf Sweep3d_model Table Wavefront_core Wgrid Xtsim

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Exp_ablation Exp_capacity Exp_comm Exp_design Exp_platforms Exp_plots Exp_real Exp_shape Exp_summary Exp_valid Fmt List Loggp Plot String Table

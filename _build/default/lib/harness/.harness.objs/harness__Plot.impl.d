@@ -1,0 +1,1 @@
+lib/harness/plot.ml: Array Float Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/harness/plot.mli: Format

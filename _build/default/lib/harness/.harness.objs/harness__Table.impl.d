@@ -1,0 +1,1 @@
+lib/harness/table.ml: Float Fmt List Printf String

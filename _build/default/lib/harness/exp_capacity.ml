@@ -1,0 +1,75 @@
+(* Memory-capacity studies (extension): the other axis of the paper's
+   partition-sizing question — a partition must not only be fast, it must
+   fit. *)
+
+open Wavefront_core
+
+let xt4 = Loggp.Params.xt4
+
+let cases =
+  [
+    ("LU 1000^3", Apps.Lu.class_e (), Memory_model.lu);
+    ("Sweep3D 10^9", Apps.Sweep3d.p1b (), Memory_model.transport ~angles:6);
+    ("Chimaera 240^3", Apps.Chimaera.p240 (), Memory_model.transport ~angles:10);
+  ]
+
+let memory () =
+  let rows =
+    List.concat_map
+      (fun (name, app, mm) ->
+        List.map
+          (fun cores ->
+            let pg = Wgrid.Proc_grid.of_cores cores in
+            let per_rank = Memory_model.bytes_per_rank mm app pg in
+            let per_node =
+              Memory_model.bytes_per_node mm app pg ~cmp:(Wgrid.Cmp.v ~cx:1 ~cy:2)
+            in
+            [
+              name; Table.icell cores;
+              Fmt.str "%a" Memory_model.pp_bytes per_rank;
+              Fmt.str "%a" Memory_model.pp_bytes per_node;
+            ])
+          [ 1024; 8192; 65536 ])
+      cases
+  in
+  Table.v ~id:"EXT-MEMORY" ~title:"Per-rank and per-node memory footprint"
+    ~headers:[ "problem"; "cores"; "bytes/rank"; "bytes/node (dual-core)" ]
+    ~notes:
+      [ "grid state + live faces + eager slack; see Memory_model for the \
+         accounting" ]
+    rows
+
+let capacity_sizing ?(budget_gib = 2.0) () =
+  let budget = budget_gib *. (1024.0 ** 3.0) in
+  let rows =
+    List.map
+      (fun (name, app, mm) ->
+        let min_mem =
+          Memory_model.min_cores_for mm app ~bytes_budget:budget
+            ~max_cores:(1 lsl 22)
+        in
+        (* Also the smallest core count meeting a 100 ms iteration. *)
+        let min_time =
+          Metrics.cores_for_target ~platform:xt4 ~target_us:100_000.0
+            ~max_cores:(1 lsl 22) app
+        in
+        let show = function Some c -> Table.icell c | None -> ">4M" in
+        let binding =
+          match (min_mem, min_time) with
+          | Some m, Some t -> if m >= t then "memory" else "time"
+          | _ -> "-"
+        in
+        [ name; show min_mem; show min_time; binding ])
+      cases
+  in
+  Table.v ~id:"EXT-CAPACITY"
+    ~title:
+      (Printf.sprintf
+         "Smallest feasible partition: %.0f GiB/rank budget vs 100 ms/iteration"
+         budget_gib)
+    ~headers:
+      [ "problem"; "min cores (memory)"; "min cores (time)"; "binding constraint" ]
+    ~notes:
+      [ "partition sizing must satisfy both; the binding constraint says \
+         which one decides" ]
+    rows

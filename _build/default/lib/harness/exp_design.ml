@@ -1,0 +1,344 @@
+(* The application- and platform-design studies of paper Section 5,
+   regenerated figure by figure with the plug-and-play model. *)
+
+open Wavefront_core
+
+let xt4 = Loggp.Params.xt4
+let htiles = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let cfg ?cmp ?contention cores = Plugplay.config ?cmp ?contention xt4 ~cores
+
+(* --- Figure 5: execution time vs Htile --- *)
+
+let fig5 () =
+  let series =
+    [
+      ("Chimaera 240^3 P=4K", Apps.Chimaera.p240 (), 4096);
+      ("Chimaera 240^3 P=16K", Apps.Chimaera.p240 (), 16384);
+      ("Sweep3D 20M P=4K", Apps.Sweep3d.p20m ~iterations:480 (), 4096);
+      ("Sweep3D 20M P=16K", Apps.Sweep3d.p20m ~iterations:480 (), 16384);
+      ("Chimaera 240x240x960 P=16K", Apps.Chimaera.p240_tall (), 16384);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, app, cores) ->
+        let time h =
+          Units.to_s
+            (Predictor.time_step_time
+               (App_params.with_htile app (float_of_int h))
+               (cfg cores))
+        in
+        let best =
+          List.fold_left (fun b h -> if time h < time b then h else b) 1 htiles
+        in
+        List.map
+          (fun h ->
+            [
+              name; Table.icell h; Table.fcell (time h);
+              (if h = best then "<- min" else "");
+            ])
+          htiles)
+      series
+  in
+  Table.v ~id:"FIG5" ~title:"Execution time per time step vs Htile"
+    ~headers:[ "configuration"; "Htile"; "time (s)"; "optimum" ]
+    ~notes:
+      [
+        "paper: Htile in 2..5 minimizes execution time on the XT4 for every \
+         configuration; Htile = 2..5 gives ~20% over Htile = 1 for the tall \
+         Chimaera problem";
+      ]
+    rows
+
+(* --- Figure 6: execution time vs system size, with simulated points --- *)
+
+let fig6_run = Predictor.run ~energy_groups:30 ~time_steps:10_000 ()
+
+let fig6 ?(sim_cores = [ 1024 ]) () =
+  let app = Apps.Sweep3d.p1b () in
+  let rows =
+    List.map
+      (fun cores ->
+        let model_days =
+          Units.to_days (Predictor.total_time ~run:fig6_run app (cfg cores))
+        in
+        let simulated =
+          if List.mem cores sim_cores then begin
+            let pg = Wgrid.Proc_grid.of_cores cores in
+            let machine = Xtsim.Machine.v xt4 pg in
+            let o = Xtsim.Wavefront_sim.run machine app in
+            let days =
+              Units.to_days
+                (o.per_iteration *. float_of_int app.iterations *. 30.0
+               *. 10_000.0)
+            in
+            Table.fcell days
+          end
+          else "-"
+        in
+        [ Table.icell cores; Table.fcell model_days; simulated ])
+      [ 1024; 2048; 4096; 8192; 16384; 32768; 65536; 131072 ]
+  in
+  Table.v ~id:"FIG6"
+    ~title:"Sweep3D 10^9 cells, 10^4 time steps, 30 energy groups: time vs P"
+    ~headers:[ "cores"; "model (days)"; "simulated (days)" ]
+    ~notes:
+      [
+        "Htile = 2, dual-core nodes; diminishing returns beyond ~16K cores \
+         as in the paper";
+        "simulated points run the full per-iteration execution on the \
+         event-level machine and scale by iterations x groups x steps";
+      ]
+    rows
+
+(* --- Figure 7: throughput vs partition size --- *)
+
+let fig7 ~id ~title app ~run ~avails ~jobs () =
+  let rows =
+    List.concat_map
+      (fun avail ->
+        List.filter_map
+          (fun j ->
+            if avail mod j = 0 then
+              let m = Predictor.partition ~run ~platform:xt4 ~avail ~jobs:j app in
+              Some
+                [
+                  Table.icell avail; Table.icell j;
+                  Table.icell m.cores_per_job;
+                  Table.fcell m.steps_per_month;
+                  Table.fcell (float_of_int j *. m.steps_per_month);
+                ]
+            else None)
+          jobs)
+      avails
+  in
+  Table.v ~id ~title
+    ~headers:
+      [ "cores avail"; "parallel jobs"; "cores/job"; "steps/month/problem";
+        "aggregate steps/month" ]
+    ~notes:
+      [
+        "paper Figure 7: partitioning trades per-problem rate against \
+         aggregate throughput";
+      ]
+    rows
+
+let fig7a () =
+  fig7 ~id:"FIG7A" ~title:"Sweep3D 10^9: time steps solved per month"
+    (Apps.Sweep3d.p1b ()) ~run:fig6_run
+    ~avails:[ 32768; 65536; 131072 ] ~jobs:[ 1; 2; 4; 8 ] ()
+
+let fig7b () =
+  fig7 ~id:"FIG7B" ~title:"Chimaera 240^3: time steps solved per month"
+    (Apps.Chimaera.p240 ())
+    ~run:(Predictor.run ~time_steps:10_000 ())
+    ~avails:[ 16384; 32768 ] ~jobs:[ 1; 2; 4; 8; 16 ] ()
+
+(* --- Figure 8: R/X and R^2/X vs partition size --- *)
+
+let fig8 ?(avail = 131072) () =
+  let app = Apps.Sweep3d.p1b () in
+  let sizes = [ 4096; 8192; 16384; 32768; 65536; 131072 ] in
+  let metrics =
+    List.map
+      (fun size ->
+        (size, Predictor.partition ~run:fig6_run ~platform:xt4 ~avail
+                 ~jobs:(avail / size) app))
+      sizes
+  in
+  let min_by f =
+    List.fold_left (fun acc (_, m) -> Float.min acc (f m)) infinity metrics
+  in
+  let min_rx = min_by (fun m -> m.Predictor.r_over_x) in
+  let min_r2x = min_by (fun m -> m.Predictor.r2_over_x) in
+  let rows =
+    List.map
+      (fun (size, m) ->
+        [
+          Table.icell size;
+          Table.icell m.Predictor.jobs;
+          Table.fcell (m.r_over_x /. min_rx);
+          Table.fcell (m.r2_over_x /. min_r2x);
+        ])
+      metrics
+  in
+  Table.v ~id:"FIG8"
+    ~title:"Optimizing partition size (Sweep3D 10^9 on 128K cores)"
+    ~headers:
+      [ "partition size"; "parallel jobs"; "R/X (rel. to min)";
+        "R^2/X (rel. to min)" ]
+    ~notes:
+      [
+        "paper: R/X is minimized at 16K-core partitions (8 jobs), R^2/X at \
+         64K (2 jobs)";
+      ]
+    rows
+
+(* --- Figure 9: optimal number of parallel simulations --- *)
+
+let fig9 () =
+  let app = Apps.Sweep3d.p1b () in
+  let candidates = [ 1; 2; 4; 8; 16; 32 ] in
+  let rows =
+    List.map
+      (fun avail ->
+        let best criterion =
+          (Predictor.best_partition ~run:fig6_run ~platform:xt4 ~avail
+             ~candidates ~criterion app)
+            .jobs
+        in
+        [
+          Table.icell avail;
+          Table.icell (best `R_over_x);
+          Table.icell (best `R2_over_x);
+        ])
+      [ 16384; 32768; 65536; 131072 ]
+  in
+  Table.v ~id:"FIG9"
+    ~title:"Optimal number of parallel simulations (Sweep3D 10^9)"
+    ~headers:[ "cores avail"; "min R/X"; "min R^2/X" ]
+    ~notes:[ "paper Figure 9: R/X favours more, smaller partitions" ]
+    rows
+
+(* --- Figure 10: multi-core node design --- *)
+
+let fig10 () =
+  let app = Apps.Sweep3d.p1b () in
+  let rows =
+    List.concat_map
+      (fun nodes ->
+        List.map
+          (fun cpn ->
+            let cores = nodes * cpn in
+            let cmp = Wgrid.Cmp.of_cores_per_node cpn in
+            let days =
+              Units.to_days
+                (Predictor.total_time ~run:fig6_run app (cfg ~cmp cores))
+            in
+            [ Table.icell nodes; Table.icell cpn; Table.icell cores;
+              Table.fcell days ])
+          [ 1; 2; 4; 8; 16 ])
+      [ 8192; 16384; 32768; 65536; 131072 ]
+  in
+  Table.v ~id:"FIG10"
+    ~title:"Sweep3D 10^9, 10^4 steps: execution time on multi-core nodes"
+    ~headers:[ "nodes"; "cores/node"; "total cores"; "time (days)" ]
+    ~notes:
+      [
+        "shared-bus contention grows with cores per node (Table 6): beyond \
+         4 cores on one bus, returns diminish (paper Section 5.3)";
+      ]
+    rows
+
+(* --- Figure 11: computation/communication breakdown --- *)
+
+let fig11 () =
+  let app = Apps.Chimaera.p240 () in
+  let run = Predictor.run ~time_steps:10_000 () in
+  let rows =
+    List.map
+      (fun cores ->
+        let c = Plugplay.components app (cfg cores) in
+        let scale t =
+          Units.to_days
+            (t *. float_of_int app.iterations
+            *. float_of_int run.Predictor.time_steps)
+        in
+        [
+          Table.icell cores;
+          Table.fcell (scale c.total);
+          Table.fcell (scale c.computation);
+          Table.fcell (scale c.communication);
+          Table.pct (c.communication /. c.total);
+        ])
+      [ 1024; 2048; 4096; 8192; 16384; 32768 ]
+  in
+  Table.v ~id:"FIG11" ~title:"Chimaera 240^3: critical-path cost breakdown"
+    ~headers:
+      [ "cores"; "total (days)"; "computation (days)"; "communication (days)";
+        "comm share" ]
+    ~notes:
+      [
+        "communication overtakes computation where scaling flattens (paper \
+         Figure 11)";
+      ]
+    rows
+
+(* --- Figure 12: pipeline fill and the energy-group redesign --- *)
+
+let fig12 () =
+  let groups = 30 in
+  let run = Predictor.run ~time_steps:10_000 () in
+  let rows =
+    List.map
+      (fun cores ->
+        let app = Apps.Sweep3d.weak_4x4x1000 ~cores () in
+        let c = cfg cores in
+        let r = Plugplay.iteration app c in
+        let seq_iter = Energy_groups.sequential_time ~groups app c in
+        let fill_iter =
+          float_of_int groups
+          *. ((2.0 *. r.t_fullfill) +. (2.0 *. r.t_diagfill))
+        in
+        let pipe_iter = Energy_groups.pipelined_time ~groups app c in
+        let days t =
+          Units.to_days
+            (t *. float_of_int app.iterations
+           *. float_of_int run.Predictor.time_steps)
+        in
+        [
+          Table.icell cores;
+          Table.fcell (days seq_iter);
+          Table.fcell (days fill_iter);
+          Table.fcell (days pipe_iter);
+          Table.pct ((pipe_iter -. seq_iter) /. seq_iter);
+          Table.pct (Energy_groups.break_even_extra_iterations ~groups app c);
+        ])
+      [ 1024; 4096; 16384; 65536 ]
+  in
+  Table.v ~id:"FIG12"
+    ~title:
+      "Sweep3D 4x4x1000 cells/proc, 30 energy groups: sequential vs \
+       pipelined energy groups"
+    ~headers:
+      [ "cores"; "sequential (days)"; "fill time, seq (days)";
+        "pipelined (days)"; "change"; "break-even extra iters" ]
+    ~notes:
+      [
+        "pipelining the energy groups (240 sweeps/iteration, nfull = 2, \
+         ndiag = 2) eliminates nearly all fill overhead (paper Section 5.5)";
+        "break-even: how many extra iterations the pipelined variant could \
+         need for convergence before the redesign stops paying";
+      ]
+    rows
+
+(* --- Table 3 echo --- *)
+
+let tab3 () =
+  let pg = Wgrid.Proc_grid.of_cores 4096 in
+  let describe app =
+    let c = App_params.counts app in
+    [
+      app.App_params.name;
+      Table.fcell app.wg;
+      Table.fcell app.wg_pre;
+      Table.fcell app.htile;
+      Table.icell c.nsweeps;
+      Table.icell c.nfull;
+      Table.icell c.ndiag;
+      Table.icell (App_params.message_size_ew app pg);
+      Table.icell (App_params.message_size_ns app pg);
+      Fmt.str "%a" App_params.pp_nonwavefront app.nonwavefront;
+    ]
+  in
+  Table.v ~id:"TAB3" ~title:"Model application parameters (Table 3)"
+    ~headers:
+      [ "app"; "Wg (us)"; "Wg_pre"; "Htile"; "nsweeps"; "nfull"; "ndiag";
+        "MsgEW (B)"; "MsgNS (B)"; "T_nonwavefront" ]
+    ~notes:[ "message sizes shown for the 4096-core decomposition" ]
+    [
+      describe (Apps.Lu.class_e ());
+      describe (Apps.Sweep3d.p1b ());
+      describe (Apps.Chimaera.p240 ());
+    ]

@@ -1,0 +1,66 @@
+(* Cross-platform what-if study (extension): the same Table 3 application
+   parameters evaluated on every platform preset — the reusability argument
+   of the paper applied across machines rather than across codes. The
+   BlueGene/L and Red Storm presets are approximate (public link specs), so
+   this is illustrative, not validation. *)
+
+open Wavefront_core
+
+let platforms () =
+  let app = Apps.Sweep3d.p20m () in
+  let rows =
+    List.concat_map
+      (fun (platform : Loggp.Params.t) ->
+        List.map
+          (fun cores ->
+            let cfg = Plugplay.config platform ~cores in
+            let c = Plugplay.components app cfg in
+            [
+              platform.name;
+              Table.icell cores;
+              Table.fcell (Units.to_s (Predictor.time_step_time app cfg));
+              Table.pct (c.communication /. c.total);
+            ])
+          [ 1024; 4096; 16384 ])
+      Loggp.Params.presets
+  in
+  Table.v ~id:"EXT-PLATFORMS"
+    ~title:"Sweep3D 20M across platform presets (same application inputs)"
+    ~headers:[ "platform"; "cores"; "time/step (s)"; "comm share" ]
+    ~notes:
+      [
+        "one parameter set, four machines: the plug-and-play model needs \
+         only new LogGP platform numbers";
+        "BlueGene/L and Red Storm presets are approximate public-spec \
+         values (illustrative)";
+      ]
+    rows
+
+let htile_by_platform () =
+  let app = Apps.Sweep3d.p20m () in
+  let best platform cores =
+    let t h =
+      Plugplay.time_per_iteration
+        (App_params.with_htile app (float_of_int h))
+        (Plugplay.config platform ~cores)
+    in
+    List.fold_left (fun bh h -> if t h < t bh then h else bh) 1
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 12; 16 ]
+  in
+  let rows =
+    List.map
+      (fun (platform : Loggp.Params.t) ->
+        [
+          platform.name;
+          Table.icell (best platform 1024);
+          Table.icell (best platform 16384);
+        ])
+      Loggp.Params.presets
+  in
+  Table.v ~id:"EXT-HTILE-PLATFORMS"
+    ~title:"Optimal Htile by platform (Sweep3D 20M)"
+    ~headers:[ "platform"; "best Htile @1K cores"; "best Htile @16K cores" ]
+    ~notes:
+      [ "slower networks prefer taller tiles; the XT4's optimized network \
+         pushes the optimum down (paper Section 5.1)" ]
+    rows

@@ -1,0 +1,152 @@
+(* ASCII-plot companions to the figure experiments: the same model sweeps
+   rendered as curves, so the paper's figure shapes (minima, knees,
+   crossovers) are visible directly in the harness output. *)
+
+open Wavefront_core
+
+let xt4 = Loggp.Params.xt4
+let cfg cores = Plugplay.config xt4 ~cores
+
+let fig3 (locality : Loggp.Comm_model.locality) =
+  let sizes = Xtsim.Pingpong.figure3_sizes in
+  let curve =
+    List.map (fun s -> (s, Loggp.Comm_model.total xt4 locality s)) sizes
+  in
+  Plot.v
+    ~title:
+      (Fmt.str "Figure 3%s: end-to-end MPI time vs message size (%a)"
+         (match locality with Off_node -> "(a)" | On_chip -> "(b)")
+         Loggp.Comm_model.pp_locality locality)
+    ~x_label:"message size (bytes)" ~y_label:"time (us)"
+    [ Plot.series ~label:"Table 1 model" curve ]
+
+let fig5 () =
+  let htiles = List.init 10 (fun k -> k + 1) in
+  let mk label app cores =
+    Plot.series ~label
+      (List.map
+         (fun h ->
+           ( h,
+             Units.to_s
+               (Predictor.time_step_time
+                  (App_params.with_htile app (float_of_int h))
+                  (cfg cores)) ))
+         htiles)
+  in
+  Plot.v ~title:"Figure 5: execution time per time step vs Htile"
+    ~x_label:"Htile" ~y_label:"seconds"
+    [
+      mk "Chimaera 240^3 P=4K" (Apps.Chimaera.p240 ()) 4096;
+      mk "Sweep3D 20M P=16K" (Apps.Sweep3d.p20m ~iterations:480 ()) 16384;
+      mk "Chimaera 240x240x960 P=16K" (Apps.Chimaera.p240_tall ()) 16384;
+    ]
+
+let fig6 () =
+  let app = Apps.Sweep3d.p1b () in
+  let run = Predictor.run ~energy_groups:30 ~time_steps:10_000 () in
+  let points =
+    List.map
+      (fun p -> (p, Units.to_days (Predictor.total_time ~run app (cfg p))))
+      [ 1024; 2048; 4096; 8192; 16384; 32768; 65536; 131072 ]
+  in
+  Plot.v ~log_x:true ~log_y:true
+    ~title:"Figure 6: Sweep3D 10^9, 10^4 steps, 30 groups"
+    ~x_label:"cores" ~y_label:"days"
+    [ Plot.series ~label:"model" points ]
+
+let fig8 () =
+  let app = Apps.Sweep3d.p1b () in
+  let run = Predictor.run ~energy_groups:30 ~time_steps:10_000 () in
+  let avail = 131072 in
+  let metrics =
+    List.map
+      (fun size ->
+        ( size,
+          Predictor.partition ~run ~platform:xt4 ~avail ~jobs:(avail / size)
+            app ))
+      [ 4096; 8192; 16384; 32768; 65536; 131072 ]
+  in
+  let norm f =
+    let m = List.fold_left (fun a (_, x) -> Float.min a (f x)) infinity metrics in
+    List.map (fun (s, x) -> (s, f x /. m)) metrics
+  in
+  Plot.v ~log_x:true ~log_y:true
+    ~title:"Figure 8: optimizing partition size (Sweep3D 10^9, 128K cores)"
+    ~x_label:"partition size (cores)" ~y_label:"relative to minimum"
+    [
+      Plot.series ~label:"R/X" (norm (fun m -> m.Predictor.r_over_x));
+      Plot.series ~label:"R^2/X" (norm (fun m -> m.Predictor.r2_over_x));
+    ]
+
+let fig10 () =
+  let app = Apps.Sweep3d.p1b () in
+  let run = Predictor.run ~energy_groups:30 ~time_steps:10_000 () in
+  let mk cpn =
+    Plot.series ~label:(Fmt.str "%d core(s)/node" cpn)
+      (List.map
+         (fun nodes ->
+           let cores = nodes * cpn in
+           let cmp = Wgrid.Cmp.of_cores_per_node cpn in
+           ( nodes,
+             Units.to_days
+               (Predictor.total_time ~run app
+                  (Plugplay.config ~cmp xt4 ~cores)) ))
+         [ 8192; 16384; 32768; 65536; 131072 ])
+  in
+  Plot.v ~log_x:true
+    ~title:"Figure 10: execution time on multi-core nodes (Sweep3D 10^9)"
+    ~x_label:"nodes" ~y_label:"days"
+    (List.map mk [ 1; 2; 4; 8; 16 ])
+
+let fig11 () =
+  let app = Apps.Chimaera.p240 () in
+  let scale t = Units.to_days (t *. 419.0 *. 10_000.0) in
+  let core_counts = [ 1024; 2048; 4096; 8192; 16384; 32768 ] in
+  let mk label f =
+    Plot.series ~label
+      (List.map (fun p -> (p, scale (f (Plugplay.components app (cfg p))))) core_counts)
+  in
+  Plot.v ~log_x:true ~title:"Figure 11: Chimaera cost breakdown"
+    ~x_label:"cores" ~y_label:"days"
+    [
+      mk "total" (fun c -> c.Plugplay.total);
+      mk "computation" (fun c -> c.Plugplay.computation);
+      mk "communication" (fun c -> c.Plugplay.communication);
+    ]
+
+let fig12 () =
+  let groups = 30 in
+  let core_counts = [ 1024; 4096; 16384; 65536 ] in
+  let per p =
+    let app = Apps.Sweep3d.weak_4x4x1000 ~cores:p () in
+    let c = cfg p in
+    let r = Plugplay.iteration app c in
+    let days t = Units.to_days (t *. 120.0 *. 10_000.0) in
+    let seq = days (float_of_int groups *. r.t_iteration) in
+    let fill =
+      days
+        (float_of_int groups
+        *. ((2.0 *. r.t_fullfill) +. (2.0 *. r.t_diagfill)))
+    in
+    let piped =
+      days
+        (Plugplay.time_per_iteration
+           { app with
+             schedule =
+               Sweeps.Schedule.make ~nsweeps:(8 * groups) ~nfull:2 ~ndiag:2 }
+           c)
+    in
+    (seq, fill, piped)
+  in
+  let vals = List.map (fun p -> (p, per p)) core_counts in
+  Plot.v ~log_x:true
+    ~title:"Figure 12: pipeline fill and the energy-group redesign (Sweep3D)"
+    ~x_label:"cores" ~y_label:"days"
+    [
+      Plot.series ~label:"sequential energy groups"
+        (List.map (fun (p, (s, _, _)) -> (p, s)) vals);
+      Plot.series ~label:"pipeline fill (sequential)"
+        (List.map (fun (p, (_, f, _)) -> (p, f)) vals);
+      Plot.series ~label:"pipelined energy groups"
+        (List.map (fun (p, (_, _, pp)) -> (p, pp)) vals);
+    ]

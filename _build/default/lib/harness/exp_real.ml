@@ -1,0 +1,76 @@
+(* The plug-and-play workflow on the real machine this library runs on:
+   measure the shared-memory transport with a real ping-pong, fit a LogGP
+   platform to it, measure Wg from the real kernel, and compare the model's
+   prediction against a real distributed wavefront run on OCaml domains.
+
+   With fewer hardware cores than ranks the domains time-slice, so the
+   measured run includes scheduling noise the model does not capture; the
+   point of this experiment is the end-to-end workflow, not tight error
+   bounds (those are established against the event-level simulator). *)
+
+open Wavefront_core
+
+let pingpong_sizes = [ 64; 256; 1024; 4096; 16384; 65536 ]
+
+let shmpi_tables ?(rounds = 100) () =
+  let curve = Shmpi.Pingpong.curve ~rounds ~sizes:pingpong_sizes () in
+  let platform = Shmpi.Pingpong.fit_platform curve in
+  let fit_rows =
+    List.map
+      (fun (size, t) ->
+        let model = Loggp.Comm_model.total_onchip platform.onchip size in
+        [ Table.icell size; Table.fcell t; Table.fcell model;
+          Table.pct ((model -. t) /. t) ])
+      curve
+  in
+  let fit_table =
+    Table.v ~id:"SHMPI-FIT"
+      ~title:"Real ping-pong on OCaml domains: measured vs fitted LogGP"
+      ~headers:[ "bytes"; "measured (us)"; "fitted model (us)"; "error" ]
+      ~notes:
+        [
+          Printf.sprintf "fitted G = %.5f us/B, o = %.2f us"
+            platform.onchip.g_copy platform.onchip.o_copy;
+        ]
+      fit_rows
+  in
+  (* Measured Wg for the real transport kernel, then predict a real run. *)
+  let wg = Kernels.Measure.transport_wg ~n:32 () in
+  let grid = Wgrid.Data_grid.v ~nx:32 ~ny:32 ~nz:32 in
+  let pg = Wgrid.Proc_grid.v ~cols:2 ~rows:2 in
+  let plan = Kernels.Sweep_exec.plan ~htile:4 grid pg in
+  let out = Kernels.Sweep_exec.run plan in
+  let app =
+    Apps.Custom.params ~name:"real transport" ~schedule:Sweeps.Schedule.sweep3d
+      ~htile:4.0
+      ~bytes_per_cell:(8.0 *. float_of_int Kernels.Transport.default.angles)
+      ~wg grid
+  in
+  (* All four ranks are cores of this one machine: a single "node" whose
+     links are all on-chip with the fitted parameters. *)
+  let cfg =
+    Plugplay.config ~cmp:(Wgrid.Cmp.v ~cx:2 ~cy:2) ~pgrid:pg
+      ~contention:false platform ~cores:4
+  in
+  let model = Plugplay.time_per_iteration app cfg in
+  (* With ranks time-sliced onto fewer hardware cores, wall time approaches
+     the serialized work; report both references. *)
+  let serialized = 4.0 *. Plugplay.time_per_iteration app
+      { cfg with platform = Plugplay.zero_comm_platform platform } in
+  let run_table =
+    Table.v ~id:"SHMPI-RUN"
+      ~title:"Real 2x2 wavefront run vs model prediction"
+      ~headers:[ "quantity"; "value" ]
+      ~notes:
+        [
+          "parallel-model prediction assumes 4 hardware cores; on fewer \
+           cores the run time-slices towards the serialized-work bound";
+        ]
+      [
+        [ "measured Wg (us/cell, 6 angles)"; Table.fcell wg ];
+        [ "measured wall time (us)"; Table.fcell out.wall_time ];
+        [ "model, 4 parallel cores (us)"; Table.fcell model ];
+        [ "serialized-work bound (us)"; Table.fcell serialized ];
+      ]
+  in
+  [ fit_table; run_table ]

@@ -1,0 +1,70 @@
+(* Processor-grid shape studies (extension, in the spirit of the
+   alternative-decomposition exploration of Mathis et al., paper ref [6]):
+   the model takes the m x n grid as an input, so sweeping aspect ratios is
+   free — and matters for problems and codes whose east/west and
+   north/south costs differ. *)
+
+open Wavefront_core
+
+let xt4 = Loggp.Params.xt4
+
+let shapes_for cores =
+  let rec go acc rows =
+    if rows > cores then acc
+    else
+      let acc =
+        if cores mod rows = 0 then (cores / rows, rows) :: acc else acc
+      in
+      go acc (rows * 2)
+  in
+  List.rev (go [] 1)
+
+let shape ?(cores = 4096) () =
+  let apps =
+    [
+      ("Chimaera 240^3", Apps.Chimaera.p240 ());
+      ("Chimaera tall 240x240x960", Apps.Chimaera.p240_tall ());
+      ( "flat 960x240x120",
+        Apps.Custom.params ~name:"flat" ~nsweeps:8 ~nfull:4 ~ndiag:2 ~wg:1.0
+          ~bytes_per_cell:80.0
+          (Wgrid.Data_grid.v ~nx:960 ~ny:240 ~nz:120) );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, app) ->
+        let times =
+          List.map
+            (fun (cols, rows) ->
+              let pg = Wgrid.Proc_grid.v ~cols ~rows in
+              ( (cols, rows),
+                Plugplay.time_per_iteration app
+                  (Plugplay.config ~pgrid:pg xt4 ~cores) ))
+            (shapes_for cores)
+        in
+        let best = List.fold_left (fun b (_, t) -> Float.min b t) infinity times in
+        List.filter_map
+          (fun ((cols, rows), t) ->
+            (* Keep the near-square band and the extremes readable. *)
+            if rows >= 8 || rows <= 2 || t = best then
+              Some
+                [
+                  name;
+                  Printf.sprintf "%dx%d" cols rows;
+                  Table.fcell t;
+                  Table.pct ((t -. best) /. best);
+                  (if t = best then "<- best" else "");
+                ]
+            else None)
+          times)
+      apps
+  in
+  Table.v ~id:"EXT-SHAPE"
+    ~title:(Printf.sprintf "Processor-grid aspect ratio (%d cores)" cores)
+    ~headers:[ "problem"; "grid (cols x rows)"; "time/iter (us)"; "vs best"; "" ]
+    ~notes:
+      [
+        "square-ish decompositions win for cubic problems; elongated data \
+         grids shift the optimum, which the model finds for free";
+      ]
+    rows

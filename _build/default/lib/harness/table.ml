@@ -1,0 +1,56 @@
+(* Plain-text table rendering for the experiment harness: every figure and
+   table of the paper is regenerated as one of these. *)
+
+type t = {
+  id : string;  (** experiment id from DESIGN.md, e.g. "FIG5" *)
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let v ?(notes = []) ~id ~title ~headers rows = { id; title; headers; rows; notes }
+
+let fcell ?(prec = 3) v =
+  if Float.is_integer v && Float.abs v < 1e9 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.*g" (prec + 2) v
+
+let icell = string_of_int
+let pct v = Printf.sprintf "%+.1f%%" (100.0 *. v)
+
+let render ppf t =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun k cell ->
+            let w = List.nth acc k in
+            max w (String.length cell))
+          row)
+      (List.map String.length t.headers)
+      t.rows
+  in
+  let line ch =
+    Fmt.pf ppf "+%s+@."
+      (String.concat "+" (List.map (fun w -> String.make (w + 2) ch) widths))
+  in
+  let row cells =
+    Fmt.pf ppf "|%s|@."
+      (String.concat "|"
+         (List.map2 (fun w c -> Printf.sprintf " %-*s " w c) widths cells))
+  in
+  Fmt.pf ppf "@.== [%s] %s ==@." t.id t.title;
+  line '-';
+  row t.headers;
+  line '=';
+  List.iter row t.rows;
+  line '-';
+  List.iter (fun n -> Fmt.pf ppf "  note: %s@." n) t.notes
+
+let to_csv t =
+  let escape s =
+    if String.contains s ',' then "\"" ^ s ^ "\"" else s
+  in
+  let line cells = String.concat "," (List.map escape cells) in
+  String.concat "\n" (line t.headers :: List.map line t.rows) ^ "\n"

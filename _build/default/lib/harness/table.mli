@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+type t = {
+  id : string;
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val v :
+  ?notes:string list ->
+  id:string ->
+  title:string ->
+  headers:string list ->
+  string list list ->
+  t
+
+val fcell : ?prec:int -> float -> string
+val icell : int -> string
+val pct : float -> string
+(** Format a relative error as a signed percentage. *)
+
+val render : Format.formatter -> t -> unit
+val to_csv : t -> string

@@ -1,0 +1,1 @@
+lib/kernels/lu_exec.ml: Array Data_grid Decomp List Lu_kernel Proc_grid Shmpi Wgrid

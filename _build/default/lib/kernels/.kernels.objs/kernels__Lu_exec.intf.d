@@ -1,0 +1,1 @@
+lib/kernels/lu_exec.mli: Data_grid Proc_grid Wgrid

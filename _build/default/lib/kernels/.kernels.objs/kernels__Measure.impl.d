@@ -1,0 +1,1 @@
+lib/kernels/measure.ml: Array Float Lu_kernel Shmpi Transport

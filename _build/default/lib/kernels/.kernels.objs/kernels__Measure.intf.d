@@ -1,0 +1,1 @@
+lib/kernels/measure.mli: Transport

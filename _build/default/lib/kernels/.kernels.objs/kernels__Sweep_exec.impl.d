@@ -1,0 +1,1 @@
+lib/kernels/sweep_exec.ml: Array Data_grid Decomp List Proc_grid Shmpi Sweeps Transport Wgrid

@@ -1,0 +1,1 @@
+lib/kernels/sweep_exec.mli: Data_grid Proc_grid Sweeps Transport Wgrid

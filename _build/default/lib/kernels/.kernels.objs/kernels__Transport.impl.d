@@ -1,0 +1,1 @@
+lib/kernels/transport.ml: Array

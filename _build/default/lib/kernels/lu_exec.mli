@@ -1,0 +1,33 @@
+(** Real distributed LU-style wavefront execution: the five-variable kernel
+    over a 2-D decomposition with LU's structure — per-plane pre-computation
+    before the receives (Figure 4(a)) and two fully-completing sweeps per
+    iteration (Figure 2(a)). *)
+
+open Wgrid
+
+type plan = { grid : Data_grid.t; pg : Proc_grid.t; iterations : int }
+
+val plan : ?iterations:int -> Data_grid.t -> Proc_grid.t -> plan
+
+val sweep_local :
+  float array ->
+  nx:int ->
+  ny:int ->
+  nz:int ->
+  dir:int * int * int ->
+  recv_x:(plane:int -> float array option) ->
+  recv_y:(plane:int -> float array option) ->
+  send_x:(plane:int -> float array -> unit) ->
+  send_y:(plane:int -> float array -> unit) ->
+  unit
+(** One sweep over a local block ([Lu_kernel.nvars] values per cell).
+    [recv_*] return [None] at the global boundary, where a cell's own value
+    is its upwind input. *)
+
+type outcome = { blocks : float array array; wall_time : float }
+
+val run : plan -> outcome
+val gather : plan -> float array array -> float array
+
+val run_sequential : plan -> float array
+(** Must equal [gather plan (run plan).blocks] bitwise. *)

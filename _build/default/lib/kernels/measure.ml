@@ -1,0 +1,35 @@
+(* Measuring the model's Wg inputs on this machine (the paper measures them
+   on at least four cores of the target platform; here the kernels are real
+   OCaml code and the clock is the wall clock). Results are in microseconds
+   per cell, the unit App_params.wg expects. *)
+
+let best_of ~repeats f =
+  let rec go best k =
+    if k = 0 then best
+    else
+      let (), t = Shmpi.Runtime.time f in
+      go (Float.min best t) (k - 1)
+  in
+  go infinity repeats
+
+(* Per-cell (all angles) transport compute time: one full sweep over an
+   n^3 block with boundary faces, no communication. *)
+let transport_wg ?(config = Transport.default) ?(n = 48) ?(repeats = 3) () =
+  let phi = Array.make (n * n * n) 0.0 in
+  let t =
+    best_of ~repeats (fun () ->
+        Transport.sweep_sequential config ~nx:n ~ny:n ~nz:n ~dir:(1, 1, 1)
+          ~htile:4 ~phi)
+  in
+  t /. float_of_int (n * n * n)
+
+(* LU per-cell sweep and pre-computation times. *)
+let lu_wg ?(n = 48) ?(repeats = 3) () =
+  let v = Lu_kernel.init_block ~nx:n ~ny:n ~nz:n in
+  let t = best_of ~repeats (fun () -> Lu_kernel.sweep_block v ~nx:n ~ny:n ~nz:n) in
+  t /. float_of_int (n * n * n)
+
+let lu_wg_pre ?(n = 48) ?(repeats = 3) () =
+  let v = Lu_kernel.init_block ~nx:n ~ny:n ~nz:n in
+  let t = best_of ~repeats (fun () -> Lu_kernel.pre_block v ~nx:n ~ny:n ~nz:n) in
+  t /. float_of_int (n * n * n)

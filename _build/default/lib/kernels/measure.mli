@@ -1,0 +1,10 @@
+(** Measuring the model's per-cell work inputs (Wg, Wg_pre) on this machine,
+    in microseconds per cell. *)
+
+val transport_wg :
+  ?config:Transport.config -> ?n:int -> ?repeats:int -> unit -> float
+(** Time per cell (all angles) of the transport kernel, from a full sweep
+    over an [n]^3 block. Best of [repeats] runs. *)
+
+val lu_wg : ?n:int -> ?repeats:int -> unit -> float
+val lu_wg_pre : ?n:int -> ?repeats:int -> unit -> float

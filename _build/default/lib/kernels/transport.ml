@@ -1,0 +1,137 @@
+(* A real discrete-ordinates-style transport kernel: the per-cell
+   computation that Sweep3D and Chimaera perform along each sweep. For each
+   of [angles] discrete directions, the cell's angular flux is computed from
+   the upwind fluxes entering through its three upstream faces, and the
+   outgoing fluxes become the upwind values of the three downstream
+   neighbours — the data dependence that forces the wavefront order.
+
+   The kernel is used three ways: to measure Wg (the paper's measured model
+   input) on this machine, as the computation of the real distributed sweep
+   in Sweep_exec, and as the sequential reference that the distributed
+   result is checked against (they must agree bitwise, since each cell sees
+   identical inputs in an identical operation order). *)
+
+type config = {
+  angles : int;
+  sigma : float;  (** total cross-section *)
+  source : float;  (** uniform external source *)
+  boundary : float;  (** incoming boundary flux *)
+}
+
+let default = { angles = 6; sigma = 0.5; source = 1.0; boundary = 0.1 }
+
+let v ?(sigma = default.sigma) ?(source = default.source)
+    ?(boundary = default.boundary) ~angles () =
+  if angles < 1 then invalid_arg "Transport.v: angles must be >= 1";
+  { angles; sigma; source; boundary }
+
+(* Deterministic per-angle direction cosines and quadrature weights. *)
+let mu c a = 0.30 +. (0.35 *. float_of_int a /. float_of_int c.angles)
+let eta c a = 0.25 +. (0.30 *. float_of_int (a + 1) /. float_of_int c.angles)
+let xi c a = 0.20 +. (0.25 *. float_of_int (a + 2) /. float_of_int c.angles)
+let weight c _a = 1.0 /. float_of_int c.angles
+
+(* Iteration order along one dimension: cells visited upstream-to-downstream. *)
+let order ~len ~dir k = if dir > 0 then k else len - 1 - k
+
+(* One sweep of one octant over a local [nx * ny * nz] block, accumulating
+   the weighted scalar flux into [phi] (length nx*ny*nz, cell (x,y,z) at
+   [(z*ny + y)*nx + x]).
+
+   Tiles are [htile] z-planes; for tile [t] the caller supplies the incoming
+   upstream x-face through [recv_x ~tile:t] (layout [(a*ny + y)*h + zz],
+   length angles*ny*h) and the incoming y-face through [recv_y] (layout
+   [(a*nx + x)*h + zz]), and receives the outgoing downstream faces through
+   [send_x]/[send_y] in the same layouts. This is exactly the communication
+   pattern of Figure 4. *)
+let sweep c ~nx ~ny ~nz ~dir:(dx, dy, dz) ~htile ~recv_x ~recv_y ~send_x
+    ~send_y ~phi =
+  if Array.length phi <> nx * ny * nz then
+    invalid_arg "Transport.sweep: phi has the wrong size";
+  if htile < 1 then invalid_arg "Transport.sweep: htile must be >= 1";
+  let a_n = c.angles in
+  let denom = Array.init a_n (fun a -> 1.0 +. c.sigma +. mu c a +. eta c a +. xi c a) in
+  let mus = Array.init a_n (mu c) in
+  let etas = Array.init a_n (eta c) in
+  let xis = Array.init a_n (xi c) in
+  let ws = Array.init a_n (weight c) in
+  (* Incoming z-face at the sweep's entry plane. *)
+  let zbuf = Array.make (a_n * nx * ny) c.boundary in
+  let ybuf = Array.make (a_n * nx) 0.0 in
+  let xrow = Array.make a_n 0.0 in
+  let ntiles = (nz + htile - 1) / htile in
+  for tile = 0 to ntiles - 1 do
+    (* Tiles and planes are visited in processing order; a descending sweep
+       (dz < 0) starts at the top plane. *)
+    let pos0 = tile * htile in
+    let h = min htile (nz - pos0) in
+    let xface = recv_x ~tile ~h in
+    let yface = recv_y ~tile ~h in
+    if Array.length xface <> a_n * ny * h then
+      invalid_arg "Transport.sweep: bad x-face size";
+    if Array.length yface <> a_n * nx * h then
+      invalid_arg "Transport.sweep: bad y-face size";
+    let out_x = Array.make (a_n * ny * h) 0.0 in
+    let out_y = Array.make (a_n * nx * h) 0.0 in
+    for zz = 0 to h - 1 do
+      let pos = pos0 + zz in
+      let z = if dz > 0 then pos else nz - 1 - pos in
+      (* Initialize the per-plane y buffer from the tile's y-face. *)
+      for a = 0 to a_n - 1 do
+        for x = 0 to nx - 1 do
+          ybuf.((a * nx) + x) <- yface.((((a * nx) + x) * h) + zz)
+        done
+      done;
+      for yy = 0 to ny - 1 do
+        let y = order ~len:ny ~dir:dy yy in
+        for a = 0 to a_n - 1 do
+          xrow.(a) <- xface.((((a * ny) + y) * h) + zz)
+        done;
+        for xx = 0 to nx - 1 do
+          let x = order ~len:nx ~dir:dx xx in
+          let cell = ((z * ny) + y) * nx + x in
+          let acc = ref 0.0 in
+          for a = 0 to a_n - 1 do
+            let zidx = (((a * nx) + x) * ny) + y in
+            let psi =
+              (c.source +. (mus.(a) *. xrow.(a))
+              +. (etas.(a) *. ybuf.((a * nx) + x))
+              +. (xis.(a) *. zbuf.(zidx)))
+              /. denom.(a)
+            in
+            xrow.(a) <- psi;
+            ybuf.((a * nx) + x) <- psi;
+            zbuf.(zidx) <- psi;
+            acc := !acc +. (ws.(a) *. psi)
+          done;
+          phi.(cell) <- phi.(cell) +. !acc
+        done;
+        (* xrow now holds the outgoing x fluxes of row y, plane zz. *)
+        for a = 0 to a_n - 1 do
+          out_x.((((a * ny) + y) * h) + zz) <- xrow.(a)
+        done
+      done;
+      for a = 0 to a_n - 1 do
+        for x = 0 to nx - 1 do
+          out_y.((((a * nx) + x) * h) + zz) <- ybuf.((a * nx) + x)
+        done
+      done
+    done;
+    send_x ~tile out_x;
+    send_y ~tile out_y
+  done
+
+(* Boundary faces for sweeps entering at the domain edge. *)
+let boundary_x c ~ny ~h = Array.make (c.angles * ny * h) c.boundary
+let boundary_y c ~nx ~h = Array.make (c.angles * nx * h) c.boundary
+
+(* A full sequential sweep over a global grid: upstream faces are boundary,
+   outgoing faces are discarded. The reference implementation for the
+   distributed execution. *)
+let sweep_sequential c ~nx ~ny ~nz ~dir ~htile ~phi =
+  sweep c ~nx ~ny ~nz ~dir ~htile
+    ~recv_x:(fun ~tile:_ ~h -> boundary_x c ~ny ~h)
+    ~recv_y:(fun ~tile:_ ~h -> boundary_y c ~nx ~h)
+    ~send_x:(fun ~tile:_ _ -> ())
+    ~send_y:(fun ~tile:_ _ -> ())
+    ~phi

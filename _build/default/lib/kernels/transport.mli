@@ -1,0 +1,61 @@
+(** A real discrete-ordinates-style transport kernel: the per-cell,
+    per-angle upwind computation performed along each wavefront sweep, used
+    to measure the model's Wg input on this machine, as the computation of
+    the distributed {!Sweep_exec}, and as the sequential reference the
+    distributed result is checked against. *)
+
+type config = {
+  angles : int;
+  sigma : float;
+  source : float;
+  boundary : float;
+}
+
+val default : config
+(** 6 angles, the Sweep3D default. *)
+
+val v :
+  ?sigma:float -> ?source:float -> ?boundary:float -> angles:int -> unit ->
+  config
+
+val mu : config -> int -> float
+val eta : config -> int -> float
+val xi : config -> int -> float
+val weight : config -> int -> float
+val order : len:int -> dir:int -> int -> int
+
+val sweep :
+  config ->
+  nx:int ->
+  ny:int ->
+  nz:int ->
+  dir:int * int * int ->
+  htile:int ->
+  recv_x:(tile:int -> h:int -> float array) ->
+  recv_y:(tile:int -> h:int -> float array) ->
+  send_x:(tile:int -> float array -> unit) ->
+  send_y:(tile:int -> float array -> unit) ->
+  phi:float array ->
+  unit
+(** One octant sweep over a local block, accumulating weighted scalar flux
+    into [phi] (cell [(x,y,z)] at [(z*ny + y)*nx + x]). Tiles are [htile]
+    z-planes visited in processing order (a [dz < 0] sweep starts at the top
+    plane); [recv_x]/[recv_y] supply the upstream faces of each tile
+    (x-face layout [(a*ny + y)*h + zz], y-face [(a*nx + x)*h + zz]) and
+    [send_x]/[send_y] emit the downstream faces — the communication pattern
+    of the paper's Figure 4. *)
+
+val boundary_x : config -> ny:int -> h:int -> float array
+val boundary_y : config -> nx:int -> h:int -> float array
+
+val sweep_sequential :
+  config ->
+  nx:int ->
+  ny:int ->
+  nz:int ->
+  dir:int * int * int ->
+  htile:int ->
+  phi:float array ->
+  unit
+(** The same sweep over a whole (undecomposed) grid with boundary upstream
+    faces: the reference for testing the distributed execution. *)

@@ -1,0 +1,1 @@
+lib/loggp/allreduce.ml: Comm_model Float Params

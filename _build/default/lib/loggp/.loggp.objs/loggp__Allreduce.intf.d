@@ -1,0 +1,1 @@
+lib/loggp/allreduce.mli: Params

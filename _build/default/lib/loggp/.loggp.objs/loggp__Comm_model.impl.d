@@ -1,0 +1,1 @@
+lib/loggp/comm_model.ml: Fmt List Params

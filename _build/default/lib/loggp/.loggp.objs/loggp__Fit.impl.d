@@ -1,0 +1,1 @@
+lib/loggp/fit.ml: Comm_model Float List Params

@@ -1,0 +1,1 @@
+lib/loggp/fit.mli: Params

@@ -1,0 +1,1 @@
+lib/loggp/params.mli: Fmt

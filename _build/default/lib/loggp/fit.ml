@@ -1,0 +1,125 @@
+(* Deriving LogGP parameters from ping-pong measurements (paper Section 3).
+
+   The paper obtains Table 2 as follows: G is the common slope of the
+   time-vs-size curve; o and L come from solving equations (1) and (2)
+   simultaneously at one message size on each side of the eager limit. We
+   generalize slightly: each segment's slope and intercept are estimated by
+   least squares over all points in the segment, and the eager limit itself
+   is detected as the largest jump discontinuity, so the procedure also works
+   on noisy measured data (e.g. from the real shared-memory substrate). *)
+
+type quality = {
+  max_rel_error : float;  (** worst |model - data| / data over the points *)
+  mean_rel_error : float;
+}
+
+let linreg_weighted wpoints =
+  if List.length wpoints < 2 then invalid_arg "Fit.linreg_weighted: need >= 2 points";
+  let sw = List.fold_left (fun a (_, _, w) -> a +. w) 0.0 wpoints in
+  let sx = List.fold_left (fun a (x, _, w) -> a +. (w *. x)) 0.0 wpoints in
+  let sy = List.fold_left (fun a (_, y, w) -> a +. (w *. y)) 0.0 wpoints in
+  let sxx = List.fold_left (fun a (x, _, w) -> a +. (w *. x *. x)) 0.0 wpoints in
+  let sxy = List.fold_left (fun a (x, y, w) -> a +. (w *. x *. y)) 0.0 wpoints in
+  let denom = (sw *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then
+    invalid_arg "Fit.linreg_weighted: degenerate x values";
+  let slope = ((sw *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. sw in
+  (slope, intercept)
+
+let linreg points =
+  let n = float_of_int (List.length points) in
+  if List.length points < 2 then invalid_arg "Fit.linreg: need >= 2 points";
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Fit.linreg: degenerate x values";
+  let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. n in
+  (slope, intercept)
+
+let to_float_points points =
+  List.map (fun (s, t) -> (float_of_int s, t)) points
+
+let sort_points points =
+  List.sort (fun (a, _) (b, _) -> compare a b) points
+
+(* Detect the eager limit as the adjacent pair with the largest residual jump
+   after removing a global linear trend. Returns the size of the last point
+   in the low segment. *)
+let detect_break points =
+  let points = sort_points points in
+  let fpoints = to_float_points points in
+  let slope, _ = linreg fpoints in
+  let rec best acc = function
+    | (s1, t1) :: ((s2, t2) :: _ as rest) ->
+        let jump = t2 -. t1 -. (slope *. float_of_int (s2 - s1)) in
+        let acc =
+          match acc with
+          | Some (_, best_jump) when best_jump >= jump -> acc
+          | _ -> Some (s1, jump)
+        in
+        best acc rest
+    | _ -> acc
+  in
+  match best None points with
+  | Some (s, _) -> s
+  | None -> invalid_arg "Fit.detect_break: need >= 2 points"
+
+let split ~limit points =
+  let points = sort_points points in
+  List.partition (fun (s, _) -> s <= limit) points
+
+let segment_quality f points =
+  let errs =
+    List.map
+      (fun (s, t) ->
+        if t <= 0.0 then invalid_arg "Fit: non-positive measured time";
+        Float.abs (f s -. t) /. t)
+      points
+  in
+  let n = float_of_int (List.length errs) in
+  {
+    max_rel_error = List.fold_left Float.max 0.0 errs;
+    mean_rel_error = List.fold_left ( +. ) 0.0 errs /. n;
+  }
+
+let fit_offnode ?eager_limit points =
+  let limit =
+    match eager_limit with Some l -> l | None -> detect_break points
+  in
+  let low, high = split ~limit points in
+  if List.length low < 2 || List.length high < 2 then
+    invalid_arg "Fit.fit_offnode: need >= 2 points on each side of the limit";
+  let slope_low, a = linreg (to_float_points low) in
+  let slope_high, b = linreg (to_float_points high) in
+  (* The off-node copy cost is the same on both sides of the limit (paper,
+     Section 3.1: "the slopes of the curves before and after the 1024 byte
+     message size are equal"), so pool the two estimates. *)
+  let g = 0.5 *. (slope_low +. slope_high) in
+  (* Intercepts: a = 2o + L (eq. 1), b = 3o + 3L (eq. 2 with h = 2L, o_h=0).
+     Solving: o = a - b/3, L = 2b/3 - a. *)
+  let o = a -. (b /. 3.0) in
+  let l = (2.0 *. b /. 3.0) -. a in
+  let fitted : Params.offnode = { g; l; o; o_h = 0.0; eager_limit = limit } in
+  let q = segment_quality (Comm_model.total_offnode fitted) points in
+  (fitted, q)
+
+let fit_onchip ?eager_limit points =
+  let limit =
+    match eager_limit with Some l -> l | None -> detect_break points
+  in
+  let low, high = split ~limit points in
+  if List.length low < 2 || List.length high < 2 then
+    invalid_arg "Fit.fit_onchip: need >= 2 points on each side of the limit";
+  let g_copy, a = linreg (to_float_points low) in
+  let g_dma, b = linreg (to_float_points high) in
+  (* Intercepts: a = 2*o_copy (eq. 5); eq. 6 gives
+     b = (o_copy + o_dma) + o_copy = 2*o_copy + o_dma, hence o_dma = b - a. *)
+  let o_copy = a /. 2.0 in
+  let o_dma = b -. a in
+  let fitted : Params.onchip = { g_copy; g_dma; o_copy; o_dma; eager_limit = limit } in
+  let q = segment_quality (Comm_model.total_onchip fitted) points in
+  (fitted, q)

@@ -1,0 +1,36 @@
+(** Deriving LogGP parameters from ping-pong measurements (paper Section 3,
+    producing Table 2).
+
+    Input points are [(message_size_bytes, one_way_time_us)] pairs, i.e. half
+    the measured round-trip time of a ping-pong exchange at each size. *)
+
+type quality = {
+  max_rel_error : float;  (** worst |model - data| / data over the points *)
+  mean_rel_error : float;
+}
+
+val linreg : (float * float) list -> float * float
+(** [linreg points] is the least-squares [(slope, intercept)]. Raises
+    [Invalid_argument] on fewer than two points or degenerate abscissae. *)
+
+val linreg_weighted : (float * float * float) list -> float * float
+(** [(x, y, weight)] triples; weighting by [1 / y^2] approximates a
+    relative-error fit, useful when sizes span several decades (the real
+    shared-memory ping-pong). *)
+
+val detect_break : (int * float) list -> int
+(** [detect_break points] detects the eager limit as the size preceding the
+    largest jump discontinuity after removing the global linear trend. *)
+
+val fit_offnode :
+  ?eager_limit:int -> (int * float) list -> Params.offnode * quality
+(** [fit_offnode points] estimates G as the pooled slope of the two segments
+    and solves the intercepts of equations (1) and (2) simultaneously for o
+    and L, exactly as the paper derives Table 2. Needs at least two points on
+    each side of the eager limit. *)
+
+val fit_onchip :
+  ?eager_limit:int -> (int * float) list -> Params.onchip * quality
+(** [fit_onchip points] estimates G_copy and G_dma as the per-segment slopes
+    and solves the intercepts of equations (5) and (6) for o_copy and
+    o_dma. *)

@@ -1,0 +1,1 @@
+lib/shmpi/channel.ml: Array Condition Mutex Queue

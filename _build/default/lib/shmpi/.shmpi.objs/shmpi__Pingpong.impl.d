@@ -1,0 +1,1 @@
+lib/shmpi/pingpong.ml: Array Comm Float List Loggp Runtime

@@ -1,0 +1,1 @@
+lib/shmpi/pingpong.mli: Loggp

@@ -1,0 +1,1 @@
+lib/shmpi/runtime.ml: Array Comm Domain Unix

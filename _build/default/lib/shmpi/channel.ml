@@ -1,0 +1,34 @@
+(* A blocking FIFO channel between two domains, the transport under the
+   real (shared-memory) message-passing runtime. Payloads are float arrays;
+   the sender copies on enqueue so the receiver owns what it dequeues. *)
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : float array Queue.t;
+}
+
+let create () =
+  { mutex = Mutex.create (); nonempty = Condition.create (); queue = Queue.create () }
+
+let send t payload =
+  let copy = Array.copy payload in
+  Mutex.lock t.mutex;
+  Queue.push copy t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let recv t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let payload = Queue.pop t.queue in
+  Mutex.unlock t.mutex;
+  payload
+
+let try_recv t =
+  Mutex.lock t.mutex;
+  let payload = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mutex;
+  payload

@@ -1,0 +1,12 @@
+(** A blocking FIFO channel between two domains. The payload is copied on
+    [send], so sender and receiver never share the array. *)
+
+type t
+
+val create : unit -> t
+val send : t -> float array -> unit
+
+val recv : t -> float array
+(** Blocks until a payload is available. *)
+
+val try_recv : t -> float array option

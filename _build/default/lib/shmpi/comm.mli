@@ -1,0 +1,38 @@
+(** A small MPI-like communicator over OCaml 5 domains: ranked blocking
+    point-to-point messages, a barrier, and an all-reduce. *)
+
+type t
+
+val create : int -> t
+val ranks : t -> int
+
+val send : t -> src:int -> dst:int -> float array -> unit
+(** Buffered (eager) send: copies the payload and returns. *)
+
+val recv : t -> dst:int -> src:int -> float array
+(** Blocks until a message from [src] arrives. Messages between a given
+    pair are delivered in order. *)
+
+val barrier : t -> unit
+(** All ranks must call; reusable. *)
+
+val allreduce : t -> rank:int -> op:(float -> float -> float) -> float -> float
+(** Recursive-doubling all-reduce; all ranks must call with their value and
+    receive the reduction. Works for any rank count. *)
+
+val broadcast : t -> rank:int -> root:int -> float array -> float array
+(** Binomial-tree broadcast; all ranks call, all receive root's payload
+    (the root gets its own back). *)
+
+val reduce :
+  t ->
+  rank:int ->
+  root:int ->
+  op:(float -> float -> float) ->
+  float array ->
+  float array option
+(** Binomial-tree element-wise reduction; [Some result] at the root, [None]
+    elsewhere. All payloads must have equal length. *)
+
+val gather : t -> rank:int -> root:int -> float array -> float array array option
+(** Gather every rank's payload at the root, indexed by rank. *)

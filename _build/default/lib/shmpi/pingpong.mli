@@ -1,0 +1,18 @@
+(** The ping-pong microbenchmark of Section 3, measured for real on the
+    shared-memory substrate. *)
+
+val half_round_trip :
+  ?rounds:int -> ?batches:int -> size_bytes:int -> unit -> float
+(** Half the average round-trip time (us) between two domains; best of
+    [batches] timed batches of [rounds] exchanges, to suppress scheduler
+    noise on oversubscribed machines. *)
+
+val curve : ?rounds:int -> sizes:int list -> unit -> (int * float) list
+
+val fit_platform : ?name:string -> (int * float) list -> Loggp.Params.t
+(** Fit a LogGP model to a measured curve and package it as a platform
+    usable with the plug-and-play model (all links on-chip). Tries the
+    two-segment on-chip fit first — real shared-memory curves are piecewise,
+    with a cache knee instead of the XT4's protocol knee — and falls back to
+    a single relative-error-weighted segment. Raises [Invalid_argument] if
+    even the fallback is non-physical. *)

@@ -1,0 +1,27 @@
+(* Spawning ranked programs on OCaml 5 domains and timing them. *)
+
+type 'a result = {
+  values : 'a array;  (** per-rank return values *)
+  wall_time : float;  (** elapsed wall-clock time, us *)
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let run ~ranks f =
+  if ranks < 1 then invalid_arg "Runtime.run: ranks must be >= 1";
+  let comm = Comm.create ranks in
+  let start = now_us () in
+  let domains =
+    Array.init (ranks - 1) (fun k ->
+        let rank = k + 1 in
+        Domain.spawn (fun () -> f comm rank))
+  in
+  let v0 = f comm 0 in
+  let rest = Array.map Domain.join domains in
+  let wall_time = now_us () -. start in
+  { values = Array.append [| v0 |] rest; wall_time }
+
+let time f =
+  let start = now_us () in
+  let v = f () in
+  (v, now_us () -. start)

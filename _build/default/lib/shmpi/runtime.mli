@@ -1,0 +1,8 @@
+(** Spawning ranked programs on OCaml 5 domains. Rank 0 runs on the calling
+    domain. Times are in microseconds (wall clock). *)
+
+type 'a result = { values : 'a array; wall_time : float }
+
+val run : ranks:int -> (Comm.t -> int -> 'a) -> 'a result
+val time : (unit -> 'a) -> 'a * float
+val now_us : unit -> float

@@ -1,0 +1,1 @@
+lib/sweep/schedule.ml: Fmt List Proc_grid Wgrid

@@ -1,0 +1,1 @@
+lib/sweep/schedule.mli: Fmt Proc_grid Wgrid

@@ -1,0 +1,1 @@
+lib/xtsim/collective.ml: Array List Loggp Machine Mpi_sim Resource

@@ -1,0 +1,1 @@
+lib/xtsim/collective.mli: Engine Machine Mpi_sim

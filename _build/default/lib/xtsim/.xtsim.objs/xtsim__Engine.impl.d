@@ -1,0 +1,1 @@
+lib/xtsim/engine.ml: Effect Heap

@@ -1,0 +1,1 @@
+lib/xtsim/engine.mli:

@@ -1,0 +1,1 @@
+lib/xtsim/heap.mli:

@@ -1,0 +1,1 @@
+lib/xtsim/machine.ml: Cmp Fmt Loggp Proc_grid Wgrid

@@ -1,0 +1,1 @@
+lib/xtsim/machine.mli: Cmp Fmt Loggp Proc_grid Wgrid

@@ -1,0 +1,1 @@
+lib/xtsim/mpi_sim.ml: Array Engine Float Hashtbl Loggp Machine Queue Trace

@@ -1,0 +1,1 @@
+lib/xtsim/mpi_sim.mli: Engine Loggp Machine Trace

@@ -1,0 +1,1 @@
+lib/xtsim/pingpong.ml: Cmp Engine List Loggp Machine Mpi_sim Proc_grid Wgrid

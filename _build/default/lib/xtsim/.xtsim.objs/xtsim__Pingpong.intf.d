@@ -1,0 +1,1 @@
+lib/xtsim/pingpong.mli: Loggp Machine

@@ -1,0 +1,1 @@
+lib/xtsim/report.ml: Array Float Fmt List Machine Wavefront_core Wavefront_sim

@@ -1,0 +1,1 @@
+lib/xtsim/report.mli: Fmt Machine Wavefront_sim

@@ -1,0 +1,1 @@
+lib/xtsim/resource.ml: Engine Fun Queue

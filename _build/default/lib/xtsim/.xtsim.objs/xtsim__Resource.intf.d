@@ -1,0 +1,1 @@
+lib/xtsim/resource.mli: Engine

@@ -1,0 +1,1 @@
+lib/xtsim/trace.ml: Buffer List Printf

@@ -1,0 +1,1 @@
+lib/xtsim/wavefront_sim.ml: App_params Array Collective Decomp Engine Float Fmt Fun List Loggp Machine Mpi_sim Proc_grid Random Sweeps Tile Units Wavefront_core Wgrid

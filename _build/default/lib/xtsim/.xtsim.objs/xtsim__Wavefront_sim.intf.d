@@ -1,0 +1,1 @@
+lib/xtsim/wavefront_sim.mli: Fmt Machine Trace Wavefront_core Wgrid

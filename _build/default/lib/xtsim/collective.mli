@@ -1,0 +1,13 @@
+(** Simulated MPI all-reduce: recursive doubling with a node-major index so
+    that the first [log2 (cores/node)] stages are on-chip, plus per-node
+    serialization of the communication engine during the synchronized
+    stages — the structure abstracted by equation 9 of the paper. *)
+
+type ctx
+
+val ctx : Engine.t -> Machine.t -> ctx
+
+val allreduce : ctx -> Mpi_sim.t -> rank:int -> msg_size:int -> unit
+(** One rank's participation; call from that rank's simulated process. All
+    ranks must participate. Non-power-of-two core counts skip out-of-range
+    partners, matching the ceiling stage count of {!Loggp.Allreduce.time}. *)

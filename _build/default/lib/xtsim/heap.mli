@@ -1,0 +1,13 @@
+(** Array-based binary min-heap ordered by [(time, seq)], used as the
+    simulator's event queue. Equal-time events pop in insertion (seq)
+    order. *)
+
+type 'a entry = { time : float; seq : int; value : 'a }
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+val pop : 'a t -> 'a entry option
+val peek : 'a t -> 'a entry option

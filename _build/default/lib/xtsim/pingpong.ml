@@ -1,0 +1,45 @@
+(* The ping-pong microbenchmark of Section 3, run on the simulated machine:
+   two ranks exchange a message back and forth; half the steady-state
+   round-trip time is the "measured" end-to-end communication time of
+   Figure 3, which the LogGP models of Table 1 are fitted to. *)
+
+open Wgrid
+
+let machine_for ?(model_bus = true) (platform : Loggp.Params.t) locality =
+  let pgrid = Proc_grid.v ~cols:2 ~rows:1 in
+  let cmp =
+    match (locality : Loggp.Comm_model.locality) with
+    | On_chip -> Cmp.v ~cx:2 ~cy:1 (* both cores on one node *)
+    | Off_node -> Cmp.single_core
+  in
+  Machine.v ~model_bus ~cmp platform pgrid
+
+let half_round_trip ?(rounds = 64) machine ~size =
+  if rounds < 1 then invalid_arg "Pingpong.half_round_trip";
+  let engine = Engine.create () in
+  let mpi = Mpi_sim.create engine machine in
+  let finished = ref false in
+  Engine.spawn engine (fun () ->
+      for _ = 1 to rounds do
+        Mpi_sim.send mpi ~src:0 ~dst:1 ~size;
+        Mpi_sim.recv mpi ~dst:0 ~src:1 ~size
+      done;
+      finished := true);
+  Engine.spawn engine (fun () ->
+      for _ = 1 to rounds do
+        Mpi_sim.recv mpi ~dst:1 ~src:0 ~size;
+        Mpi_sim.send mpi ~src:1 ~dst:0 ~size
+      done);
+  let elapsed = Engine.run engine in
+  if not !finished then failwith "Pingpong: benchmark deadlocked";
+  elapsed /. (2.0 *. float_of_int rounds)
+
+let curve ?rounds ?model_bus platform locality ~sizes =
+  let machine = machine_for ?model_bus platform locality in
+  List.map (fun size -> (size, half_round_trip ?rounds machine ~size)) sizes
+
+(* The message sizes of Figure 3: 1 byte to 12 KB, denser around the
+   1 KB eager/rendezvous boundary. *)
+let figure3_sizes =
+  [ 1; 16; 64; 128; 256; 384; 512; 640; 768; 896; 1000; 1024; 1025; 1100;
+    1280; 1536; 2048; 3072; 4096; 6144; 8192; 10240; 12288 ]

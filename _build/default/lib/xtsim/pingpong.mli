@@ -1,0 +1,24 @@
+(** The ping-pong microbenchmark of Section 3 on the simulated machine,
+    producing the "measured" series of Figure 3. *)
+
+val machine_for :
+  ?model_bus:bool ->
+  Loggp.Params.t ->
+  Loggp.Comm_model.locality ->
+  Machine.t
+(** A two-core machine with the pair on one node ([On_chip]) or on two
+    nodes ([Off_node]). *)
+
+val half_round_trip : ?rounds:int -> Machine.t -> size:int -> float
+(** Half the average round-trip time between ranks 0 and 1, us. *)
+
+val curve :
+  ?rounds:int ->
+  ?model_bus:bool ->
+  Loggp.Params.t ->
+  Loggp.Comm_model.locality ->
+  sizes:int list ->
+  (int * float) list
+
+val figure3_sizes : int list
+(** The 1B-12KB sweep of Figure 3, denser near the 1KB boundary. *)

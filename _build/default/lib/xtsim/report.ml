@@ -1,0 +1,70 @@
+(* Utilization reporting over a simulated wavefront run: per-rank busy/wait
+   fractions, aggregates, and the laggards — the first things one looks at
+   when a simulated (or real) run scales worse than the model says. *)
+
+type rank_row = {
+  rank : int;
+  coords : int * int;
+  compute_frac : float;
+  comm_frac : float;  (** uncontended communication cost *)
+  wait_frac : float;  (** blocking on upstream progress / queueing *)
+}
+
+type t = {
+  elapsed : float;
+  mean_compute_frac : float;
+  mean_comm_frac : float;
+  mean_wait_frac : float;
+  most_blocked : rank_row list;  (** ranks with the highest wait share *)
+  least_blocked : rank_row list;
+}
+
+let rank_row machine (stats : Wavefront_sim.rank_stats array) elapsed rank =
+  let s = stats.(rank) in
+  let denom = Float.max elapsed 1e-9 in
+  {
+    rank;
+    coords = Machine.coords machine rank;
+    compute_frac = s.compute /. denom;
+    comm_frac = Float.max 0.0 (s.comm -. s.wait) /. denom;
+    wait_frac = s.wait /. denom;
+  }
+
+let of_outcome ?(extremes = 3) machine (o : Wavefront_sim.outcome) =
+  let n = Array.length o.stats in
+  if n = 0 then invalid_arg "Report.of_outcome: no ranks";
+  let rows = List.init n (rank_row machine o.stats o.elapsed) in
+  let mean f =
+    List.fold_left (fun a r -> a +. f r) 0.0 rows /. float_of_int n
+  in
+  let by_wait = List.sort (fun a b -> compare b.wait_frac a.wait_frac) rows in
+  let take k l = List.filteri (fun i _ -> i < k) l in
+  {
+    elapsed = o.elapsed;
+    mean_compute_frac = mean (fun r -> r.compute_frac);
+    mean_comm_frac = mean (fun r -> r.comm_frac);
+    mean_wait_frac = mean (fun r -> r.wait_frac);
+    most_blocked = take extremes by_wait;
+    least_blocked = take extremes (List.rev by_wait);
+  }
+
+let pp_rank_row ppf r =
+  Fmt.pf ppf "rank %4d (%d,%d): %4.1f%% compute, %4.1f%% comm, %4.1f%% wait"
+    r.rank (fst r.coords) (snd r.coords)
+    (100.0 *. r.compute_frac)
+    (100.0 *. r.comm_frac) (100.0 *. r.wait_frac)
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>utilization over %a:@,\
+     mean: %4.1f%% compute, %4.1f%% comm, %4.1f%% wait@,\
+     most-blocked ranks:@,%a@,\
+     least-blocked ranks:@,%a@]"
+    Wavefront_core.Units.pp_time t.elapsed
+    (100.0 *. t.mean_compute_frac)
+    (100.0 *. t.mean_comm_frac)
+    (100.0 *. t.mean_wait_frac)
+    (Fmt.list (fun ppf r -> Fmt.pf ppf "  %a" pp_rank_row r))
+    t.most_blocked
+    (Fmt.list (fun ppf r -> Fmt.pf ppf "  %a" pp_rank_row r))
+    t.least_blocked

@@ -1,0 +1,25 @@
+(* A FIFO mutual-exclusion resource for simulated processes, used to model
+   per-node serialization points (e.g. the node's communication engine
+   during tightly-synchronized collectives, the source of the C-fold factor
+   in equation 9). *)
+
+type t = {
+  engine : Engine.t;
+  mutable busy : bool;
+  waiters : (unit -> unit) Queue.t;
+}
+
+let create engine = { engine; busy = false; waiters = Queue.create () }
+
+let acquire t =
+  if not t.busy then t.busy <- true
+  else Engine.suspend (fun resume -> Queue.push resume t.waiters)
+
+let release t =
+  if not t.busy then invalid_arg "Resource.release: not held";
+  if Queue.is_empty t.waiters then t.busy <- false
+  else (Queue.pop t.waiters) ()
+
+let with_resource t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f

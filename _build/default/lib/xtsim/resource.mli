@@ -1,0 +1,10 @@
+(** FIFO mutual exclusion for simulated processes. [acquire] suspends the
+    calling process while the resource is held; waiters resume in FIFO
+    order. *)
+
+type t
+
+val create : Engine.t -> t
+val acquire : t -> unit
+val release : t -> unit
+val with_resource : t -> (unit -> 'a) -> 'a

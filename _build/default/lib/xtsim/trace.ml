@@ -1,0 +1,57 @@
+(* Optional message tracing for the simulated machine: a bounded record of
+   point-to-point transfers (who, what, when, which protocol), dumpable as
+   CSV for offline analysis of a simulated run. *)
+
+type protocol = Eager | Rendezvous | Copy | Dma
+
+let protocol_name = function
+  | Eager -> "eager"
+  | Rendezvous -> "rendezvous"
+  | Copy -> "copy"
+  | Dma -> "dma"
+
+type record = {
+  src : int;
+  dst : int;
+  size : int;
+  protocol : protocol;
+  send_start : float;  (** when the sender entered the send *)
+  delivered : float;  (** when the payload became receivable *)
+}
+
+type t = {
+  capacity : int;
+  mutable records : record list;  (** newest first *)
+  mutable count : int;  (** total recorded, including dropped *)
+}
+
+let create ?(capacity = 100_000) () =
+  if capacity < 1 then invalid_arg "Trace.create";
+  { capacity; records = []; count = 0 }
+
+let record t r =
+  t.count <- t.count + 1;
+  if t.count <= t.capacity then t.records <- r :: t.records
+
+let records t = List.rev t.records
+let recorded t = min t.count t.capacity
+let total t = t.count
+
+let by_protocol t =
+  List.fold_left
+    (fun acc r ->
+      let k = protocol_name r.protocol in
+      let n = try List.assoc k acc with Not_found -> 0 in
+      (k, n + 1) :: List.remove_assoc k acc)
+    [] (records t)
+
+let to_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "src,dst,size,protocol,send_start,delivered\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%d,%d,%d,%s,%.4f,%.4f\n" r.src r.dst r.size
+           (protocol_name r.protocol) r.send_start r.delivered))
+    (records t);
+  Buffer.contents b

@@ -1,0 +1,30 @@
+(** Optional message tracing for the simulated machine: a bounded record of
+    point-to-point transfers, dumpable as CSV. Pass a trace to
+    {!Mpi_sim.create} to enable recording. *)
+
+type protocol = Eager | Rendezvous | Copy | Dma
+
+val protocol_name : protocol -> string
+
+type record = {
+  src : int;
+  dst : int;
+  size : int;
+  protocol : protocol;
+  send_start : float;
+  delivered : float;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Records beyond [capacity] (default 100k) are counted but dropped. *)
+
+val record : t -> record -> unit
+val records : t -> record list
+(** In chronological order. *)
+
+val recorded : t -> int
+val total : t -> int
+val by_protocol : t -> (string * int) list
+val to_csv : t -> string

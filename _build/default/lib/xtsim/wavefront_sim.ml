@@ -1,0 +1,250 @@
+(* Executable wavefront programs on the simulated machine.
+
+   Each core of the machine runs the program of Figure 4 for every sweep of
+   the application's schedule, using blocking simulated MPI: receive the
+   boundary values from the two upstream neighbours, compute the tile, send
+   to the two downstream neighbours, repeat down the stack. The sweep
+   precedence behaviour of Figure 2 (Follow/Diagonal/Full gating) is not
+   programmed anywhere — it emerges from the blocking communication and the
+   per-sweep origins, exactly as it does in the real codes the paper
+   models.
+
+   Beyond the model's assumptions, the simulator can inject two effects the
+   closed forms ignore, for robustness studies:
+   - [balanced]: per-rank work from the integer block decomposition instead
+     of the model's uniform real-valued Nx/n * Ny/m (load imbalance on
+     non-divisible grids);
+   - [noise]: multiplicative per-tile compute jitter from a deterministic
+     per-rank RNG (OS noise / cache variability). *)
+
+open Wgrid
+open Wavefront_core
+
+type noise = { amplitude : float; seed : int }
+
+type rank_stats = {
+  compute : float;  (** time spent computing, us *)
+  comm : float;  (** time spent inside send/recv calls (incl. blocking) *)
+  wait : float;
+      (** the part of [comm] in excess of the uncontended cost of each
+          operation: blocking on upstream progress, rendezvous stalls, bus
+          queueing *)
+  finish : float;  (** completion time of the rank's program *)
+}
+
+type outcome = {
+  elapsed : float;  (** simulated time for the run, us *)
+  per_iteration : float;
+  iterations : int;
+  completed : bool;  (** all ranks finished (false indicates deadlock) *)
+  events : int;
+  sends : int;
+  stats : rank_stats array;
+}
+
+let compute_total o =
+  Array.fold_left (fun a s -> a +. s.compute) 0.0 o.stats
+
+(* The communication share of the last-finishing rank: the executable
+   analogue of the model's critical-path communication component
+   (Figure 11). Waiting inside a blocking receive counts as communication,
+   as it does on the model's critical path. *)
+let comm_share o =
+  let last =
+    Array.fold_left
+      (fun best s -> if s.finish > best.finish then s else best)
+      o.stats.(0) o.stats
+  in
+  last.comm /. (last.comm +. last.compute)
+
+(* A rough event-count estimate before committing to a big simulation:
+   each rank executes ~6 events per tile per sweep (two receives, compute,
+   two sends, scheduling). *)
+let estimated_events (machine : Machine.t) (app : App_params.t) ~iterations =
+  let cores = Proc_grid.cores machine.pgrid in
+  let ntiles = Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile in
+  let nsweeps = Sweeps.Schedule.nsweeps app.schedule in
+  cores * ntiles * nsweeps * 6 * iterations
+
+(* Downstream x/y direction of a sweep, by origin corner: a sweep flows away
+   from its origin in both dimensions. *)
+let flow (pg : Proc_grid.t) corner =
+  let ox, oy = Proc_grid.corner_coords pg corner in
+  ((if ox = 1 then 1 else -1), if oy = 1 then 1 else -1)
+
+let run ?(iterations = 1) ?(balanced = false) ?noise ?trace
+    (machine : Machine.t) (app : App_params.t) =
+  if iterations < 1 then invalid_arg "Wavefront_sim.run: iterations >= 1";
+  (match noise with
+  | Some n when n.amplitude < 0.0 || n.amplitude >= 1.0 ->
+      invalid_arg "Wavefront_sim.run: noise amplitude must be in [0, 1)"
+  | _ -> ());
+  let pg = machine.pgrid in
+  let engine = Engine.create () in
+  let mpi = Mpi_sim.create ?trace engine machine in
+  let coll = Collective.ctx engine machine in
+  let msg_ew = App_params.message_size_ew app pg in
+  let msg_ns = App_params.message_size_ns app pg in
+  let ntiles = Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile in
+  let sweeps = Sweeps.Schedule.sweeps app.schedule in
+  let cores = Proc_grid.cores pg in
+  let done_flags = Array.make cores false in
+  let compute = Array.make cores 0.0 in
+  let comm = Array.make cores 0.0 in
+  let waits = Array.make cores 0.0 in
+  let finish = Array.make cores 0.0 in
+
+  (* Per-rank tile work: uniform (the model's view) or from the integer
+     block decomposition. *)
+  let work_of rank =
+    let cells =
+      if balanced then begin
+        let i, j = Proc_grid.coords pg rank in
+        let bx = Decomp.block_of ~cells:app.grid.nx ~parts:pg.cols ~index:(i - 1) in
+        let by = Decomp.block_of ~cells:app.grid.ny ~parts:pg.rows ~index:(j - 1) in
+        app.htile *. float_of_int (bx * by)
+      end
+      else Decomp.cells_per_tile app.grid pg ~htile:app.htile
+    in
+    (app.wg *. cells, app.wg_pre *. cells)
+  in
+
+  let jitter_of rank =
+    match noise with
+    | None -> fun () -> 1.0
+    | Some { amplitude; seed } ->
+        let state = Random.State.make [| seed; rank |] in
+        fun () -> 1.0 +. (amplitude *. ((2.0 *. Random.State.float state 1.0) -. 1.0))
+  in
+
+  (* [pure] is the uncontended model cost of the operation; anything beyond
+     it is blocking/queueing wait. Operations with no closed-form cost
+     (collectives, halo rounds) pass no [pure] and count fully as comm. *)
+  let timed_comm ?pure rank f =
+    let t0 = Engine.now engine in
+    f ();
+    let d = Engine.now engine -. t0 in
+    comm.(rank) <- comm.(rank) +. d;
+    match pure with
+    | Some p -> waits.(rank) <- waits.(rank) +. Float.max 0.0 (d -. p)
+    | None -> ()
+  in
+  let locality_for rank other =
+    Machine.locality machine ~src:rank ~dst:other
+  in
+  let pure_send rank dst size =
+    Loggp.Comm_model.send machine.platform (locality_for rank dst) size
+  in
+  let pure_recv rank src size =
+    Loggp.Comm_model.receive machine.platform (locality_for rank src) size
+  in
+  let timed_compute rank d =
+    if d > 0.0 then begin
+      Engine.wait d;
+      compute.(rank) <- compute.(rank) +. d
+    end
+  in
+
+  let nonwavefront rank =
+    match app.nonwavefront with
+    | App_params.No_op -> ()
+    | Fixed t -> timed_compute rank t
+    | Allreduce { count; msg_size } ->
+        timed_comm rank (fun () ->
+            for _ = 1 to count do
+              Collective.allreduce coll mpi ~rank ~msg_size
+            done)
+    | Stencil { wg_stencil; halo_bytes_per_cell } ->
+        let i, j = Proc_grid.coords pg rank in
+        let cells_x = Decomp.cells_x app.grid pg in
+        let cells_y = Decomp.cells_y app.grid pg in
+        let nz = float_of_int app.grid.nz in
+        timed_compute rank (wg_stencil *. cells_x *. cells_y *. nz);
+        (* Halo exchange, one direction at a time to stay deadlock-free:
+           everyone sends east and receives from the west, then the reverse,
+           then the same for north/south. *)
+        let face extent =
+          Decomp.message_size ~bytes_per_cell:halo_bytes_per_cell ~htile:nz
+            ~extent
+        in
+        let ew = face cells_y and ns = face cells_x in
+        let exchange dir size =
+          let di, dj =
+            match dir with
+            | `E -> (1, 0) | `W -> (-1, 0) | `S -> (0, 1) | `N -> (0, -1)
+          in
+          let dst = (i + di, j + dj) and src = (i - di, j - dj) in
+          timed_comm rank (fun () ->
+              if Proc_grid.contains pg dst then
+                Mpi_sim.send mpi ~src:rank ~dst:(Proc_grid.rank pg dst) ~size;
+              if Proc_grid.contains pg src then
+                Mpi_sim.recv mpi ~dst:rank ~src:(Proc_grid.rank pg src) ~size)
+        in
+        exchange `E ew; exchange `W ew; exchange `S ns; exchange `N ns
+  in
+
+  let program rank () =
+    let i, j = Proc_grid.coords pg rank in
+    let w, w_pre = work_of rank in
+    let jitter = jitter_of rank in
+    for _iter = 1 to iterations do
+      List.iter
+        (fun (s : Sweeps.Schedule.sweep) ->
+          let dx, dy = flow pg s.origin in
+          let up_x = (i - dx, j) and up_y = (i, j - dy) in
+          let down_x = (i + dx, j) and down_y = (i, j + dy) in
+          let has p = Proc_grid.contains pg p in
+          for _tile = 1 to ntiles do
+            (* Figure 4: LU pre-computes part of the domain before the
+               receives; Sweep3D and Chimaera have Wg_pre = 0. *)
+            timed_compute rank (w_pre *. jitter ());
+            if has up_x then begin
+              let src = Proc_grid.rank pg up_x in
+              timed_comm ~pure:(pure_recv rank src msg_ew) rank (fun () ->
+                  Mpi_sim.recv mpi ~dst:rank ~src ~size:msg_ew)
+            end;
+            if has up_y then begin
+              let src = Proc_grid.rank pg up_y in
+              timed_comm ~pure:(pure_recv rank src msg_ns) rank (fun () ->
+                  Mpi_sim.recv mpi ~dst:rank ~src ~size:msg_ns)
+            end;
+            timed_compute rank (w *. jitter ());
+            if has down_x then begin
+              let dst = Proc_grid.rank pg down_x in
+              timed_comm ~pure:(pure_send rank dst msg_ew) rank (fun () ->
+                  Mpi_sim.send mpi ~src:rank ~dst ~size:msg_ew)
+            end;
+            if has down_y then begin
+              let dst = Proc_grid.rank pg down_y in
+              timed_comm ~pure:(pure_send rank dst msg_ns) rank (fun () ->
+                  Mpi_sim.send mpi ~src:rank ~dst ~size:msg_ns)
+            end
+          done)
+        sweeps;
+      nonwavefront rank
+    done;
+    done_flags.(rank) <- true;
+    finish.(rank) <- Engine.now engine
+  in
+  for rank = 0 to cores - 1 do
+    Engine.spawn engine (program rank)
+  done;
+  let elapsed = Engine.run engine in
+  {
+    elapsed;
+    per_iteration = elapsed /. float_of_int iterations;
+    iterations;
+    completed = Array.for_all Fun.id done_flags;
+    events = Engine.events_executed engine;
+    sends = Mpi_sim.sends mpi;
+    stats =
+      Array.init cores (fun r ->
+          { compute = compute.(r); comm = comm.(r); wait = waits.(r);
+            finish = finish.(r) });
+  }
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "elapsed %a (%d iteration(s), %s), %d events, %d sends"
+    Units.pp_time o.elapsed o.iterations
+    (if o.completed then "completed" else "DEADLOCKED")
+    o.events o.sends

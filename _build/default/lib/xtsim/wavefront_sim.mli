@@ -1,0 +1,66 @@
+(** Executable wavefront programs on the simulated machine.
+
+    Each core runs the blocking-MPI program of Figure 4 for every sweep of
+    the application's schedule; the precedence behaviour of Figure 2 emerges
+    from the blocking communication rather than being programmed. Running
+    this against the analytic model reproduces the paper's
+    model-versus-measured validation.
+
+    Two effects the closed-form model ignores can be injected for
+    robustness studies: integer-block load imbalance ([balanced]) and
+    per-tile compute jitter ([noise]). *)
+
+type noise = { amplitude : float; seed : int }
+(** Multiplicative jitter: each tile's compute time is scaled by a value
+    uniform in [1 - amplitude, 1 + amplitude], drawn from a deterministic
+    per-rank stream. *)
+
+type rank_stats = {
+  compute : float;  (** time spent computing, us *)
+  comm : float;  (** time inside send/receive calls, incl. blocking waits *)
+  wait : float;
+      (** the part of [comm] in excess of each operation's uncontended
+          cost: blocking on upstream progress, rendezvous stalls, bus
+          queueing *)
+  finish : float;  (** completion time of the rank's program *)
+}
+
+type outcome = {
+  elapsed : float;  (** simulated time for the whole run, us *)
+  per_iteration : float;
+  iterations : int;
+  completed : bool;  (** all ranks finished; [false] indicates deadlock *)
+  events : int;
+  sends : int;
+  stats : rank_stats array;  (** indexed by rank *)
+}
+
+val compute_total : outcome -> float
+(** Summed per-rank computation time. *)
+
+val comm_share : outcome -> float
+(** Communication share of the last-finishing rank — the executable
+    analogue of the model's critical-path communication component
+    (Figure 11). *)
+
+val flow : Wgrid.Proc_grid.t -> Wgrid.Proc_grid.corner -> int * int
+(** Downstream (dx, dy) of a sweep originating at the given corner. *)
+
+val estimated_events :
+  Machine.t -> Wavefront_core.App_params.t -> iterations:int -> int
+(** Rough event count of {!run} (~6 events per rank-tile-sweep), for sizing
+    a simulation before committing to it. *)
+
+val run :
+  ?iterations:int ->
+  ?balanced:bool ->
+  ?noise:noise ->
+  ?trace:Trace.t ->
+  Machine.t ->
+  Wavefront_core.App_params.t ->
+  outcome
+(** [balanced] derives each rank's tile work from the integer block
+    decomposition instead of the model's uniform [Nx/n * Ny/m]. Raises
+    [Invalid_argument] on a noise amplitude outside [0, 1). *)
+
+val pp_outcome : outcome Fmt.t

@@ -1,0 +1,1 @@
+test/suite_apps.ml: Alcotest App_params Apps Float List Loggp Plugplay Printf QCheck QCheck_alcotest Wavefront_core Wgrid

@@ -1,0 +1,1 @@
+test/suite_collectives.ml: Alcotest App_params Apps Array Buffer Energy_groups Fmt Format Harness List Loggp Plugplay QCheck QCheck_alcotest Shmpi String Wavefront_core Wgrid Xtsim

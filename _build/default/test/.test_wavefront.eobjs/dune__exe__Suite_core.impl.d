@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest App_params Apps Cmp Data_grid Float Fmt Hoisie_model List Loggp Plugplay Predictor Proc_grid QCheck QCheck_alcotest Sweep3d_model Sweeps Wavefront_core Wgrid

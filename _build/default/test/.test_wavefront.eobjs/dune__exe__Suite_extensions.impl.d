@@ -1,0 +1,1 @@
+test/suite_extensions.ml: Alcotest App_params Apps Array Fmt Harness Kernels List Loggp Memory_model Metrics Option Plugplay QCheck QCheck_alcotest Wavefront_core Wgrid Xtsim

@@ -1,0 +1,1 @@
+test/suite_golden.ml: Alcotest Apps Loggp Pipeline_model Plugplay Sweep3d_model Wavefront_core Wgrid Xtsim

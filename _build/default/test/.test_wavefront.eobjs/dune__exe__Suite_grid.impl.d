@@ -1,0 +1,1 @@
+test/suite_grid.ml: Alcotest Cmp Data_grid Decomp Fun List Loggp Proc_grid QCheck QCheck_alcotest Tile Wgrid

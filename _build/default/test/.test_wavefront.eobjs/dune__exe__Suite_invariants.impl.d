@@ -1,0 +1,1 @@
+test/suite_invariants.ml: App_params Apps Float List Loggp Memory_model Plugplay Printf QCheck QCheck_alcotest Sensitivity Wavefront_core Wgrid Xtsim

@@ -1,0 +1,1 @@
+test/suite_kernels.ml: Alcotest Array Data_grid Float Kernels List Proc_grid QCheck QCheck_alcotest Sweeps Wgrid

@@ -1,0 +1,1 @@
+test/suite_loggp.ml: Alcotest Allreduce Comm_model Fit Float List Loggp Params QCheck QCheck_alcotest Random

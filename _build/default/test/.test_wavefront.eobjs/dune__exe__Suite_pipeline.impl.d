@@ -1,0 +1,1 @@
+test/suite_pipeline.ml: Alcotest App_params Apps Float Fmt List Loggp Pipeline_model Plugplay QCheck QCheck_alcotest String Wavefront_core Wgrid Xtsim

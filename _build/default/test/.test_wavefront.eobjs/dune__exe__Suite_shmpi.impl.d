@@ -1,0 +1,1 @@
+test/suite_shmpi.ml: Alcotest Array Float Fmt List Shmpi

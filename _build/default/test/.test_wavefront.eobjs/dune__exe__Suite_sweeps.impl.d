@@ -1,0 +1,1 @@
+test/suite_sweeps.ml: Alcotest Fmt List QCheck QCheck_alcotest Schedule Sweeps Wgrid

@@ -1,0 +1,1 @@
+test/suite_tools.ml: Alcotest App_params Apps Explain Float Fmt List Loggp Plugplay Sensitivity String Wavefront_core Wgrid

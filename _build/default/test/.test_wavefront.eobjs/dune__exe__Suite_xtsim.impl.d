@@ -1,0 +1,1 @@
+test/suite_xtsim.ml: Alcotest Apps Array Collective Engine Float Fmt Fun Heap List Loggp Machine Mpi_sim Option Pingpong QCheck QCheck_alcotest Resource Wavefront_core Wavefront_sim Wgrid Xtsim

@@ -1,0 +1,201 @@
+(* Tests for the additional collectives (tree broadcast/reduce/gather on the
+   real runtime, tree-time models), the energy-group redesign module, the
+   ASCII plot renderer and the utilization report. *)
+
+open Wavefront_core
+
+let xt4 = Loggp.Params.xt4
+
+(* --- shmpi collectives --- *)
+
+let test_broadcast () =
+  List.iter
+    (fun ranks ->
+      List.iter
+        (fun root ->
+          if root < ranks then begin
+            let r =
+              Shmpi.Runtime.run ~ranks (fun comm rank ->
+                  let payload =
+                    if rank = root then [| 3.5; 7.25 |] else [| 0.0; 0.0 |]
+                  in
+                  Shmpi.Comm.broadcast comm ~rank ~root payload)
+            in
+            Array.iteri
+              (fun rank v ->
+                Alcotest.(check bool)
+                  (Fmt.str "P=%d root=%d rank=%d" ranks root rank)
+                  true
+                  (v = [| 3.5; 7.25 |]))
+              r.values
+          end)
+        [ 0; 1; 3 ])
+    [ 1; 2; 4; 5; 8 ]
+
+let test_reduce () =
+  let ranks = 6 in
+  let r =
+    Shmpi.Runtime.run ~ranks (fun comm rank ->
+        Shmpi.Comm.reduce comm ~rank ~root:2 ~op:( +. )
+          [| float_of_int (rank + 1); 1.0 |])
+  in
+  Array.iteri
+    (fun rank v ->
+      if rank = 2 then
+        Alcotest.(check bool) "root has sums" true (v = Some [| 21.0; 6.0 |])
+      else Alcotest.(check bool) "others get None" true (v = None))
+    r.values
+
+let test_gather () =
+  let ranks = 4 in
+  let r =
+    Shmpi.Runtime.run ~ranks (fun comm rank ->
+        Shmpi.Comm.gather comm ~rank ~root:0 [| float_of_int rank |])
+  in
+  match r.values.(0) with
+  | None -> Alcotest.fail "root should gather"
+  | Some parts ->
+      Alcotest.(check int) "parts" ranks (Array.length parts);
+      Array.iteri
+        (fun k part -> Alcotest.(check (float 0.0)) "in rank order"
+            (float_of_int k) part.(0))
+        parts
+
+let prop_broadcast_any_config =
+  QCheck.Test.make ~name:"broadcast delivers to all ranks" ~count:20
+    QCheck.(pair (int_range 1 9) (int_range 0 8))
+    (fun (ranks, root) ->
+      QCheck.assume (root < ranks);
+      let r =
+        Shmpi.Runtime.run ~ranks (fun comm rank ->
+            let payload = if rank = root then [| 42.0 |] else [| 0.0 |] in
+            Shmpi.Comm.broadcast comm ~rank ~root payload)
+      in
+      Array.for_all (fun v -> v = [| 42.0 |]) r.values)
+
+(* --- tree-time models --- *)
+
+let test_tree_time_single_core () =
+  let t = Loggp.Params.with_cores_per_node xt4 1 in
+  Alcotest.check (Alcotest.float 1e-9) "log2(P) * TotalComm"
+    (10.0 *. Loggp.Comm_model.total_offnode t.offnode 8)
+    (Loggp.Allreduce.tree_time t ~cores:1024);
+  Alcotest.(check bool) "tree < allreduce" true
+    (Loggp.Allreduce.tree_time xt4 ~cores:1024
+    < Loggp.Allreduce.time xt4 ~cores:1024)
+
+(* --- energy groups --- *)
+
+let test_energy_groups_consistency () =
+  let app = Apps.Sweep3d.weak_4x4x1000 ~cores:4096 () in
+  let cfg = Plugplay.config xt4 ~cores:4096 in
+  let groups = 30 in
+  let seq = Energy_groups.sequential_time ~groups app cfg in
+  let pipe = Energy_groups.pipelined_time ~groups app cfg in
+  Alcotest.(check bool) "pipelining saves" true (pipe < seq);
+  let saving = Energy_groups.saving ~groups app cfg in
+  Alcotest.(check bool) "saving in (0,1)" true (saving > 0.0 && saving < 1.0);
+  let x = Energy_groups.break_even_extra_iterations ~groups app cfg in
+  (* At break-even, (1 + x) * pipe = seq by construction. *)
+  Alcotest.check (Alcotest.float 1e-6) "break-even identity" seq
+    ((1.0 +. x) *. pipe)
+
+let test_energy_groups_structure () =
+  let app = Apps.Sweep3d.p20m () in
+  let piped = Energy_groups.pipelined_app app ~groups:30 in
+  let c = App_params.counts piped in
+  Alcotest.(check int) "240 sweeps" 240 c.nsweeps;
+  Alcotest.(check int) "nfull kept" 2 c.nfull;
+  Alcotest.(check int) "ndiag kept" 2 c.ndiag
+
+(* --- plot renderer --- *)
+
+let render_to_string plot =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Harness.Plot.render ppf plot;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_plot_renders () =
+  let plot =
+    Harness.Plot.v ~title:"test" ~x_label:"x" ~y_label:"y"
+      [
+        Harness.Plot.series ~label:"a" [ (1, 1.0); (2, 4.0); (3, 9.0) ];
+        Harness.Plot.series ~label:"b" [ (1, 2.0); (2, 2.0); (3, 2.0) ];
+      ]
+  in
+  let s = render_to_string plot in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.index_opt s 't' <> None);
+  Alcotest.(check bool) "has markers" true
+    (String.contains s '*' && String.contains s '+');
+  Alcotest.(check bool) "has legend labels" true
+    (String.contains s 'a' && String.contains s 'b')
+
+let test_plot_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Plot.v: no series")
+    (fun () ->
+      ignore (Harness.Plot.v ~title:"t" ~x_label:"x" ~y_label:"y" []));
+  Alcotest.check_raises "log of non-positive"
+    (Invalid_argument "Plot.v: log y-axis with non-positive y") (fun () ->
+      ignore
+        (Harness.Plot.v ~log_y:true ~title:"t" ~x_label:"x" ~y_label:"y"
+           [ Harness.Plot.series ~label:"a" [ (1, 0.0) ] ]))
+
+let test_plot_log_axes () =
+  let plot =
+    Harness.Plot.v ~log_x:true ~log_y:true ~title:"log" ~x_label:"x"
+      ~y_label:"y"
+      [ Harness.Plot.series ~label:"a" [ (1, 1.0); (10, 10.0); (100, 100.0) ] ]
+  in
+  Alcotest.(check bool) "renders" true (String.length (render_to_string plot) > 0)
+
+(* --- utilization report --- *)
+
+let test_report () =
+  let app = Apps.Chimaera.params (Wgrid.Data_grid.cube 64) in
+  let machine = Xtsim.Machine.v xt4 (Wgrid.Proc_grid.of_cores 64) in
+  let o = Xtsim.Wavefront_sim.run machine app in
+  let r = Xtsim.Report.of_outcome machine o in
+  Alcotest.(check bool) "fractions in [0,1]" true
+    (r.mean_compute_frac > 0.0 && r.mean_compute_frac <= 1.0
+    && r.mean_comm_frac >= 0.0
+    && r.mean_wait_frac >= 0.0);
+  Alcotest.(check int) "extremes" 3 (List.length r.most_blocked);
+  (* Downstream ranks wait for the pipeline to fill; the sweep origins
+     barely wait, so the wait fraction must spread. *)
+  let hi = (List.hd r.most_blocked).wait_frac in
+  let lo = (List.hd r.least_blocked).wait_frac in
+  Alcotest.(check bool) "spread exists" true (hi > lo);
+  (* Rendering does not raise. *)
+  Alcotest.(check bool) "pp" true
+    (String.length (Fmt.str "%a" Xtsim.Report.pp r) > 0)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_broadcast_any_config ]
+
+let suite =
+  [
+    ( "collectives.shmpi",
+      [
+        Alcotest.test_case "broadcast" `Quick test_broadcast;
+        Alcotest.test_case "reduce" `Quick test_reduce;
+        Alcotest.test_case "gather" `Quick test_gather;
+      ] );
+    ( "collectives.model",
+      [ Alcotest.test_case "tree time" `Quick test_tree_time_single_core ] );
+    ( "collectives.energy-groups",
+      [
+        Alcotest.test_case "consistency" `Quick test_energy_groups_consistency;
+        Alcotest.test_case "structure" `Quick test_energy_groups_structure;
+      ] );
+    ( "collectives.plot",
+      [
+        Alcotest.test_case "renders" `Quick test_plot_renders;
+        Alcotest.test_case "validation" `Quick test_plot_validation;
+        Alcotest.test_case "log axes" `Quick test_plot_log_axes;
+      ] );
+    ( "collectives.report",
+      [ Alcotest.test_case "utilization report" `Quick test_report ] );
+    ("collectives.properties", props);
+  ]

@@ -1,0 +1,59 @@
+(* Golden regression tests: exact model outputs for fixed configurations.
+   The model is deterministic closed-form arithmetic, so these values must
+   never drift — any change here is a semantic change to the model and must
+   be deliberate (and reflected in EXPERIMENTS.md). *)
+
+open Wavefront_core
+
+let xt4 = Loggp.Params.xt4
+let golden = Alcotest.float 1e-3
+
+let test_plugplay_golden () =
+  Alcotest.check golden "Chimaera 240^3 @4096" 80111.588424
+    (Plugplay.time_per_iteration (Apps.Chimaera.p240 ())
+       (Plugplay.config xt4 ~cores:4096));
+  Alcotest.check golden "Sweep3D 10^9 @16384" 435352.446523
+    (Plugplay.time_per_iteration (Apps.Sweep3d.p1b ())
+       (Plugplay.config xt4 ~cores:16384));
+  Alcotest.check golden "LU 1000^3 @1024" 883415.465
+    (Plugplay.time_per_iteration (Apps.Lu.class_e ())
+       (Plugplay.config xt4 ~cores:1024))
+
+let test_comm_golden () =
+  Alcotest.check golden "off-node 4096B" 14.3134
+    (Loggp.Comm_model.total_offnode xt4.offnode 4096);
+  Alcotest.check golden "all-reduce @8192" 203.489424
+    (Loggp.Allreduce.time xt4 ~cores:8192);
+  Alcotest.check golden "tree @8192" 101.744712
+    (Loggp.Allreduce.tree_time xt4 ~cores:8192)
+
+let test_baseline_golden () =
+  let pg = Wgrid.Proc_grid.of_cores 1024 in
+  Alcotest.check golden "Table 4 Sweep3D @1024" 123406.0576
+    (Sweep3d_model.t_sweeps
+       (Sweep3d_model.v ~platform:xt4 ~grid:Wgrid.Data_grid.sweep3d_20m
+          ~pgrid:pg ~wg:0.6 ~mmi:3 ~mmo:6 ~mk:4 ()));
+  Alcotest.check golden "pipeline evaluator, Chimaera @256" 527552.069424
+    (Pipeline_model.iteration (Apps.Chimaera.p240 ())
+       (Plugplay.config xt4 ~cores:256))
+
+(* Simulated executions are deterministic too: freeze one small outcome. *)
+let test_simulator_golden () =
+  let app = Apps.Sweep3d.params (Wgrid.Data_grid.cube 32) in
+  let machine = Xtsim.Machine.v xt4 (Wgrid.Proc_grid.of_cores 16) in
+  let a = Xtsim.Wavefront_sim.run machine app in
+  let b = Xtsim.Wavefront_sim.run machine app in
+  Alcotest.check golden "deterministic" a.elapsed b.elapsed;
+  Alcotest.(check int) "same events" a.events b.events
+
+let suite =
+  [
+    ( "golden",
+      [
+        Alcotest.test_case "plug-and-play values" `Quick test_plugplay_golden;
+        Alcotest.test_case "communication values" `Quick test_comm_golden;
+        Alcotest.test_case "baseline models" `Quick test_baseline_golden;
+        Alcotest.test_case "simulator determinism" `Quick
+          test_simulator_golden;
+      ] );
+  ]

@@ -1,0 +1,180 @@
+(* Cross-cutting property tests: invariants that tie the libraries together
+   and guard the model's structure against regressions. *)
+
+open Wavefront_core
+
+let xt4 = Loggp.Params.xt4
+
+let prop_protocol_jump =
+  (* The eager/rendezvous switch always costs extra: total(limit+1) >
+     total(limit) by at least the handshake, for any sane parameters. *)
+  QCheck.Test.make ~name:"rendezvous switch costs at least the handshake"
+    ~count:100
+    QCheck.(
+      triple (float_range 1e-5 0.1) (float_range 0.01 50.0)
+        (float_range 0.1 50.0))
+    (fun (g, l, o) ->
+      let p : Loggp.Params.offnode =
+        { g; l; o; o_h = 0.0; eager_limit = 1024 }
+      in
+      Loggp.Comm_model.total_offnode p 1025
+      -. Loggp.Comm_model.total_offnode p 1024
+      >= Loggp.Comm_model.handshake p -. 1e-9)
+
+let prop_detect_break_random_params =
+  QCheck.Test.make ~name:"eager-limit detection on random platforms"
+    ~count:60
+    QCheck.(
+      triple (float_range 1e-4 0.01) (float_range 0.1 20.0)
+        (float_range 1.0 20.0))
+    (fun (g, l, o) ->
+      let p : Loggp.Params.offnode =
+        { g; l; o; o_h = 0.0; eager_limit = 1024 }
+      in
+      let pts =
+        List.map
+          (fun s -> (s, Loggp.Comm_model.total_offnode p s))
+          [ 64; 256; 512; 768; 1024; 1100; 2048; 4096; 8192 ]
+      in
+      Loggp.Fit.detect_break pts = 1024)
+
+let prop_message_sizes_scale_with_htile =
+  QCheck.Test.make ~name:"message sizes scale linearly with Htile" ~count:60
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (h, k) ->
+      let app = Apps.Chimaera.p240 () in
+      let pg = Wgrid.Proc_grid.of_cores 64 in
+      let size h =
+        App_params.message_size_ew
+          (App_params.with_htile app (float_of_int h))
+          pg
+      in
+      size (h * k) = k * size h)
+
+let prop_stack_decreases_with_cores =
+  QCheck.Test.make ~name:"Tstack decreases with core count" ~count:40
+    QCheck.(pair (QCheck.make (QCheck.Gen.oneofl [ 16; 64; 256 ])) (int_range 1 2))
+    (fun (cores, quad) ->
+      let app = Apps.Sweep3d.p20m () in
+      let r p = (Plugplay.iteration app (Plugplay.config xt4 ~cores:p)).t_stack in
+      r cores > r (cores * 4 * quad))
+
+let prop_tree_le_allreduce =
+  QCheck.Test.make ~name:"broadcast tree time <= all-reduce time" ~count:60
+    QCheck.(int_range 1 100_000)
+    (fun cores ->
+      Loggp.Allreduce.tree_time xt4 ~cores
+      <= Loggp.Allreduce.time xt4 ~cores +. 1e-9)
+
+let prop_memory_monotone =
+  QCheck.Test.make ~name:"memory per rank decreases with cores" ~count:40
+    (QCheck.make (QCheck.Gen.oneofl [ 64; 256; 1024; 4096 ]))
+    (fun cores ->
+      let mm = Wavefront_core.Memory_model.transport ~angles:6 in
+      let app = Apps.Sweep3d.p1b () in
+      let b p = Memory_model.bytes_per_rank mm app (Wgrid.Proc_grid.of_cores p) in
+      b cores > b (cores * 4))
+
+let prop_elasticities_sum_to_one =
+  QCheck.Test.make ~name:"time-input elasticities sum to 1 (homogeneity)"
+    ~count:25
+    (QCheck.make
+       QCheck.Gen.(pair (oneofl [ 64; 1024; 16384 ]) (oneofl [ 0; 1; 2 ])))
+    (fun (cores, app_ix) ->
+      let app =
+        List.nth
+          [ Apps.Lu.class_e (); Apps.Sweep3d.p20m (); Apps.Chimaera.p240 () ]
+          app_ix
+      in
+      let cfg = Plugplay.config xt4 ~cores in
+      let e i = Sensitivity.elasticity app cfg i in
+      let sum =
+        e Sensitivity.Wg +. e Wg_pre +. e G +. e L +. e O
+      in
+      Float.abs (sum -. 1.0) < 0.03)
+
+let prop_pipeline_fills_monotone_in_grid =
+  (* Under weak scaling (fixed per-processor block) the per-hop cost is
+     constant, so the fill grows with the grid diameter. (Under strong
+     scaling it need not: blocks shrink as P grows.) *)
+  QCheck.Test.make ~name:"fill times grow with grid diameter (weak scaling)"
+    ~count:40
+    QCheck.(pair (int_range 2 5) (int_range 1 3))
+    (fun (logp, step) ->
+      QCheck.assume (logp >= 2 && logp <= 5 && step >= 1 && step <= 3);
+      let p1 = 1 lsl (2 * logp) in
+      let p2 = 1 lsl (2 * (logp + step)) in
+      let fill p =
+        let app = Apps.Sweep3d.weak_4x4x1000 ~cores:p () in
+        (Plugplay.iteration app (Plugplay.config xt4 ~cores:p)).t_fullfill
+      in
+      fill p2 > fill p1)
+
+let prop_sim_elapsed_bounded_below =
+  (* Any simulated execution takes at least the model's zero-comm time:
+     communication can only add. *)
+  QCheck.Test.make ~name:"simulated run >= zero-comm bound" ~count:15
+    QCheck.(pair (int_range 1 3) (int_range 1 3))
+    (fun (a, b) ->
+      let cores = 4 * a * b in
+      let app =
+        Apps.Custom.params ~name:"bound" ~nsweeps:2 ~wg:1.0
+          ~bytes_per_cell:16.0
+          (Wgrid.Data_grid.v ~nx:(4 * a) ~ny:(4 * b) ~nz:8)
+      in
+      let pg = Wgrid.Proc_grid.of_cores cores in
+      let sim = Xtsim.Wavefront_sim.run (Xtsim.Machine.v xt4 pg) app in
+      let bound =
+        Plugplay.time_per_iteration app
+          (Plugplay.config ~pgrid:pg
+             (Plugplay.zero_comm_platform xt4)
+             ~cores)
+      in
+      sim.completed && sim.elapsed >= bound -. 1e-6)
+
+let prop_spec_roundtrip =
+  (* Printing an app's key numbers into a spec and parsing it back yields
+     the same model prediction. *)
+  QCheck.Test.make ~name:"spec round-trip preserves the prediction" ~count:30
+    QCheck.(
+      quad (int_range 2 6) (int_range 1 3) (float_range 0.2 5.0)
+        (int_range 8 64))
+    (fun (nsweeps, nfull, wg, n) ->
+      QCheck.assume
+        (nsweeps >= 1 && nfull >= 1 && nfull <= nsweeps && wg > 0.0 && n >= 2);
+      let spec =
+        Printf.sprintf
+          "nx=%d\nny=%d\nnz=%d\nwg=%.17g\nnsweeps=%d\nnfull=%d\n\
+           bytes_per_cell=48\nhtile=2\n"
+          n n n wg nsweeps nfull
+      in
+      match Apps.Spec.of_string spec with
+      | Error _ -> false
+      | Ok app ->
+          let direct =
+            Apps.Custom.params ~nsweeps ~nfull ~wg ~htile:2.0
+              ~bytes_per_cell:48.0
+              (Wgrid.Data_grid.cube n)
+          in
+          let cfg = Plugplay.config xt4 ~cores:16 in
+          Float.abs
+            (Plugplay.time_per_iteration app cfg
+            -. Plugplay.time_per_iteration direct cfg)
+          < 1e-9)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_protocol_jump;
+      prop_detect_break_random_params;
+      prop_message_sizes_scale_with_htile;
+      prop_stack_decreases_with_cores;
+      prop_tree_le_allreduce;
+      prop_memory_monotone;
+      prop_elasticities_sum_to_one;
+      prop_pipeline_fills_monotone_in_grid;
+      prop_sim_elapsed_bounded_below;
+      prop_spec_roundtrip;
+    ]
+
+let suite = [ ("invariants", props) ]

@@ -1,0 +1,145 @@
+(* Tests for the real compute kernels and the distributed sweep execution:
+   the distributed result must equal the sequential reference bitwise. *)
+
+open Wgrid
+
+let test_transport_deterministic () =
+  let c = Kernels.Transport.default in
+  let run () =
+    let phi = Array.make (8 * 8 * 8) 0.0 in
+    Kernels.Transport.sweep_sequential c ~nx:8 ~ny:8 ~nz:8 ~dir:(1, 1, 1)
+      ~htile:2 ~phi;
+    phi
+  in
+  Alcotest.(check bool) "identical runs" true (run () = run ())
+
+let test_transport_positive_fluxes () =
+  let c = Kernels.Transport.default in
+  let phi = Array.make (6 * 6 * 6) 0.0 in
+  Kernels.Transport.sweep_sequential c ~nx:6 ~ny:6 ~nz:6 ~dir:(-1, 1, -1)
+    ~htile:3 ~phi;
+  Alcotest.(check bool) "all positive" true (Array.for_all (fun v -> v > 0.0) phi)
+
+let test_order () =
+  Alcotest.(check (list int)) "forward" [ 0; 1; 2 ]
+    (List.init 3 (Kernels.Transport.order ~len:3 ~dir:1));
+  Alcotest.(check (list int)) "backward" [ 2; 1; 0 ]
+    (List.init 3 (Kernels.Transport.order ~len:3 ~dir:(-1)))
+
+let test_angles_validated () =
+  Alcotest.check_raises "0 angles"
+    (Invalid_argument "Transport.v: angles must be >= 1") (fun () ->
+      ignore (Kernels.Transport.v ~angles:0 ()))
+
+let check_distributed_equals_sequential ~name plan =
+  let out = Kernels.Sweep_exec.run plan in
+  let distributed = Kernels.Sweep_exec.gather plan out.blocks in
+  let reference = Kernels.Sweep_exec.run_sequential plan in
+  Alcotest.(check int)
+    (name ^ ": sizes")
+    (Array.length reference) (Array.length distributed);
+  let equal = ref true in
+  Array.iteri (fun k v -> if v <> reference.(k) then equal := false) distributed;
+  Alcotest.(check bool) (name ^ ": bitwise equal") true !equal
+
+let test_distributed_2x2_sweep3d () =
+  let plan =
+    Kernels.Sweep_exec.plan ~htile:2
+      (Data_grid.v ~nx:12 ~ny:12 ~nz:8)
+      (Proc_grid.v ~cols:2 ~rows:2)
+  in
+  check_distributed_equals_sequential ~name:"2x2 Sweep3D" plan
+
+let test_distributed_uneven_chimaera () =
+  (* Uneven block decomposition and the Chimaera sweep structure. *)
+  let plan =
+    Kernels.Sweep_exec.plan ~htile:3 ~schedule:Sweeps.Schedule.chimaera
+      ~config:(Kernels.Transport.v ~angles:4 ())
+      (Data_grid.v ~nx:13 ~ny:11 ~nz:6)
+      (Proc_grid.v ~cols:3 ~rows:2)
+  in
+  check_distributed_equals_sequential ~name:"3x2 Chimaera" plan
+
+let test_distributed_row_lu () =
+  let plan =
+    Kernels.Sweep_exec.plan ~schedule:Sweeps.Schedule.lu
+      (Data_grid.v ~nx:16 ~ny:8 ~nz:4)
+      (Proc_grid.v ~cols:4 ~rows:1)
+  in
+  check_distributed_equals_sequential ~name:"4x1 LU" plan
+
+let test_distributed_multi_iteration () =
+  let plan =
+    Kernels.Sweep_exec.plan ~iterations:2 ~htile:4
+      (Data_grid.v ~nx:8 ~ny:8 ~nz:8)
+      (Proc_grid.v ~cols:2 ~rows:2)
+  in
+  check_distributed_equals_sequential ~name:"2 iterations" plan
+
+let prop_distributed_matches_reference =
+  QCheck.Test.make ~name:"distributed sweep = sequential (random configs)"
+    ~count:12
+    QCheck.(
+      quad (int_range 1 3) (int_range 1 3) (int_range 1 4)
+        (int_range 1 3))
+    (fun (cols, rows, htile, angles) ->
+      let plan =
+        Kernels.Sweep_exec.plan ~htile
+          ~config:(Kernels.Transport.v ~angles ())
+          (Data_grid.v ~nx:(3 * cols) ~ny:(2 * rows) ~nz:5)
+          (Proc_grid.v ~cols ~rows)
+      in
+      let out = Kernels.Sweep_exec.run plan in
+      Kernels.Sweep_exec.gather plan out.blocks
+      = Kernels.Sweep_exec.run_sequential plan)
+
+let test_lu_kernel_deterministic () =
+  let run () =
+    let v = Kernels.Lu_kernel.init_block ~nx:6 ~ny:6 ~nz:6 in
+    Kernels.Lu_kernel.pre_block v ~nx:6 ~ny:6 ~nz:6;
+    Kernels.Lu_kernel.sweep_block v ~nx:6 ~ny:6 ~nz:6;
+    v
+  in
+  Alcotest.(check bool) "identical runs" true (run () = run ());
+  Alcotest.(check bool) "values finite" true
+    (Array.for_all Float.is_finite (run ()))
+
+let test_measured_wg_sane () =
+  let wg = Kernels.Measure.transport_wg ~n:24 ~repeats:2 () in
+  let lu = Kernels.Measure.lu_wg ~n:24 ~repeats:2 () in
+  let lu_pre = Kernels.Measure.lu_wg_pre ~n:24 ~repeats:2 () in
+  (* Per-cell times on any machine: positive, below 10 us. *)
+  Alcotest.(check bool) "transport" true (wg > 0.0 && wg < 10.0);
+  Alcotest.(check bool) "lu" true (lu > 0.0 && lu < 10.0);
+  Alcotest.(check bool) "lu pre" true (lu_pre > 0.0 && lu_pre < 10.0)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_distributed_matches_reference ]
+
+let suite =
+  [
+    ( "kernels.transport",
+      [
+        Alcotest.test_case "deterministic" `Quick test_transport_deterministic;
+        Alcotest.test_case "positive fluxes" `Quick
+          test_transport_positive_fluxes;
+        Alcotest.test_case "traversal order" `Quick test_order;
+        Alcotest.test_case "validation" `Quick test_angles_validated;
+      ] );
+    ( "kernels.distributed",
+      [
+        Alcotest.test_case "2x2 Sweep3D = sequential" `Quick
+          test_distributed_2x2_sweep3d;
+        Alcotest.test_case "uneven Chimaera = sequential" `Quick
+          test_distributed_uneven_chimaera;
+        Alcotest.test_case "4x1 LU = sequential" `Quick test_distributed_row_lu;
+        Alcotest.test_case "multi-iteration" `Quick
+          test_distributed_multi_iteration;
+      ] );
+    ( "kernels.lu",
+      [
+        Alcotest.test_case "deterministic" `Quick test_lu_kernel_deterministic;
+      ] );
+    ( "kernels.measure",
+      [ Alcotest.test_case "Wg measurements sane" `Quick test_measured_wg_sane ] );
+    ("kernels.properties", props);
+  ]

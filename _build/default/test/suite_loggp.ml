@@ -1,0 +1,259 @@
+(* Tests for the LogGP communication sub-models (paper Section 3). *)
+
+open Loggp
+
+let feq = Alcotest.float 1e-9
+let feq_loose = Alcotest.float 1e-6
+
+(* --- Off-node model (Table 1(a), Table 2) --- *)
+
+let test_offnode_small_formula () =
+  let p = Params.xt4_offnode in
+  (* eq (1): o + size*G + L + o at 100 bytes *)
+  let expected = (2.0 *. 3.92) +. (100.0 *. 0.0004) +. 0.305 in
+  Alcotest.check feq "100B total" expected (Comm_model.total_offnode p 100)
+
+let test_offnode_large_formula () =
+  let p = Params.xt4_offnode in
+  (* eq (2): 3o + h + size*G + L with h = 2L at 4096 bytes *)
+  let expected =
+    (3.0 *. 3.92) +. (2.0 *. 0.305) +. (4096.0 *. 0.0004) +. 0.305
+  in
+  Alcotest.check feq "4KB total" expected (Comm_model.total_offnode p 4096)
+
+let test_offnode_send_receive () =
+  let p = Params.xt4_offnode in
+  Alcotest.check feq "send eager" p.o (Comm_model.send_offnode p 512);
+  Alcotest.check feq "recv eager" p.o (Comm_model.receive_offnode p 512);
+  Alcotest.check feq "send rendezvous"
+    (p.o +. (2.0 *. p.l))
+    (Comm_model.send_offnode p 2048);
+  Alcotest.check feq "recv rendezvous"
+    ((2.0 *. p.l) +. (2.0 *. p.o) +. (2048.0 *. p.g))
+    (Comm_model.receive_offnode p 2048)
+
+let test_offnode_jump_at_limit () =
+  let p = Params.xt4_offnode in
+  let below = Comm_model.total_offnode p 1024 in
+  let above = Comm_model.total_offnode p 1025 in
+  (* The jump is o + h (one extra overhead plus the handshake). *)
+  let jump = above -. below -. (1.0 *. p.g) in
+  Alcotest.check feq_loose "handshake jump" (p.o +. (2.0 *. p.l)) jump
+
+let test_offnode_bandwidth () =
+  (* 1/G should be the paper's 2.5 GB/s XT4 inter-node bandwidth. *)
+  let gb_per_s = 1.0 /. Params.xt4_offnode.g /. 1000.0 in
+  Alcotest.check (Alcotest.float 0.01) "bandwidth GB/s" 2.5 gb_per_s
+
+(* --- On-chip model (Table 1(b)) --- *)
+
+let test_onchip_small_formula () =
+  let p = Params.xt4_onchip in
+  let expected = (2.0 *. 1.98) +. (100.0 *. 0.000789) in
+  Alcotest.check feq "100B on-chip" expected (Comm_model.total_onchip p 100)
+
+let test_onchip_large_formula () =
+  let p = Params.xt4_onchip in
+  (* eq (6): o + size*Gdma + ocopy with o = 3.80. *)
+  let expected = 3.80 +. (4096.0 *. 0.000072) +. 1.98 in
+  Alcotest.check feq "4KB on-chip" expected (Comm_model.total_onchip p 4096)
+
+let test_onchip_faster_than_offnode () =
+  (* Paper Section 3.2: the per-byte gap to move data is lower on-chip than
+     off-node... but the end-to-end time comparison only favours on-chip for
+     large (DMA) messages; check the per-byte DMA claim directly. *)
+  Alcotest.(check bool)
+    "Gdma < G" true
+    (Params.xt4_onchip.g_dma < Params.xt4_offnode.g)
+
+let test_contention_i () =
+  let p = Params.xt4_onchip in
+  Alcotest.check feq "I(1000)"
+    (p.o_dma +. (1000.0 *. p.g_dma))
+    (Comm_model.contention_i p 1000)
+
+let test_negative_size_rejected () =
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Comm_model: negative message size") (fun () ->
+      ignore (Comm_model.total_offnode Params.xt4_offnode (-1)))
+
+(* --- All-reduce (equation 9) --- *)
+
+let test_allreduce_single_core_reduces () =
+  (* With C = 1 the model must reduce to log2(P) * TotalComm. *)
+  let t = Params.with_cores_per_node Params.xt4 1 in
+  let expected =
+    10.0 *. Comm_model.total_offnode t.offnode Allreduce.default_msg_size
+  in
+  Alcotest.check feq "C=1, P=1024" expected (Allreduce.time t ~cores:1024)
+
+let test_allreduce_dual_core () =
+  let t = Params.xt4 in
+  let off = Comm_model.total_offnode t.offnode 8 in
+  let on = Comm_model.total_onchip t.onchip 8 in
+  (* P = 2048 cores, C = 2: (11-1)*2*off + 1*2*on. *)
+  let expected = (10.0 *. 2.0 *. off) +. (1.0 *. 2.0 *. on) in
+  Alcotest.check feq "P=2048 C=2" expected (Allreduce.time t ~cores:2048)
+
+let test_allreduce_one_core_total () =
+  Alcotest.check feq "P=1" 0.0 (Allreduce.time Params.xt4 ~cores:1)
+
+let test_ceil_log2 () =
+  List.iter
+    (fun (n, e) -> Alcotest.(check int) (string_of_int n) e (Allreduce.ceil_log2 n))
+    [ (1, 0); (2, 1); (3, 2); (4, 2); (1023, 10); (1024, 10); (1025, 11) ]
+
+(* --- Fitting (Table 2 derivation) --- *)
+
+let sizes = [ 8; 64; 128; 256; 512; 768; 1024; 1280; 2048; 4096; 8192; 12288 ]
+
+let test_fit_offnode_roundtrip () =
+  let truth = Params.xt4_offnode in
+  let points = List.map (fun s -> (s, Comm_model.total_offnode truth s)) sizes in
+  let fitted, q = Fit.fit_offnode points in
+  Alcotest.check (Alcotest.float 1e-6) "G" truth.g fitted.g;
+  Alcotest.check (Alcotest.float 1e-4) "L" truth.l fitted.l;
+  Alcotest.check (Alcotest.float 1e-4) "o" truth.o fitted.o;
+  Alcotest.(check int) "eager limit" 1024 fitted.eager_limit;
+  Alcotest.(check bool) "quality" true (q.max_rel_error < 1e-6)
+
+let test_fit_onchip_roundtrip () =
+  let truth = Params.xt4_onchip in
+  let points = List.map (fun s -> (s, Comm_model.total_onchip truth s)) sizes in
+  let fitted, q = Fit.fit_onchip points in
+  Alcotest.check (Alcotest.float 1e-6) "Gcopy" truth.g_copy fitted.g_copy;
+  Alcotest.check (Alcotest.float 1e-6) "Gdma" truth.g_dma fitted.g_dma;
+  Alcotest.check (Alcotest.float 1e-4) "ocopy" truth.o_copy fitted.o_copy;
+  Alcotest.check (Alcotest.float 1e-4) "odma" truth.o_dma fitted.o_dma;
+  Alcotest.(check bool) "quality" true (q.max_rel_error < 1e-6)
+
+let test_fit_with_noise () =
+  (* 1% multiplicative noise should still recover parameters to ~5%. *)
+  let truth = Params.xt4_offnode in
+  let state = Random.State.make [| 42 |] in
+  let points =
+    List.map
+      (fun s ->
+        let noise = 1.0 +. ((Random.State.float state 0.02) -. 0.01) in
+        (s, Comm_model.total_offnode truth s *. noise))
+      sizes
+  in
+  let fitted, _ = Fit.fit_offnode ~eager_limit:1024 points in
+  let rel a b = Float.abs (a -. b) /. b in
+  Alcotest.(check bool) "G within 5%" true (rel fitted.g truth.g < 0.05);
+  Alcotest.(check bool) "o within 10%" true (rel fitted.o truth.o < 0.10)
+
+let test_detect_break () =
+  let points =
+    List.map (fun s -> (s, Comm_model.total_offnode Params.xt4_offnode s)) sizes
+  in
+  Alcotest.(check int) "break at 1024" 1024 (Fit.detect_break points)
+
+let test_linreg () =
+  let slope, intercept = Fit.linreg [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  Alcotest.check feq "slope" 2.0 slope;
+  Alcotest.check feq "intercept" 1.0 intercept
+
+(* --- Properties --- *)
+
+let prop_total_monotone_in_size =
+  QCheck.Test.make ~name:"off-node total is monotone in message size"
+    ~count:200
+    QCheck.(pair (int_range 0 100_000) (int_range 0 100_000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      Comm_model.total_offnode Params.xt4_offnode lo
+      <= Comm_model.total_offnode Params.xt4_offnode hi +. 1e-9)
+
+let prop_onchip_total_monotone =
+  QCheck.Test.make ~name:"on-chip total is monotone in message size"
+    ~count:200
+    QCheck.(pair (int_range 0 100_000) (int_range 0 100_000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      Comm_model.total_onchip Params.xt4_onchip lo
+      <= Comm_model.total_onchip Params.xt4_onchip hi +. 1e-9)
+
+let prop_send_le_total =
+  QCheck.Test.make ~name:"send time <= end-to-end total" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun s ->
+      Comm_model.send_offnode Params.xt4_offnode s
+      <= Comm_model.total_offnode Params.xt4_offnode s +. 1e-9
+      && Comm_model.send_onchip Params.xt4_onchip s
+         <= Comm_model.total_onchip Params.xt4_onchip s +. 1e-9)
+
+let prop_allreduce_monotone_in_cores =
+  QCheck.Test.make ~name:"all-reduce time is monotone in core count"
+    ~count:100
+    QCheck.(pair (int_range 1 16384) (int_range 1 16384))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      Allreduce.time Params.xt4 ~cores:lo
+      <= Allreduce.time Params.xt4 ~cores:hi +. 1e-9)
+
+let prop_fit_roundtrip =
+  QCheck.Test.make ~name:"off-node fit recovers arbitrary parameters"
+    ~count:50
+    QCheck.(
+      triple (float_range 0.0001 0.1) (float_range 0.05 30.0)
+        (float_range 0.5 30.0))
+    (fun (g, l, o) ->
+      let truth : Params.offnode = { g; l; o; o_h = 0.0; eager_limit = 1024 } in
+      let points =
+        List.map (fun s -> (s, Comm_model.total_offnode truth s)) sizes
+      in
+      let fitted, _ = Fit.fit_offnode ~eager_limit:1024 points in
+      let rel a b = Float.abs (a -. b) /. Float.max b 1e-9 in
+      rel fitted.g g < 1e-6 && rel fitted.l l < 1e-6 && rel fitted.o o < 1e-6)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_total_monotone_in_size;
+      prop_onchip_total_monotone;
+      prop_send_le_total;
+      prop_allreduce_monotone_in_cores;
+      prop_fit_roundtrip;
+    ]
+
+let suite =
+  [
+    ( "loggp.comm",
+      [
+        Alcotest.test_case "off-node eq (1)" `Quick test_offnode_small_formula;
+        Alcotest.test_case "off-node eq (2)" `Quick test_offnode_large_formula;
+        Alcotest.test_case "off-node send/receive" `Quick
+          test_offnode_send_receive;
+        Alcotest.test_case "handshake jump at 1KB" `Quick
+          test_offnode_jump_at_limit;
+        Alcotest.test_case "XT4 bandwidth 2.5GB/s" `Quick
+          test_offnode_bandwidth;
+        Alcotest.test_case "on-chip eq (5)" `Quick test_onchip_small_formula;
+        Alcotest.test_case "on-chip eq (6)" `Quick test_onchip_large_formula;
+        Alcotest.test_case "Gdma < G" `Quick test_onchip_faster_than_offnode;
+        Alcotest.test_case "contention I" `Quick test_contention_i;
+        Alcotest.test_case "negative size rejected" `Quick
+          test_negative_size_rejected;
+      ] );
+    ( "loggp.allreduce",
+      [
+        Alcotest.test_case "C=1 reduces to log2(P)*TotalComm" `Quick
+          test_allreduce_single_core_reduces;
+        Alcotest.test_case "dual-core equation 9" `Quick
+          test_allreduce_dual_core;
+        Alcotest.test_case "P=1 is free" `Quick test_allreduce_one_core_total;
+        Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
+      ] );
+    ( "loggp.fit",
+      [
+        Alcotest.test_case "off-node round-trip (Table 2)" `Quick
+          test_fit_offnode_roundtrip;
+        Alcotest.test_case "on-chip round-trip (Table 2)" `Quick
+          test_fit_onchip_roundtrip;
+        Alcotest.test_case "fit with noise" `Quick test_fit_with_noise;
+        Alcotest.test_case "eager-limit detection" `Quick test_detect_break;
+        Alcotest.test_case "linear regression" `Quick test_linreg;
+      ] );
+    ("loggp.properties", props);
+  ]

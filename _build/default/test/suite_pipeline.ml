@@ -1,0 +1,163 @@
+(* Tests for the sweep-level pipeline dataflow evaluator (the
+   first-principles cross-check of equation (r5)) and the message tracer. *)
+
+open Wavefront_core
+
+let xt4 = Loggp.Params.xt4
+let feq = Alcotest.float 1e-6
+
+let test_pipeline_equals_r5_zero_comm_lu () =
+  (* With zero communication and full gating there is no overlap to
+     resolve, so the dataflow evaluation must equal (r5) exactly. *)
+  let app = Apps.Lu.params ~wg_stencil:0.0 (Wgrid.Data_grid.cube 64) in
+  let cfg =
+    Plugplay.config ~cmp:Wgrid.Cmp.single_core
+      (Plugplay.zero_comm_platform xt4)
+      ~cores:64
+  in
+  Alcotest.check feq "LU zero-comm"
+    (Plugplay.time_per_iteration app cfg)
+    (Pipeline_model.iteration app cfg)
+
+let test_pipeline_close_to_r5 () =
+  List.iter
+    (fun app ->
+      List.iter
+        (fun cores ->
+          let cfg = Plugplay.config xt4 ~cores in
+          let r5 = Plugplay.time_per_iteration app cfg in
+          let pipe = Pipeline_model.iteration app cfg in
+          let rel = Float.abs (pipe -. r5) /. r5 in
+          Alcotest.(check bool)
+            (Fmt.str "%s @%d rel=%.4f" app.App_params.name cores rel)
+            true (rel < 0.06))
+        [ 64; 256; 1024 ])
+    [ Apps.Lu.class_e (); Apps.Sweep3d.p20m (); Apps.Chimaera.p240 () ]
+
+let test_pipeline_vs_simulator () =
+  (* The dataflow evaluator should track the event-level simulator at least
+     as well as the closed form does. *)
+  let app = Apps.Chimaera.params (Wgrid.Data_grid.cube 128) in
+  let cores = 256 in
+  let cmp = Wgrid.Cmp.v ~cx:1 ~cy:2 in
+  let pg = Wgrid.Proc_grid.of_cores cores in
+  let sim =
+    (Xtsim.Wavefront_sim.run (Xtsim.Machine.v ~cmp xt4 pg) app).per_iteration
+  in
+  let cfg = Plugplay.config ~cmp ~pgrid:pg xt4 ~cores in
+  let pipe = Pipeline_model.iteration app cfg in
+  let rel = Float.abs (pipe -. sim) /. sim in
+  Alcotest.(check bool) (Fmt.str "rel=%.4f" rel) true (rel < 0.10)
+
+let test_pipeline_respects_busy_downstream () =
+  (* A schedule (r5) treats as free — every sweep Follow-gated from the
+     same corner — still pays when the problem is so shallow that the
+     pipeline never fills; the dataflow evaluation must never be faster
+     than nsweeps stacks. *)
+  let app =
+    Apps.Custom.params ~name:"shallow" ~nsweeps:4 ~nfull:1 ~ndiag:0 ~wg:1.0
+      ~bytes_per_cell:16.0
+      (Wgrid.Data_grid.v ~nx:64 ~ny:64 ~nz:2)
+  in
+  let cfg = Plugplay.config xt4 ~cores:256 in
+  let r = Plugplay.iteration app cfg in
+  let pipe = Pipeline_model.iteration app cfg in
+  Alcotest.(check bool) "pipe >= nsweeps stacks" true
+    (pipe +. 1e-9 >= 4.0 *. r.t_stack)
+
+let prop_pipeline_within_band =
+  QCheck.Test.make ~name:"pipeline evaluator stays near (r5)" ~count:40
+    QCheck.(
+      triple (int_range 2 8) (int_range 1 4)
+        (QCheck.make (QCheck.Gen.oneofl [ 16; 64; 144 ])))
+    (fun (nsweeps, nfull, cores) ->
+      QCheck.assume (nfull <= nsweeps);
+      let app =
+        Apps.Custom.params ~name:"band" ~nsweeps ~nfull
+          ~ndiag:(min 1 (nsweeps - nfull))
+          ~wg:1.0 ~bytes_per_cell:32.0 (Wgrid.Data_grid.cube 48)
+      in
+      let cfg = Plugplay.config xt4 ~cores in
+      let r5 = Plugplay.time_per_iteration app cfg in
+      let pipe = Pipeline_model.iteration app cfg in
+      Float.abs (pipe -. r5) /. r5 < 0.25)
+
+(* --- Trace --- *)
+
+let test_trace_records_protocols () =
+  let trace = Xtsim.Trace.create () in
+  let app = Apps.Chimaera.params (Wgrid.Data_grid.cube 64) in
+  let machine =
+    Xtsim.Machine.v ~cmp:(Wgrid.Cmp.v ~cx:1 ~cy:2) xt4
+      (Wgrid.Proc_grid.of_cores 16)
+  in
+  let o = Xtsim.Wavefront_sim.run ~trace machine app in
+  Alcotest.(check bool) "completed" true o.completed;
+  Alcotest.(check int) "one record per send" o.sends (Xtsim.Trace.total trace);
+  let by = Xtsim.Trace.by_protocol trace in
+  let count k = try List.assoc k by with Not_found -> 0 in
+  (* 64^3 on 16 cores: 1280-byte boundary faces -> rendezvous off-node and
+     DMA on-chip; the 8-byte all-reduce payloads go eager/copy. *)
+  Alcotest.(check bool) "rendezvous seen" true (count "rendezvous" > 0);
+  Alcotest.(check bool) "dma seen" true (count "dma" > 0);
+  Alcotest.(check bool) "eager seen (all-reduce)" true (count "eager" > 0);
+  Alcotest.(check int) "counts sum to records"
+    (Xtsim.Trace.recorded trace)
+    (List.fold_left (fun a (_, n) -> a + n) 0 by);
+  List.iter
+    (fun (r : Xtsim.Trace.record) ->
+      Alcotest.(check bool) "delivered after send" true
+        (r.delivered > r.send_start))
+    (Xtsim.Trace.records trace)
+
+let test_trace_capacity () =
+  let trace = Xtsim.Trace.create ~capacity:5 () in
+  for k = 1 to 9 do
+    Xtsim.Trace.record trace
+      { src = k; dst = 0; size = 1; protocol = Eager; send_start = 0.0;
+        delivered = 1.0 }
+  done;
+  Alcotest.(check int) "total counts all" 9 (Xtsim.Trace.total trace);
+  Alcotest.(check int) "recorded capped" 5 (Xtsim.Trace.recorded trace);
+  Alcotest.(check int) "records capped" 5
+    (List.length (Xtsim.Trace.records trace))
+
+let test_trace_csv () =
+  let trace = Xtsim.Trace.create () in
+  Xtsim.Trace.record trace
+    { src = 1; dst = 2; size = 64; protocol = Copy; send_start = 1.5;
+      delivered = 3.25 };
+  let csv = Xtsim.Trace.to_csv trace in
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "header" true (String.sub csv 0 3 = "src");
+  Alcotest.(check bool) "row" true
+    (contains ~needle:"1,2,64,copy,1.5000,3.2500" csv)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_pipeline_within_band ]
+
+let suite =
+  [
+    ( "pipeline.model",
+      [
+        Alcotest.test_case "equals r5 (LU, zero comm)" `Quick
+          test_pipeline_equals_r5_zero_comm_lu;
+        Alcotest.test_case "close to r5 (benchmarks)" `Quick
+          test_pipeline_close_to_r5;
+        Alcotest.test_case "close to simulator" `Quick
+          test_pipeline_vs_simulator;
+        Alcotest.test_case "never below nsweeps stacks" `Quick
+          test_pipeline_respects_busy_downstream;
+      ] );
+    ( "pipeline.trace",
+      [
+        Alcotest.test_case "protocol recording" `Quick
+          test_trace_records_protocols;
+        Alcotest.test_case "capacity" `Quick test_trace_capacity;
+        Alcotest.test_case "csv" `Quick test_trace_csv;
+      ] );
+    ("pipeline.properties", props);
+  ]

@@ -1,0 +1,109 @@
+(* Tests for the real shared-memory message-passing runtime. *)
+
+let test_channel_fifo () =
+  let c = Shmpi.Channel.create () in
+  Shmpi.Channel.send c [| 1.0 |];
+  Shmpi.Channel.send c [| 2.0 |];
+  Alcotest.(check (float 0.0)) "first" 1.0 (Shmpi.Channel.recv c).(0);
+  Alcotest.(check (float 0.0)) "second" 2.0 (Shmpi.Channel.recv c).(0);
+  Alcotest.(check bool) "empty" true (Shmpi.Channel.try_recv c = None)
+
+let test_channel_copies () =
+  let c = Shmpi.Channel.create () in
+  let payload = [| 7.0 |] in
+  Shmpi.Channel.send c payload;
+  payload.(0) <- 9.0;
+  Alcotest.(check (float 0.0)) "copied on send" 7.0 (Shmpi.Channel.recv c).(0)
+
+let test_ring_pass () =
+  (* Each rank forwards an accumulating token around a ring. *)
+  let ranks = 4 in
+  let r =
+    Shmpi.Runtime.run ~ranks (fun comm rank ->
+        if rank = 0 then begin
+          Shmpi.Comm.send comm ~src:0 ~dst:1 [| 1.0 |];
+          (Shmpi.Comm.recv comm ~dst:0 ~src:(ranks - 1)).(0)
+        end
+        else begin
+          let v = (Shmpi.Comm.recv comm ~dst:rank ~src:(rank - 1)).(0) in
+          Shmpi.Comm.send comm ~src:rank ~dst:((rank + 1) mod ranks)
+            [| v +. 1.0 |];
+          v
+        end)
+  in
+  Alcotest.(check (float 0.0)) "token back at 0" 4.0 r.values.(0);
+  Alcotest.(check (float 0.0)) "rank 3 saw 3" 3.0 r.values.(3)
+
+let test_barrier () =
+  (* After a barrier, every rank must observe every other rank's pre-barrier
+     write. *)
+  let ranks = 4 in
+  let flags = Array.make ranks 0 in
+  let r =
+    Shmpi.Runtime.run ~ranks (fun comm rank ->
+        flags.(rank) <- 1;
+        Shmpi.Comm.barrier comm;
+        Array.fold_left ( + ) 0 flags)
+  in
+  Array.iter (fun v -> Alcotest.(check int) "saw all" ranks v) r.values
+
+let test_allreduce_sum () =
+  List.iter
+    (fun ranks ->
+      let r =
+        Shmpi.Runtime.run ~ranks (fun comm rank ->
+            Shmpi.Comm.allreduce comm ~rank ~op:( +. )
+              (float_of_int (rank + 1)))
+      in
+      let expected = float_of_int (ranks * (ranks + 1) / 2) in
+      Array.iteri
+        (fun rank v ->
+          Alcotest.(check (float 1e-9))
+            (Fmt.str "P=%d rank %d" ranks rank)
+            expected v)
+        r.values)
+    [ 1; 2; 3; 4; 5; 7; 8 ]
+
+let test_allreduce_max () =
+  let ranks = 6 in
+  let r =
+    Shmpi.Runtime.run ~ranks (fun comm rank ->
+        Shmpi.Comm.allreduce comm ~rank ~op:Float.max
+          (float_of_int ((rank * 7) mod 5)))
+  in
+  Array.iter (fun v -> Alcotest.(check (float 0.0)) "max" 4.0 v) r.values
+
+let test_pingpong_measures () =
+  let t = Shmpi.Pingpong.half_round_trip ~rounds:50 ~size_bytes:256 () in
+  Alcotest.(check bool) "positive and sane" true (t > 0.0 && t < 1e6)
+
+let test_fit_platform_sane () =
+  (* Fitting on synthetic noiseless data must recover it; fitting on real
+     measurements must produce physical (positive) parameters. *)
+  let synth = List.map (fun s -> (s, 4.0 +. (0.002 *. float_of_int s)))
+      [ 64; 256; 1024; 4096; 16384 ]
+  in
+  let p = Shmpi.Pingpong.fit_platform synth in
+  Alcotest.(check (float 1e-9)) "G" 0.002 p.offnode.g;
+  Alcotest.(check (float 1e-9)) "o" 2.0 p.offnode.o
+
+let suite =
+  [
+    ( "shmpi.channel",
+      [
+        Alcotest.test_case "FIFO" `Quick test_channel_fifo;
+        Alcotest.test_case "payload copied" `Quick test_channel_copies;
+      ] );
+    ( "shmpi.comm",
+      [
+        Alcotest.test_case "ring pass" `Quick test_ring_pass;
+        Alcotest.test_case "barrier" `Quick test_barrier;
+        Alcotest.test_case "allreduce sum (any P)" `Quick test_allreduce_sum;
+        Alcotest.test_case "allreduce max" `Quick test_allreduce_max;
+      ] );
+    ( "shmpi.pingpong",
+      [
+        Alcotest.test_case "measures" `Quick test_pingpong_measures;
+        Alcotest.test_case "fit platform" `Quick test_fit_platform_sane;
+      ] );
+  ]

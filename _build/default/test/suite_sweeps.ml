@@ -1,0 +1,128 @@
+(* Tests for the sweep schedules and precedence structure (paper Figure 2,
+   Table 3's nsweeps/nfull/ndiag). *)
+
+open Sweeps
+
+let counts_testable =
+  Alcotest.testable
+    (fun ppf (c : Schedule.counts) ->
+      Fmt.pf ppf "nsweeps=%d nfull=%d ndiag=%d" c.nsweeps c.nfull c.ndiag)
+    ( = )
+
+let test_lu_counts () =
+  Alcotest.check counts_testable "LU (Table 3)"
+    { Schedule.nsweeps = 2; nfull = 2; ndiag = 0 }
+    (Schedule.counts Schedule.lu)
+
+let test_sweep3d_counts () =
+  Alcotest.check counts_testable "Sweep3D (Table 3)"
+    { Schedule.nsweeps = 8; nfull = 2; ndiag = 2 }
+    (Schedule.counts Schedule.sweep3d)
+
+let test_chimaera_counts () =
+  Alcotest.check counts_testable "Chimaera (Table 3)"
+    { Schedule.nsweeps = 8; nfull = 4; ndiag = 2 }
+    (Schedule.counts Schedule.chimaera)
+
+let test_last_gate_full () =
+  List.iter
+    (fun s ->
+      let gates = Schedule.gates s in
+      Alcotest.(check bool) "last gate Full" true
+        (List.nth gates (List.length gates - 1) = Schedule.Full))
+    [ Schedule.lu; Schedule.sweep3d; Schedule.chimaera ]
+
+let test_sweep3d_gate_sequence () =
+  (* Section 2.2's narrative: sweep 2 follows sweep 1 at the same corner;
+     sweep 3 waits for the diagonal corner; sweep 4 follows; sweep 5 waits
+     for full completion; and so on. *)
+  Alcotest.(check (list string))
+    "gates"
+    [ "follow"; "diagonal"; "follow"; "full"; "follow"; "diagonal"; "follow";
+      "full" ]
+    (List.map (Fmt.str "%a" Schedule.pp_gate) (Schedule.gates Schedule.sweep3d))
+
+let test_chimaera_gate_sequence () =
+  Alcotest.(check (list string))
+    "gates"
+    [ "follow"; "diagonal"; "full"; "full"; "follow"; "diagonal"; "full";
+      "full" ]
+    (List.map (Fmt.str "%a" Schedule.pp_gate) (Schedule.gates Schedule.chimaera))
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Schedule.v: need at least one sweep") (fun () ->
+      ignore (Schedule.v []))
+
+let test_make_basic () =
+  let s = Schedule.make ~nsweeps:8 ~nfull:2 ~ndiag:2 in
+  Alcotest.check counts_testable "synthesized"
+    { Schedule.nsweeps = 8; nfull = 2; ndiag = 2 }
+    (Schedule.counts s)
+
+let test_make_energy_pipeline () =
+  (* The Section 5.5 redesign: 240 sweeps per iteration with nfull = 2 and
+     ndiag = 2 (30 energy groups pipelined through each pair of sweeps). *)
+  let s = Schedule.make ~nsweeps:240 ~nfull:2 ~ndiag:2 in
+  Alcotest.check counts_testable "pipelined energy groups"
+    { Schedule.nsweeps = 240; nfull = 2; ndiag = 2 }
+    (Schedule.counts s)
+
+let test_make_invalid () =
+  Alcotest.check_raises "nfull 0"
+    (Invalid_argument "Schedule.make: the last sweep always gates fully")
+    (fun () -> ignore (Schedule.make ~nsweeps:4 ~nfull:0 ~ndiag:0));
+  Alcotest.check_raises "too many gates"
+    (Invalid_argument "Schedule.make: nfull + ndiag must be <= nsweeps")
+    (fun () -> ignore (Schedule.make ~nsweeps:4 ~nfull:3 ~ndiag:2))
+
+let prop_make_roundtrip =
+  QCheck.Test.make ~name:"make realizes requested gate counts" ~count:300
+    QCheck.(triple (int_range 1 64) (int_range 1 16) (int_range 0 16))
+    (fun (nsweeps, nfull, ndiag) ->
+      QCheck.assume (nfull >= 1 && nfull + ndiag <= nsweeps);
+      let s = Schedule.make ~nsweeps ~nfull ~ndiag in
+      let c = Schedule.counts s in
+      c.nsweeps = nsweeps && c.nfull = nfull && c.ndiag = ndiag)
+
+let prop_gate_between_classification =
+  QCheck.Test.make ~name:"gate_between matches corner relations" ~count:100
+    (QCheck.make
+       (QCheck.Gen.pair
+          (QCheck.Gen.oneofl Wgrid.Proc_grid.all_corners)
+          (QCheck.Gen.oneofl Wgrid.Proc_grid.all_corners)))
+    (fun (a, b) ->
+      let g =
+        Schedule.gate_between (Schedule.sweep a `Up) (Schedule.sweep b `Down)
+      in
+      if a = b then g = Schedule.Follow
+      else if b = Wgrid.Proc_grid.opposite a then g = Schedule.Full
+      else g = Schedule.Diagonal)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_make_roundtrip; prop_gate_between_classification ]
+
+let suite =
+  [
+    ( "sweeps.schedule",
+      [
+        Alcotest.test_case "LU counts" `Quick test_lu_counts;
+        Alcotest.test_case "Sweep3D counts" `Quick test_sweep3d_counts;
+        Alcotest.test_case "Chimaera counts" `Quick test_chimaera_counts;
+        Alcotest.test_case "last gate is Full" `Quick test_last_gate_full;
+        Alcotest.test_case "Sweep3D gate sequence" `Quick
+          test_sweep3d_gate_sequence;
+        Alcotest.test_case "Chimaera gate sequence" `Quick
+          test_chimaera_gate_sequence;
+        Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+      ] );
+    ( "sweeps.make",
+      [
+        Alcotest.test_case "basic synthesis" `Quick test_make_basic;
+        Alcotest.test_case "energy-group pipeline (S5.5)" `Quick
+          test_make_energy_pipeline;
+        Alcotest.test_case "invalid inputs" `Quick test_make_invalid;
+      ] );
+    ("sweeps.properties", props);
+  ]

@@ -1,0 +1,184 @@
+(* Tests for the tooling around the model: spec files, the explanation
+   worksheet, and sensitivity analysis. *)
+
+open Wavefront_core
+
+let xt4 = Loggp.Params.xt4
+
+(* --- Spec files --- *)
+
+let full_spec =
+  {|
+# an imaginary code
+name = hydra
+nx = 480
+ny = 480
+nz = 320
+wg = 1.4
+wg_pre = 0.15
+htile = 2
+nsweeps = 4
+nfull = 2
+ndiag = 1
+bytes_per_cell = 96
+iterations = 200
+nonwavefront = allreduce 2
+|}
+
+let test_spec_parses () =
+  match Apps.Spec.of_string full_spec with
+  | Error (`Msg m) -> Alcotest.fail m
+  | Ok app ->
+      Alcotest.(check string) "name" "hydra" app.App_params.name;
+      Alcotest.(check int) "cells" (480 * 480 * 320)
+        (Wgrid.Data_grid.cells app.grid);
+      Alcotest.(check (float 1e-9)) "wg" 1.4 app.wg;
+      Alcotest.(check (float 1e-9)) "wg_pre" 0.15 app.wg_pre;
+      Alcotest.(check (float 1e-9)) "htile" 2.0 app.htile;
+      Alcotest.(check int) "iterations" 200 app.iterations;
+      let c = App_params.counts app in
+      Alcotest.(check int) "nsweeps" 4 c.nsweeps;
+      Alcotest.(check int) "nfull" 2 c.nfull;
+      Alcotest.(check int) "ndiag" 1 c.ndiag;
+      (match app.nonwavefront with
+      | Allreduce { count = 2; _ } -> ()
+      | _ -> Alcotest.fail "expected 2 all-reduces")
+
+let test_spec_minimal () =
+  match Apps.Spec.of_string "nx=8\nny=8\nnz=8\nwg=1.0" with
+  | Error (`Msg m) -> Alcotest.fail m
+  | Ok app ->
+      Alcotest.(check (float 1e-9)) "default htile" 1.0 app.App_params.htile;
+      Alcotest.(check int) "default iterations" 1 app.App_params.iterations
+
+let expect_error ~substr spec =
+  match Apps.Spec.of_string spec with
+  | Ok _ -> Alcotest.fail ("expected an error mentioning " ^ substr)
+  | Error (`Msg m) ->
+      let contains () =
+        let n = String.length substr and h = String.length m in
+        let rec go i = i + n <= h && (String.sub m i n = substr || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (m ^ " mentions " ^ substr) true (contains ())
+
+let test_spec_errors () =
+  expect_error ~substr:"missing required" "nx=8\nny=8\nnz=8";
+  expect_error ~substr:"unknown key" "nx=8\nny=8\nnz=8\nwg=1\nbogus=3";
+  expect_error ~substr:"expected an integer" "nx=eight\nny=8\nnz=8\nwg=1";
+  expect_error ~substr:"KEY = VALUE" "nx=8\nny=8\nnz=8\nwg=1\nnot a binding";
+  expect_error ~substr:"nonwavefront"
+    "nx=8\nny=8\nnz=8\nwg=1\nnonwavefront=sometimes";
+  expect_error ~substr:"stencil"
+    "nx=8\nny=8\nnz=8\nwg=1\nnonwavefront = stencil x y"
+
+let test_spec_stencil_and_fixed () =
+  (match Apps.Spec.of_string "nx=8\nny=8\nnz=8\nwg=1\nnonwavefront=stencil 0.1 40" with
+  | Ok app -> (
+      match app.App_params.nonwavefront with
+      | Stencil { wg_stencil; halo_bytes_per_cell } ->
+          Alcotest.(check (float 1e-9)) "wg_stencil" 0.1 wg_stencil;
+          Alcotest.(check (float 1e-9)) "halo" 40.0 halo_bytes_per_cell
+      | _ -> Alcotest.fail "expected stencil")
+  | Error (`Msg m) -> Alcotest.fail m);
+  match Apps.Spec.of_string "nx=8\nny=8\nnz=8\nwg=1\nnonwavefront=fixed 123.5" with
+  | Ok app -> (
+      match app.App_params.nonwavefront with
+      | Fixed t -> Alcotest.(check (float 1e-9)) "fixed" 123.5 t
+      | _ -> Alcotest.fail "expected fixed")
+  | Error (`Msg m) -> Alcotest.fail m
+
+(* --- Explain --- *)
+
+let test_worksheet_renders () =
+  let app = Apps.Chimaera.p240 () in
+  (* 64 cores: 2400-byte faces, so the rendezvous path shows up. *)
+  let cfg = Plugplay.config xt4 ~cores:64 in
+  let s = Fmt.str "%a" (fun ppf () -> Explain.worksheet ppf app cfg) () in
+  List.iter
+    (fun needle ->
+      let contains =
+        let n = String.length needle and h = String.length s in
+        let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("worksheet mentions " ^ needle) true contains)
+    [ "W (r1b)"; "Tdiagfill"; "Tfullfill"; "Tstack"; "Titer"; "rendezvous" ]
+
+(* --- Sensitivity --- *)
+
+let test_elasticities_homogeneous () =
+  (* The model is homogeneous of degree one in its time-like inputs, so the
+     elasticities of Wg, Wg_pre, G, L and o must sum to ~1. *)
+  List.iter
+    (fun (app, cores) ->
+      let cfg = Plugplay.config xt4 ~cores in
+      let e input = Sensitivity.elasticity app cfg input in
+      let sum =
+        e Sensitivity.Wg +. e Wg_pre +. e G +. e L +. e O
+      in
+      Alcotest.check (Alcotest.float 0.02)
+        (Fmt.str "%s @%d" app.App_params.name cores)
+        1.0 sum)
+    [ (Apps.Chimaera.p240 (), 1024); (Apps.Lu.class_e (), 4096);
+      (Apps.Sweep3d.p20m (), 4096) ]
+
+let test_wg_elasticity_tracks_compute_share () =
+  let app = Apps.Chimaera.p240 () in
+  let cfg = Plugplay.config xt4 ~cores:1024 in
+  let c = Plugplay.components app cfg in
+  let e = Sensitivity.elasticity app cfg Sensitivity.Wg in
+  Alcotest.check (Alcotest.float 0.03) "e_Wg ~ compute share"
+    (c.computation /. c.total) e
+
+let test_sensitivity_shifts_with_scale () =
+  (* Communication-bound configurations care about o and L; compute-bound
+     ones about Wg. *)
+  let app = Apps.Chimaera.p240 () in
+  let e cores input =
+    Sensitivity.elasticity app (Plugplay.config xt4 ~cores) input
+  in
+  Alcotest.(check bool) "Wg matters more at small P" true
+    (e 1024 Sensitivity.Wg > e 32768 Sensitivity.Wg);
+  Alcotest.(check bool) "o matters more at large P" true
+    (e 32768 Sensitivity.O > e 1024 Sensitivity.O)
+
+let test_analyze_covers_all_inputs () =
+  let rows =
+    Sensitivity.analyze (Apps.Sweep3d.p20m ()) (Plugplay.config xt4 ~cores:1024)
+  in
+  Alcotest.(check int) "all inputs" (List.length Sensitivity.all_inputs)
+    (List.length rows);
+  List.iter
+    (fun (r : Sensitivity.row) ->
+      Alcotest.(check bool)
+        (Sensitivity.input_name r.input ^ " finite")
+        true
+        (Float.is_finite r.elasticity))
+    rows
+
+let suite =
+  [
+    ( "tools.spec",
+      [
+        Alcotest.test_case "full spec parses" `Quick test_spec_parses;
+        Alcotest.test_case "minimal spec + defaults" `Quick test_spec_minimal;
+        Alcotest.test_case "errors are loud" `Quick test_spec_errors;
+        Alcotest.test_case "stencil and fixed epilogues" `Quick
+          test_spec_stencil_and_fixed;
+      ] );
+    ( "tools.explain",
+      [ Alcotest.test_case "worksheet renders" `Quick test_worksheet_renders ]
+    );
+    ( "tools.sensitivity",
+      [
+        Alcotest.test_case "homogeneity: elasticities sum to 1" `Quick
+          test_elasticities_homogeneous;
+        Alcotest.test_case "Wg elasticity = compute share" `Quick
+          test_wg_elasticity_tracks_compute_share;
+        Alcotest.test_case "shifts with scale" `Quick
+          test_sensitivity_shifts_with_scale;
+        Alcotest.test_case "analyze covers inputs" `Quick
+          test_analyze_covers_all_inputs;
+      ] );
+  ]

@@ -1,0 +1,357 @@
+(* Tests for the discrete-event simulator: engine mechanics, protocol
+   fidelity to Table 1, all-reduce versus equation 9, and the
+   model-versus-simulated-execution validation of the paper's Sections 4-5. *)
+
+open Xtsim
+module Comm = Loggp.Comm_model
+
+let xt4 = Loggp.Params.xt4
+let feq = Alcotest.float 1e-9
+
+(* --- Engine --- *)
+
+let test_engine_wait_sequencing () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      Engine.wait 5.0;
+      log := (Engine.now e, "a") :: !log;
+      Engine.wait 2.0;
+      log := (Engine.now e, "b") :: !log);
+  Engine.spawn e (fun () ->
+      Engine.wait 6.0;
+      log := (Engine.now e, "c") :: !log);
+  let final = Engine.run e in
+  Alcotest.check feq "final time" 7.0 final;
+  Alcotest.(check (list (pair (float 1e-9) string)))
+    "order"
+    [ (5.0, "a"); (6.0, "c"); (7.0, "b") ]
+    (List.rev !log)
+
+let test_engine_suspend_resume () =
+  let e = Engine.create () in
+  let resume_cell = ref None in
+  let woke_at = ref nan in
+  Engine.spawn e (fun () ->
+      Engine.suspend (fun r -> resume_cell := Some r);
+      woke_at := Engine.now e);
+  Engine.schedule e ~at:42.0 (fun () -> Option.get !resume_cell ());
+  ignore (Engine.run e);
+  Alcotest.check feq "woken at resume time" 42.0 !woke_at
+
+let test_engine_double_resume_rejected () =
+  let e = Engine.create () in
+  let resume_cell = ref None in
+  Engine.spawn e (fun () -> Engine.suspend (fun r -> resume_cell := Some r));
+  Engine.schedule e ~at:1.0 (fun () ->
+      let r = Option.get !resume_cell in
+      r ();
+      Alcotest.check_raises "second resume"
+        (Invalid_argument "Engine: process resumed twice") r);
+  ignore (Engine.run e)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~at:1.0 (fun () -> log := i :: !log)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "FIFO at equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:5.0 (fun () ->
+      Alcotest.check_raises "past"
+        (Invalid_argument "Engine.schedule: cannot schedule in the past")
+        (fun () -> Engine.schedule e ~at:1.0 ignore));
+  ignore (Engine.run e)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in (time, seq) order" ~count:100
+    QCheck.(list (float_range 0.0 100.0))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i t -> Heap.push h ~time:t ~seq:i ()) times;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some e -> drain ((e.Heap.time, e.Heap.seq) :: acc)
+      in
+      let popped = drain [] in
+      List.length popped = List.length times
+      && popped = List.sort compare popped)
+
+(* --- Resource --- *)
+
+let test_resource_serializes () =
+  let e = Engine.create () in
+  let r = Resource.create e in
+  let ends = ref [] in
+  for _ = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Resource.with_resource r (fun () -> Engine.wait 5.0);
+        ends := Engine.now e :: !ends)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list (float 1e-9)))
+    "FIFO serialization" [ 5.0; 10.0; 15.0 ] (List.rev !ends)
+
+(* --- Machine --- *)
+
+let test_machine_nodes () =
+  let m =
+    Machine.v ~cmp:(Wgrid.Cmp.v ~cx:1 ~cy:2) xt4 (Wgrid.Proc_grid.v ~cols:4 ~rows:4)
+  in
+  Alcotest.(check int) "node count" 8 (Machine.node_count m);
+  (* Ranks 0..3 are row 1; rank 4 is (1,2) which shares a node with (1,1). *)
+  Alcotest.(check int) "(1,1) and (1,2) same node"
+    (Machine.node_of_rank m 0)
+    (Machine.node_of_rank m 4);
+  Alcotest.(check bool) "locality on-chip" true
+    (Machine.locality m ~src:0 ~dst:4 = Comm.On_chip);
+  Alcotest.(check bool) "east off-node" true
+    (Machine.locality m ~src:0 ~dst:1 = Comm.Off_node)
+
+(* --- Protocol fidelity: simulated ping-pong = Table 1 equations --- *)
+
+let test_pingpong_matches_equations () =
+  List.iter
+    (fun (loc : Comm.locality) ->
+      List.iter
+        (fun size ->
+          let machine = Pingpong.machine_for xt4 loc in
+          let sim = Pingpong.half_round_trip machine ~size in
+          let model = Comm.total xt4 loc size in
+          Alcotest.check
+            (Alcotest.float 1e-6)
+            (Fmt.str "%a %dB" Comm.pp_locality loc size)
+            model sim)
+        [ 1; 8; 100; 512; 1024; 1025; 2048; 4096; 8192; 12288 ])
+    [ Comm.Off_node; Comm.On_chip ]
+
+let test_pingpong_bus_neutral () =
+  (* Strictly alternating traffic never queues on the bus, so modeling the
+     bus must not change ping-pong times. *)
+  List.iter
+    (fun size ->
+      let with_bus =
+        Pingpong.half_round_trip (Pingpong.machine_for ~model_bus:true xt4 Comm.Off_node) ~size
+      in
+      let without =
+        Pingpong.half_round_trip (Pingpong.machine_for ~model_bus:false xt4 Comm.Off_node) ~size
+      in
+      Alcotest.check feq (Fmt.str "%dB" size) without with_bus)
+    [ 64; 4096 ]
+
+let test_fit_simulated_pingpong_recovers_table2 () =
+  (* The paper's Table 2 derivation end-to-end: run the (simulated)
+     microbenchmark, fit the two-segment model, recover the parameters. *)
+  let points =
+    Pingpong.curve xt4 Comm.Off_node ~sizes:Pingpong.figure3_sizes
+  in
+  let fitted, q = Loggp.Fit.fit_offnode points in
+  Alcotest.check (Alcotest.float 1e-4) "G" xt4.offnode.g fitted.g;
+  Alcotest.check (Alcotest.float 1e-3) "L" xt4.offnode.l fitted.l;
+  Alcotest.check (Alcotest.float 1e-3) "o" xt4.offnode.o fitted.o;
+  Alcotest.(check bool) "max rel err tiny" true (q.max_rel_error < 1e-4);
+  let points_on = Pingpong.curve xt4 Comm.On_chip ~sizes:Pingpong.figure3_sizes in
+  let fitted_on, _ = Loggp.Fit.fit_onchip points_on in
+  Alcotest.check (Alcotest.float 1e-4) "Gcopy" xt4.onchip.g_copy fitted_on.g_copy;
+  Alcotest.check (Alcotest.float 1e-4) "Gdma" xt4.onchip.g_dma fitted_on.g_dma;
+  Alcotest.check (Alcotest.float 1e-3) "ocopy" xt4.onchip.o_copy fitted_on.o_copy
+
+(* --- All-reduce vs equation 9 --- *)
+
+let run_allreduce machine =
+  let cores = Machine.cores machine in
+  let engine = Engine.create () in
+  let mpi = Mpi_sim.create engine machine in
+  let coll = Collective.ctx engine machine in
+  let dones = Array.make cores false in
+  for r = 0 to cores - 1 do
+    Engine.spawn engine (fun () ->
+        Collective.allreduce coll mpi ~rank:r ~msg_size:8;
+        dones.(r) <- true)
+  done;
+  let elapsed = Engine.run engine in
+  Alcotest.(check bool) "completed" true (Array.for_all Fun.id dones);
+  elapsed
+
+let test_allreduce_single_core_exact () =
+  List.iter
+    (fun cores ->
+      let machine =
+        Machine.v ~cmp:Wgrid.Cmp.single_core xt4 (Wgrid.Proc_grid.of_cores cores)
+      in
+      let sim = run_allreduce machine in
+      let model =
+        Loggp.Allreduce.time (Loggp.Params.with_cores_per_node xt4 1) ~cores
+      in
+      Alcotest.check (Alcotest.float 1e-6) (Fmt.str "P=%d" cores) model sim)
+    [ 2; 8; 64; 512 ]
+
+let test_allreduce_dual_core_within_2pct () =
+  (* Paper Section 3.3: the model has < 2% error up to 1024 dual-core
+     nodes. Our simulated machine reproduces that agreement at scale. *)
+  List.iter
+    (fun cores ->
+      let machine =
+        Machine.v ~cmp:(Wgrid.Cmp.v ~cx:1 ~cy:2) xt4
+          (Wgrid.Proc_grid.of_cores cores)
+      in
+      let sim = run_allreduce machine in
+      let model = Loggp.Allreduce.time xt4 ~cores in
+      let rel = Float.abs (sim -. model) /. model in
+      Alcotest.(check bool)
+        (Fmt.str "P=%d rel=%.4f" cores rel)
+        true (rel < 0.02))
+    [ 256; 1024; 2048 ]
+
+(* --- Wavefront executions vs the plug-and-play model --- *)
+
+let validate ?(cmp = Wgrid.Cmp.single_core) ~tol app cores =
+  let pg = Wgrid.Proc_grid.of_cores cores in
+  let machine = Machine.v ~cmp xt4 pg in
+  let o = Wavefront_sim.run machine app in
+  Alcotest.(check bool) "completed" true o.completed;
+  let cfg = Wavefront_core.Plugplay.config ~cmp ~pgrid:pg xt4 ~cores in
+  let model = Wavefront_core.Plugplay.time_per_iteration app cfg in
+  let rel = Float.abs (model -. o.per_iteration) /. o.per_iteration in
+  Alcotest.(check bool)
+    (Fmt.str "%s @%d: model %.0f sim %.0f rel=%.4f (tol %.2f)"
+       app.Wavefront_core.App_params.name cores model o.per_iteration rel tol)
+    true (rel < tol)
+
+let grid128 = Wgrid.Data_grid.cube 128
+
+let test_validate_lu_single_core () =
+  List.iter (validate ~tol:0.05 (Apps.Lu.params grid128)) [ 16; 64; 256 ]
+
+let test_validate_sweep3d_single_core () =
+  List.iter (validate ~tol:0.06 (Apps.Sweep3d.params grid128)) [ 16; 64; 256 ]
+
+let test_validate_chimaera_single_core () =
+  List.iter (validate ~tol:0.06 (Apps.Chimaera.params grid128)) [ 16; 64; 256 ]
+
+let test_validate_dual_core () =
+  let cmp = Wgrid.Cmp.v ~cx:1 ~cy:2 in
+  validate ~cmp ~tol:0.12 (Apps.Chimaera.params grid128) 256;
+  validate ~cmp ~tol:0.12 (Apps.Sweep3d.params grid128) 256;
+  validate ~cmp ~tol:0.15 (Apps.Lu.params grid128) 256
+
+let test_validate_quad_core () =
+  let cmp = Wgrid.Cmp.v ~cx:2 ~cy:2 in
+  validate ~cmp ~tol:0.20 (Apps.Chimaera.params grid128) 256
+
+(* --- Emergent sweep gating --- *)
+
+let test_gating_emerges () =
+  (* Same work, same sweeps — but a schedule whose every sweep must fully
+     complete before the next must run slower in the simulator than one
+     whose sweeps pipeline behind each other. Nothing in the simulated
+     program encodes this; it emerges from blocking MPI. *)
+  let mk nfull ndiag =
+    Apps.Custom.params ~name:"gating" ~nsweeps:4 ~nfull ~ndiag ~wg:1.0
+      ~bytes_per_cell:64.0 (Wgrid.Data_grid.cube 64)
+  in
+  let run app =
+    let pg = Wgrid.Proc_grid.of_cores 64 in
+    let machine = Machine.v ~cmp:Wgrid.Cmp.single_core xt4 pg in
+    let o = Wavefront_sim.run machine app in
+    Alcotest.(check bool) "completed" true o.completed;
+    o.per_iteration
+  in
+  let pipelined = run (mk 1 0) in
+  let diag = run (mk 1 3) in
+  let full = run (mk 4 0) in
+  Alcotest.(check bool) "full > diag" true (full > diag);
+  Alcotest.(check bool) "diag > pipelined" true (diag > pipelined)
+
+let test_iterations_scale_linearly () =
+  let app = Apps.Sweep3d.params (Wgrid.Data_grid.cube 64) in
+  let pg = Wgrid.Proc_grid.of_cores 64 in
+  let machine = Machine.v xt4 pg in
+  let one = Wavefront_sim.run ~iterations:1 machine app in
+  let three = Wavefront_sim.run ~iterations:3 machine app in
+  Alcotest.(check bool) "completed" true (one.completed && three.completed);
+  let rel =
+    Float.abs (three.per_iteration -. one.per_iteration) /. one.per_iteration
+  in
+  Alcotest.(check bool) (Fmt.str "linear rel=%.4f" rel) true (rel < 0.05)
+
+let prop_no_deadlock_any_schedule =
+  (* Deadlock-freedom of the blocking wavefront program for arbitrary sweep
+     structures: any nsweeps/nfull/ndiag combination must complete. *)
+  QCheck.Test.make ~name:"wavefront programs never deadlock" ~count:30
+    QCheck.(triple (int_range 1 6) (int_range 1 3) (int_range 0 3))
+    (fun (nsweeps, nfull, ndiag) ->
+      QCheck.assume (nfull + ndiag <= nsweeps);
+      let app =
+        Apps.Custom.params ~name:"dl" ~nsweeps ~nfull ~ndiag ~wg:1.0
+          ~bytes_per_cell:16.0
+          (Wgrid.Data_grid.v ~nx:12 ~ny:12 ~nz:8)
+      in
+      let machine =
+        Machine.v ~cmp:(Wgrid.Cmp.v ~cx:1 ~cy:2) xt4
+          (Wgrid.Proc_grid.v ~cols:4 ~rows:3)
+      in
+      (Wavefront_sim.run machine app).completed)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_heap_sorted; prop_no_deadlock_any_schedule ]
+
+let suite =
+  [
+    ( "xtsim.engine",
+      [
+        Alcotest.test_case "wait sequencing" `Quick test_engine_wait_sequencing;
+        Alcotest.test_case "suspend/resume" `Quick test_engine_suspend_resume;
+        Alcotest.test_case "double resume rejected" `Quick
+          test_engine_double_resume_rejected;
+        Alcotest.test_case "same-time FIFO" `Quick test_engine_same_time_fifo;
+        Alcotest.test_case "past scheduling rejected" `Quick
+          test_engine_past_rejected;
+        Alcotest.test_case "resource serializes" `Quick test_resource_serializes;
+        Alcotest.test_case "machine node mapping" `Quick test_machine_nodes;
+      ] );
+    ( "xtsim.protocol",
+      [
+        Alcotest.test_case "ping-pong = Table 1 equations" `Quick
+          test_pingpong_matches_equations;
+        Alcotest.test_case "bus neutral for ping-pong" `Quick
+          test_pingpong_bus_neutral;
+        Alcotest.test_case "fit of simulated curve = Table 2" `Quick
+          test_fit_simulated_pingpong_recovers_table2;
+      ] );
+    ( "xtsim.allreduce",
+      [
+        Alcotest.test_case "single-core exact" `Quick
+          test_allreduce_single_core_exact;
+        Alcotest.test_case "dual-core < 2% (S3.3)" `Quick
+          test_allreduce_dual_core_within_2pct;
+      ] );
+    ( "xtsim.validation",
+      [
+        Alcotest.test_case "LU single-core < 5%" `Quick
+          test_validate_lu_single_core;
+        Alcotest.test_case "Sweep3D single-core < 6%" `Quick
+          test_validate_sweep3d_single_core;
+        Alcotest.test_case "Chimaera single-core < 6%" `Quick
+          test_validate_chimaera_single_core;
+        Alcotest.test_case "dual-core with contention" `Quick
+          test_validate_dual_core;
+        Alcotest.test_case "quad-core with contention" `Quick
+          test_validate_quad_core;
+      ] );
+    ( "xtsim.emergence",
+      [
+        Alcotest.test_case "sweep gating emerges from blocking MPI" `Quick
+          test_gating_emerges;
+        Alcotest.test_case "iterations scale linearly" `Quick
+          test_iterations_scale_linearly;
+      ] );
+    ("xtsim.properties", props);
+  ]
