@@ -107,9 +107,30 @@ let kernel_tests =
               Kernels.Lu_kernel.sweep_block v ~nx:16 ~ny:16 ~nz:16)));
     ]
 
+(* Instrumentation overhead: the same simulation bare, with tracing off
+   (the option-check-only path the ISSUE budget applies to), and with a
+   tracer + registry attached. *)
+let obs_tests =
+  let app = Apps.Sweep3d.params (Wgrid.Data_grid.cube 32) in
+  let machine = Xtsim.Machine.v xt4 (Wgrid.Proc_grid.of_cores 64) in
+  Test.make_grouped ~name:"obs"
+    [
+      Test.make ~name:"sim-untraced"
+        (Staged.stage (fun () -> ignore (Xtsim.Wavefront_sim.run machine app)));
+      Test.make ~name:"sim-traced"
+        (Staged.stage (fun () ->
+             let obs = Obs.Tracer.create () in
+             let metrics = Obs.Metrics.create () in
+             ignore (Xtsim.Wavefront_sim.run ~obs ~metrics machine app)));
+      (let tr = Obs.Tracer.create ~capacity:1024 () in
+       Test.make ~name:"tracer-record"
+         (Staged.stage (fun () ->
+              Obs.Tracer.record tr ~rank:0 ~start:0.0 ~dur:1.0 "x")));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"wavefront"
-    [ figure_tests; model_tests; sim_tests; kernel_tests ]
+    [ figure_tests; model_tests; sim_tests; kernel_tests; obs_tests ]
 
 let run_bechamel () =
   Fmt.pr "##### Bechamel timings #####@.";

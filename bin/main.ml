@@ -268,6 +268,63 @@ let report_cmd =
     Term.(const report $ app_arg $ grid_arg $ cores_arg $ cpn_arg $ htile_arg
           $ wg_arg $ iterations_arg $ trace_csv)
 
+(* --- profile --- *)
+
+let profile spec app_name grid cores cpn htile wg iterations platform real
+    capacity trace_out =
+  (match capacity with
+  | Some c when c < 1 ->
+      Fmt.epr "wavefront: --capacity must be at least 1@.";
+      exit 2
+  | _ -> ());
+  let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
+  let cfg = make_cfg platform ~cores ~cpn in
+  Fmt.pr "profiling %s on %d cores (%d/node, %s)...@." app.App_params.name
+    cores cpn platform.Loggp.Params.name;
+  let p = Harness.Profile.run ~real ?capacity cfg app in
+  Fmt.pr "%a@." Harness.Profile.pp p;
+  match trace_out with
+  | None -> ()
+  | Some path -> (
+      match open_out path with
+      | exception Sys_error m ->
+          Fmt.epr "wavefront: cannot write trace: %s@." m;
+          exit 1
+      | oc ->
+          output_string oc (Harness.Profile.trace_json p);
+          close_out oc;
+          let dropped = p.sim_dropped + p.real_dropped in
+          Fmt.pr
+            "trace written to %s (load in Perfetto / chrome://tracing)%s@." path
+            (if dropped > 0 then Fmt.str "; %d spans dropped" dropped else ""))
+
+let profile_cmd =
+  let doc =
+    "Profile one configuration: model vs simulated (vs real) breakdown, \
+     message mix, critical path, Chrome trace"
+  in
+  let real =
+    Arg.(value & flag
+         & info [ "real" ]
+             ~doc:
+               "Also execute the transport kernel on one OCaml domain per \
+                rank (use small core counts).")
+  in
+  let capacity =
+    Arg.(value & opt (some int) None
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Per-tracer span capacity (drops are reported).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event JSON of the run.")
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const profile $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
+          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ real
+          $ capacity $ trace_out)
+
 (* --- fit --- *)
 
 let fit real =
@@ -338,5 +395,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ predict_cmd; explain_cmd; simulate_cmd; report_cmd; figure_cmd;
-            scale_cmd; fit_cmd; measure_cmd ]))
+          [ predict_cmd; explain_cmd; simulate_cmd; report_cmd; profile_cmd;
+            figure_cmd; scale_cmd; fit_cmd; measure_cmd ]))

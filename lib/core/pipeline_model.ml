@@ -99,3 +99,8 @@ let iteration (app : App_params.t) (cfg : Plugplay.config) =
   sweeps_end +. r.t_nonwavefront
 
 let time_per_iteration = iteration
+
+let record_iteration m app cfg =
+  let t = iteration app cfg in
+  Obs.Metrics.set (Obs.Metrics.gauge m "pipeline.t_iteration") t;
+  t

@@ -25,3 +25,8 @@ val iteration : App_params.t -> Plugplay.config -> float
 
 val time_per_iteration : App_params.t -> Plugplay.config -> float
 (** Alias of {!iteration}. *)
+
+val record_iteration :
+  Obs.Metrics.t -> App_params.t -> Plugplay.config -> float
+(** As {!iteration}, also publishing the result as the
+    [pipeline.t_iteration] gauge. *)

@@ -12,6 +12,13 @@ val time_step_time : App_params.t -> Plugplay.config -> float
 (** Time for one time step of one energy group
     ([iterations * t_iteration]). *)
 
+val record_breakdown :
+  Obs.Metrics.t -> App_params.t -> Plugplay.config -> Plugplay.result
+(** Evaluate the model and publish its per-term breakdown as [model.*]
+    gauges — [w], [w_pre], [t_diagfill], [t_fullfill], [t_stack],
+    [t_nonwavefront], [t_iteration], plus the Figure 11 decomposition as
+    [t_compute]/[t_comm]. Returns the evaluated result. *)
+
 val total_time : run:run -> App_params.t -> Plugplay.config -> float
 
 type partition_metrics = {

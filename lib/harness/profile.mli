@@ -1,0 +1,38 @@
+(** The profiling workflow behind [wavefront profile]: the closed-form
+    model, the dataflow evaluator, a fully instrumented simulator run and
+    (optionally) a real shared-memory run of one configuration, reconciled
+    into breakdown / message-mix / critical-path tables and a Chrome
+    trace. *)
+
+open Wavefront_core
+
+type t = {
+  metrics : Obs.Metrics.t;
+      (** everything the layers recorded: [model.*] terms,
+          [pipeline.t_iteration], [sim.*] counters and distributions,
+          [real.wall_time] *)
+  breakdown : Table.t;  (** model vs simulated vs real, per Table 5 term *)
+  protocols : Table.t;  (** simulated message mix by protocol *)
+  path : Table.t;  (** the simulated run's critical path, by span kind *)
+  processes : Obs.Chrome_trace.process list;
+      (** pid 0 = simulated timeline; pid 1 = real timeline when present *)
+  sim : Xtsim.Wavefront_sim.outcome;
+  sim_dropped : int;  (** spans lost to the bounded tracer, 0 when none *)
+  real_dropped : int;
+}
+
+val run : ?real:bool -> ?capacity:int -> Plugplay.config -> App_params.t -> t
+(** Profile one configuration. [real] (default off) also executes the
+    transport kernel on one OCaml domain per rank of [cfg]'s processor
+    grid — use small core counts; the real kernel computes with its own
+    Wg, so its absolute time is only model-comparable when the model was
+    given a measured Wg. [capacity] bounds each tracer
+    ({!Obs.Tracer.default_capacity} spans by default); drops are
+    reported, not silent. *)
+
+val trace_json : t -> string
+(** The Chrome [trace_event] JSON of {!field-processes}, loadable in
+    Perfetto / [chrome://tracing]. *)
+
+val pp : Format.formatter -> t -> unit
+(** The three tables followed by the metrics summary. *)

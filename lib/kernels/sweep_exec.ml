@@ -93,8 +93,11 @@ type outcome = {
   wall_time : float;  (** us *)
 }
 
-let run plan =
-  let r = Shmpi.Runtime.run ~ranks:(Proc_grid.cores plan.pg) (rank_program plan) in
+let run ?obs plan =
+  let r =
+    Shmpi.Runtime.run ?obs ~ranks:(Proc_grid.cores plan.pg)
+      (rank_program plan)
+  in
   { blocks = r.values; wall_time = r.wall_time }
 
 (* Assemble per-rank blocks into a global grid for comparison. *)

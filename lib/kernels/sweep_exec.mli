@@ -32,9 +32,11 @@ val flow : Proc_grid.t -> Sweeps.Schedule.sweep -> int * int * int
 
 type outcome = { blocks : float array array; wall_time : float }
 
-val run : plan -> outcome
+val run : ?obs:Obs.Tracer.t array -> plan -> outcome
 (** Execute on one domain per processor; returns each rank's scalar-flux
-    block and the wall-clock time in us. *)
+    block and the wall-clock time in us. [obs] (one tracer per rank)
+    records per-rank spans for every send/receive/allreduce and a ["rank"]
+    span per program — see {!Shmpi.Runtime.run}. *)
 
 val gather : plan -> float array array -> float array
 (** Assemble per-rank blocks into a global [nx*ny*nz] grid. *)

@@ -1,0 +1,13 @@
+(** Chrome [trace_event] JSON export, loadable in [chrome://tracing] and
+    Perfetto: complete ("X") events, one process per span source, one
+    thread per rank. *)
+
+type process = { pid : int; name : string; spans : Span.t list }
+
+val to_json : ?normalize:bool -> process list -> string
+(** With [normalize] (the default), each process's timestamps are shifted
+    so its earliest span starts at 0 — a simulated timeline and a
+    wall-clock-stamped real one then align for side-by-side reading. *)
+
+val spans_csv : Span.t list -> string
+(** A flat [rank,name,cat,t_start,dur] CSV of the same spans. *)

@@ -1,0 +1,12 @@
+(* Time sources for the instrumentation layer. Everything in this library
+   is stamped in microseconds, matching the model's unit convention. *)
+
+type t = unit -> float
+
+let wall () = Unix.gettimeofday () *. 1e6
+
+let manual ?(start = 0.0) () =
+  let now = ref start in
+  ((fun () -> !now), fun d ->
+    if d < 0.0 then invalid_arg "Clock.manual: cannot advance backwards";
+    now := !now +. d)

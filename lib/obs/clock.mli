@@ -1,0 +1,15 @@
+(** Time sources for the instrumentation layer, in microseconds.
+
+    A clock is any [unit -> float] function, so spans can be stamped from
+    wall time, from a discrete-event engine's simulated time, or from a
+    hand-advanced test clock. *)
+
+type t = unit -> float
+
+val wall : t
+(** Wall-clock microseconds since the Unix epoch. *)
+
+val manual : ?start:float -> unit -> t * (float -> unit)
+(** A deterministic clock for tests: [(now, advance)]. [advance d] moves
+    the clock forward by [d] microseconds; raises [Invalid_argument] on a
+    negative [d]. *)

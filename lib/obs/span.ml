@@ -1,0 +1,44 @@
+(* A completed interval of work on one rank: the unit of the structured
+   event trace. Spans are plain data — producers stamp them from whatever
+   clock governs their execution (wall time for real runs, engine time for
+   simulated ones), so simulated and measured timelines share one format. *)
+
+type arg = Int of int | Float of float | Str of string
+
+type t = {
+  name : string;  (** what the rank was doing, e.g. "compute", "recv" *)
+  cat : string;  (** coarse grouping, e.g. "compute", "comm" *)
+  rank : int;
+  t_start : float;  (** us, in the producer's clock domain *)
+  dur : float;  (** us *)
+  args : (string * arg) list;
+}
+
+let v ?(cat = "") ?(args = []) ~rank ~start ~dur name =
+  if dur < 0.0 then invalid_arg "Span.v: negative duration";
+  { name; cat; rank; t_start = start; dur; args }
+
+let end_time s = s.t_start +. s.dur
+
+let compare_start a b =
+  match Float.compare a.t_start b.t_start with
+  | 0 -> compare a.rank b.rank
+  | c -> c
+
+let arg_int s key =
+  match List.assoc_opt key s.args with Some (Int i) -> Some i | _ -> None
+
+let arg_float s key =
+  match List.assoc_opt key s.args with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let pp_arg ppf = function
+  | Int i -> Format.fprintf ppf "%d" i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%s" s
+
+let pp ppf s =
+  Format.fprintf ppf "[rank %d] %s %.3f+%.3fus" s.rank s.name s.t_start s.dur;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_arg v) s.args

@@ -1,0 +1,35 @@
+(* A span collector: a bounded buffer of completed spans plus a clock for
+   the [span] convenience wrapper. One tracer must only ever be written
+   from one domain; parallel runtimes create one tracer per rank and merge
+   at the end (see {!merge}). *)
+
+type t = { ring : Span.t Ring.t; clock : Clock.t }
+
+let default_capacity = 1 lsl 19
+
+let create ?(capacity = default_capacity) ?(policy = Ring.Drop_newest)
+    ?(clock = Clock.wall) () =
+  { ring = Ring.create ~policy ~capacity (); clock }
+
+let clock t = t.clock
+let add t s = Ring.push t.ring s
+
+let record t ?cat ?args ~rank ~start ~dur name =
+  add t (Span.v ?cat ?args ~rank ~start ~dur name)
+
+let span t ?cat ?args ~rank name f =
+  let start = t.clock () in
+  Fun.protect
+    ~finally:(fun () ->
+      record t ?cat ?args ~rank ~start ~dur:(t.clock () -. start) name)
+    f
+
+let spans t = List.sort Span.compare_start (Ring.to_list t.ring)
+let recorded t = Ring.length t.ring
+let total t = Ring.pushed t.ring
+let dropped t = Ring.dropped t.ring
+
+let merge ts =
+  List.sort Span.compare_start
+    (Array.fold_left (fun acc t -> List.rev_append (Ring.to_list t.ring) acc)
+       [] ts)

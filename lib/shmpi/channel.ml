@@ -27,6 +27,25 @@ let recv t =
   Mutex.unlock t.mutex;
   payload
 
+(* As [recv], also reporting how long the caller was blocked on an empty
+   queue (wall-clock us; 0 when a payload was already waiting). The clock
+   is only read on the blocking path, so the fast path costs nothing. *)
+let recv_wait t =
+  Mutex.lock t.mutex;
+  let wait =
+    if Queue.is_empty t.queue then begin
+      let t0 = Unix.gettimeofday () in
+      while Queue.is_empty t.queue do
+        Condition.wait t.nonempty t.mutex
+      done;
+      (Unix.gettimeofday () -. t0) *. 1e6
+    end
+    else 0.0
+  in
+  let payload = Queue.pop t.queue in
+  Mutex.unlock t.mutex;
+  (payload, wait)
+
 let try_recv t =
   Mutex.lock t.mutex;
   let payload = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in

@@ -9,4 +9,9 @@ val send : t -> float array -> unit
 val recv : t -> float array
 (** Blocks until a payload is available. *)
 
+val recv_wait : t -> float array * float
+(** As {!recv}, also returning how long the call was blocked on an empty
+    queue, in wall-clock microseconds ([0.] if a payload was already
+    there). *)
+
 val try_recv : t -> float array option

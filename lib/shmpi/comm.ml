@@ -7,22 +7,34 @@
 type t = {
   ranks : int;
   channels : Channel.t array;  (* dst * ranks + src *)
+  obs : Obs.Tracer.t array;  (* one tracer per rank, or [||] when off *)
   barrier_mutex : Mutex.t;
   barrier_cond : Condition.t;
   mutable barrier_count : int;
   mutable barrier_epoch : int;
 }
 
-let create ranks =
+let create ?obs ranks =
   if ranks < 1 then invalid_arg "Comm.create: ranks must be >= 1";
+  let obs =
+    match obs with
+    | None -> [||]
+    | Some a ->
+        if Array.length a <> ranks then
+          invalid_arg "Comm.create: need one tracer per rank";
+        a
+  in
   {
     ranks;
     channels = Array.init (ranks * ranks) (fun _ -> Channel.create ());
+    obs;
     barrier_mutex = Mutex.create ();
     barrier_cond = Condition.create ();
     barrier_count = 0;
     barrier_epoch = 0;
   }
+
+let traced t = Array.length t.obs > 0
 
 let ranks t = t.ranks
 
@@ -34,14 +46,36 @@ let channel t ~src ~dst = t.channels.((dst * t.ranks) + src)
 let send t ~src ~dst payload =
   check_rank t src "send";
   check_rank t dst "send";
-  Channel.send (channel t ~src ~dst) payload
+  let ch = channel t ~src ~dst in
+  if not (traced t) then Channel.send ch payload
+  else
+    Obs.Tracer.span t.obs.(src) ~cat:"comm"
+      ~args:
+        [ ("dst", Obs.Span.Int dst); ("size", Int (Array.length payload)) ]
+      ~rank:src "send"
+      (fun () -> Channel.send ch payload)
 
 let recv t ~dst ~src =
   check_rank t src "recv";
   check_rank t dst "recv";
-  Channel.recv (channel t ~src ~dst)
+  let ch = channel t ~src ~dst in
+  if not (traced t) then Channel.recv ch
+  else begin
+    let tr = t.obs.(dst) in
+    let clock = Obs.Tracer.clock tr in
+    let t0 = clock () in
+    let payload, wait = Channel.recv_wait ch in
+    Obs.Tracer.record tr ~cat:"comm"
+      ~args:
+        [ ("src", Obs.Span.Int src); ("size", Int (Array.length payload));
+          ("wait", Float wait) ]
+      ~rank:dst ~start:t0
+      ~dur:(clock () -. t0)
+      "recv";
+    payload
+  end
 
-let barrier t =
+let barrier_impl t =
   Mutex.lock t.barrier_mutex;
   let epoch = t.barrier_epoch in
   t.barrier_count <- t.barrier_count + 1;
@@ -55,6 +89,16 @@ let barrier t =
       Condition.wait t.barrier_cond t.barrier_mutex
     done;
   Mutex.unlock t.barrier_mutex
+
+(* The barrier has no caller rank in its signature; [rank] is only needed
+   for the span, so tracing callers use [barrier_r]. *)
+let barrier_r t ~rank =
+  if not (traced t) then barrier_impl t
+  else
+    Obs.Tracer.span t.obs.(rank) ~cat:"sync" ~rank "barrier" (fun () ->
+        barrier_impl t)
+
+let barrier t = barrier_impl t
 
 (* Binomial-tree broadcast from [root]: in step k (counting down), ranks
    within 2^k of the root relay to rank + 2^k. All ranks must call. *)
@@ -124,7 +168,7 @@ let gather t ~rank ~root payload =
 (* All-reduce by recursive doubling (the same structure the simulator and
    equation 9 use). Non-power-of-two rank counts fold the excess ranks onto
    the power-of-two prefix first and broadcast back at the end. *)
-let allreduce t ~rank ~op value =
+let allreduce_impl t ~rank ~op value =
   let p = t.ranks in
   let pow2 =
     let rec go v = if v * 2 > p then v else go (v * 2) in
@@ -152,3 +196,9 @@ let allreduce t ~rank ~op value =
     if rank + pow2 < p then send t ~src:rank ~dst:(rank + pow2) [| !value |]
   end;
   !value
+
+let allreduce t ~rank ~op value =
+  if not (traced t) then allreduce_impl t ~rank ~op value
+  else
+    Obs.Tracer.span t.obs.(rank) ~cat:"comm" ~rank "allreduce" (fun () ->
+        allreduce_impl t ~rank ~op value)

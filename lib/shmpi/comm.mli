@@ -3,7 +3,15 @@
 
 type t
 
-val create : int -> t
+val create : ?obs:Obs.Tracer.t array -> int -> t
+(** [obs] attaches one tracer per rank (the array must have one entry per
+    rank): {!send}, {!recv}, {!barrier_r} and {!allreduce} then record
+    spans on the calling rank's tracer, each written only from that rank's
+    domain. [recv] spans carry a ["wait"] arg with the time blocked on an
+    empty channel, and ["src"]/["dst"] args make the spans usable with
+    [Obs.Critical_path.edges_of_spans]. Without [obs] every operation
+    costs a single length check. *)
+
 val ranks : t -> int
 
 val send : t -> src:int -> dst:int -> float array -> unit
@@ -15,6 +23,10 @@ val recv : t -> dst:int -> src:int -> float array
 
 val barrier : t -> unit
 (** All ranks must call; reusable. *)
+
+val barrier_r : t -> rank:int -> unit
+(** As {!barrier}, identifying the caller so the wait is recorded as a
+    span when tracing is on. *)
 
 val allreduce : t -> rank:int -> op:(float -> float -> float) -> float -> float
 (** Recursive-doubling all-reduce; all ranks must call with their value and

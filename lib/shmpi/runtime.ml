@@ -5,21 +5,69 @@ type 'a result = {
   wall_time : float;  (** elapsed wall-clock time, us *)
 }
 
+exception
+  Rank_failure of {
+    rank : int;
+    failed : int list;
+    exn : exn;
+    backtrace : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Rank_failure { rank; failed; exn; backtrace } ->
+        Some
+          (Printf.sprintf "Rank_failure: rank %d raised %s (failed ranks: %s)%s"
+             rank (Printexc.to_string exn)
+             (String.concat ", " (List.map string_of_int failed))
+             (if backtrace = "" then "" else "\n" ^ backtrace))
+    | _ -> None)
+
 let now_us () = Unix.gettimeofday () *. 1e6
 
-let run ~ranks f =
+let run ?obs ~ranks f =
   if ranks < 1 then invalid_arg "Runtime.run: ranks must be >= 1";
-  let comm = Comm.create ranks in
-  let start = now_us () in
-  let domains =
-    Array.init (ranks - 1) (fun k ->
-        let rank = k + 1 in
-        Domain.spawn (fun () -> f comm rank))
+  (match obs with
+  | Some a when Array.length a <> ranks ->
+      invalid_arg "Runtime.run: need one tracer per rank"
+  | _ -> ());
+  let comm = Comm.create ?obs ranks in
+  let body rank () =
+    let wrapped () =
+      match f comm rank with
+      | v -> Ok v
+      | exception e -> Error (e, Printexc.get_backtrace ())
+    in
+    match obs with
+    | None -> wrapped ()
+    | Some trs -> Obs.Tracer.span trs.(rank) ~cat:"rank" ~rank "rank" wrapped
   in
-  let v0 = f comm 0 in
-  let rest = Array.map Domain.join domains in
+  let start = now_us () in
+  (* Every domain is joined even when some rank raises, so no domain is
+     leaked and every failure is collected rather than only the first. *)
+  let domains = Array.init (ranks - 1) (fun k -> Domain.spawn (body (k + 1))) in
+  let r0 = body 0 () in
+  let results = Array.append [| r0 |] (Array.map Domain.join domains) in
   let wall_time = now_us () -. start in
-  { values = Array.append [| v0 |] rest; wall_time }
+  let failed =
+    Array.to_list results
+    |> List.mapi (fun rank r ->
+           match r with Error _ -> Some rank | Ok _ -> None)
+    |> List.filter_map Fun.id
+  in
+  match failed with
+  | [] ->
+      let values =
+        Array.map (function Ok v -> v | Error _ -> assert false) results
+      in
+      { values; wall_time }
+  | rank :: _ ->
+      let exn, backtrace =
+        match results.(rank) with
+        | Error (exn, bt) -> (exn, bt)
+        | Ok _ -> assert false
+      in
+      raise (Rank_failure { rank; failed; exn; backtrace })
 
 let time f =
   let start = now_us () in

@@ -3,6 +3,30 @@
 
 type 'a result = { values : 'a array; wall_time : float }
 
-val run : ranks:int -> (Comm.t -> int -> 'a) -> 'a result
+exception
+  Rank_failure of {
+    rank : int;  (** lowest-numbered failing rank, whose exception this is *)
+    failed : int list;  (** every rank that raised, ascending *)
+    exn : exn;
+    backtrace : string;
+  }
+(** Raised by {!run} after all domains have been joined when any rank's
+    program raised. The original exception is preserved in [exn]; a
+    printer is registered so the failure reads with its rank context. *)
+
+val run :
+  ?obs:Obs.Tracer.t array -> ranks:int -> (Comm.t -> int -> 'a) -> 'a result
+(** Run [f comm rank] on [ranks] domains. Every domain is joined before
+    returning — a raising rank does not leak the others — and any failure
+    is re-raised as {!Rank_failure}. Note that a raising rank can leave
+    peers blocked in [Comm.recv] forever; structure programs so failures
+    are either collective or upstream of every receive.
+
+    [obs] (one tracer per rank) records a ["rank"] span covering each
+    rank's whole program and turns on per-operation spans in {!Comm};
+    each tracer is written only from its own domain, so plain wall-clock
+    tracers need no synchronization. Merge them after {!run} returns with
+    [Obs.Tracer.merge]. *)
+
 val time : (unit -> 'a) -> 'a * float
 val now_us : unit -> float

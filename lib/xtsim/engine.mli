@@ -10,6 +10,10 @@ type t
 val create : unit -> t
 val now : t -> float
 
+val clock : t -> unit -> float
+(** The engine's simulated time as an [Obs.Clock.t], for stamping spans in
+    simulated microseconds (e.g. [Obs.Tracer.create ~clock:(clock e) ()]). *)
+
 val schedule : t -> at:float -> (unit -> unit) -> unit
 (** Schedule a plain event (not a process) at an absolute time. Raises
     [Invalid_argument] if [at] is in the past. *)

@@ -29,26 +29,65 @@ type box = {
   mutable posted : int;  (* rendezvous receives awaiting a request *)
 }
 
+(* Per-protocol message and byte counters, pre-created at [create] so the
+   send path pays one match and two increments when metrics are on and one
+   option check when off. *)
+type proto_counters = {
+  c_msgs : Obs.Metrics.counter;
+  c_bytes : Obs.Metrics.counter;
+}
+
+type tally = {
+  eager : proto_counters;
+  rendezvous : proto_counters;
+  copy : proto_counters;
+  dma : proto_counters;
+}
+
 type t = {
   engine : Engine.t;
   machine : Machine.t;
   boxes : (int, box) Hashtbl.t array;  (* per destination, keyed by source *)
   bus_free : float array;  (* per node: time the shared bus frees up *)
   trace : Trace.t option;
+  tally : tally option;
   mutable sends : int;
   mutable recvs : int;
 }
 
-let create ?trace engine machine =
+let tally_of_metrics m =
+  let proto p =
+    { c_msgs = Obs.Metrics.counter m ("sim.msgs." ^ Trace.protocol_name p);
+      c_bytes = Obs.Metrics.counter m ("sim.bytes." ^ Trace.protocol_name p) }
+  in
+  { eager = proto Trace.Eager; rendezvous = proto Trace.Rendezvous;
+    copy = proto Trace.Copy; dma = proto Trace.Dma }
+
+let create ?trace ?metrics engine machine =
   {
     engine;
     machine;
     boxes = Array.init (Machine.cores machine) (fun _ -> Hashtbl.create 8);
     bus_free = Array.make (Machine.node_count machine) 0.0;
     trace;
+    tally = Option.map tally_of_metrics metrics;
     sends = 0;
     recvs = 0;
   }
+
+let tallied t ~protocol ~size =
+  match t.tally with
+  | None -> ()
+  | Some tl ->
+      let pc =
+        match (protocol : Trace.protocol) with
+        | Eager -> tl.eager
+        | Rendezvous -> tl.rendezvous
+        | Copy -> tl.copy
+        | Dma -> tl.dma
+      in
+      Obs.Metrics.inc pc.c_msgs;
+      Obs.Metrics.inc ~by:size pc.c_bytes
 
 let traced t ~src ~dst ~size ~protocol ~send_start =
   match t.trace with
@@ -131,12 +170,14 @@ let send t ~src ~dst ~size =
       if size <= oc.eager_limit then begin
         (* Copy path (equation 5): the receiver sees the payload after the
            sender's overhead plus the buffer-to-buffer copy. *)
+        tallied t ~protocol:Trace.Copy ~size;
         Engine.wait oc.o_copy;
         Engine.schedule_after t.engine ~delay:(fsize *. oc.g_copy) (fun () ->
             deliver ~protocol:Trace.Copy ~send_start t ~dst ~src ~size)
       end
       else begin
         (* DMA path (equation 6): setup plus a bus-occupying transfer. *)
+        tallied t ~protocol:Trace.Dma ~size;
         let d =
           bus_delay t
             ~node:(Machine.node_of_rank t.machine src)
@@ -152,6 +193,7 @@ let send t ~src ~dst ~size =
       let src_node = Machine.node_of_rank t.machine src in
       if size <= off.eager_limit then begin
         (* Eager (equation 1). *)
+        tallied t ~protocol:Trace.Eager ~size;
         let d = bus_delay t ~node:src_node ~busy:(interference_quantum p size) in
         Engine.wait (d +. off.o);
         Engine.schedule_after t.engine ~delay:(lat +. (fsize *. off.g))
@@ -162,6 +204,7 @@ let send t ~src ~dst ~size =
            receiver issues when its matching receive is posted, then inject
            the payload. This is what makes large-message MPI_Send block on
            the receiver's progress. *)
+        tallied t ~protocol:Trace.Rendezvous ~size;
         Engine.wait off.o;
         Engine.suspend (fun resume ->
             Engine.schedule_after t.engine ~delay:(lat +. off.o_h)

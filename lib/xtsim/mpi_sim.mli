@@ -12,8 +12,10 @@
 
 type t
 
-val create : ?trace:Trace.t -> Engine.t -> Machine.t -> t
-(** Pass a {!Trace.t} to record every point-to-point transfer. *)
+val create : ?trace:Trace.t -> ?metrics:Obs.Metrics.t -> Engine.t -> Machine.t -> t
+(** Pass a {!Trace.t} to record every point-to-point transfer, and a
+    metrics registry to count messages and bytes per protocol
+    ([sim.msgs.eager], [sim.bytes.rendezvous], ...). *)
 
 val send : t -> src:int -> dst:int -> size:int -> unit
 val recv : t -> dst:int -> src:int -> size:int -> unit

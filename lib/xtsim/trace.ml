@@ -1,6 +1,11 @@
 (* Optional message tracing for the simulated machine: a bounded record of
    point-to-point transfers (who, what, when, which protocol), dumpable as
-   CSV for offline analysis of a simulated run. *)
+   CSV for offline analysis of a simulated run.
+
+   This is now a compatibility shim over the unified instrumentation layer:
+   storage is an [Obs.Ring] with the historical keep-the-earliest
+   semantics, and records convert directly to [Obs.Critical_path] message
+   edges for the profiler. *)
 
 type protocol = Eager | Rendezvous | Copy | Dma
 
@@ -19,39 +24,40 @@ type record = {
   delivered : float;  (** when the payload became receivable *)
 }
 
-type t = {
-  capacity : int;
-  mutable records : record list;  (** newest first *)
-  mutable count : int;  (** total recorded, including dropped *)
-}
+type t = { ring : record Obs.Ring.t }
 
 let create ?(capacity = 100_000) () =
   if capacity < 1 then invalid_arg "Trace.create";
-  { capacity; records = []; count = 0 }
+  { ring = Obs.Ring.create ~policy:Obs.Ring.Drop_newest ~capacity () }
 
-let record t r =
-  t.count <- t.count + 1;
-  if t.count <= t.capacity then t.records <- r :: t.records
+let record t r = Obs.Ring.push t.ring r
+let records t = Obs.Ring.to_list t.ring
+let recorded t = Obs.Ring.length t.ring
+let total t = Obs.Ring.pushed t.ring
 
-let records t = List.rev t.records
-let recorded t = min t.count t.capacity
-let total t = t.count
-
+(* One hash-table pass; results sorted by protocol name so callers see a
+   stable order. *)
 let by_protocol t =
-  List.fold_left
-    (fun acc r ->
+  let counts = Hashtbl.create 8 in
+  Obs.Ring.iter t.ring (fun r ->
       let k = protocol_name r.protocol in
-      let n = try List.assoc k acc with Not_found -> 0 in
-      (k, n + 1) :: List.remove_assoc k acc)
-    [] (records t)
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)));
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let edges t =
+  List.map
+    (fun r ->
+      { Obs.Critical_path.src = r.src; dst = r.dst; t_send = r.send_start;
+        t_recv = r.delivered })
+    (Obs.Ring.to_list t.ring)
 
 let to_csv t =
   let b = Buffer.create 1024 in
   Buffer.add_string b "src,dst,size,protocol,send_start,delivered\n";
-  List.iter
-    (fun r ->
+  Obs.Ring.iter t.ring (fun r ->
       Buffer.add_string b
         (Printf.sprintf "%d,%d,%d,%s,%.4f,%.4f\n" r.src r.dst r.size
-           (protocol_name r.protocol) r.send_start r.delivered))
-    (records t);
+           (protocol_name r.protocol) r.send_start r.delivered));
   Buffer.contents b

@@ -26,5 +26,12 @@ val records : t -> record list
 
 val recorded : t -> int
 val total : t -> int
+
 val by_protocol : t -> (string * int) list
+(** Message counts per protocol, sorted by protocol name. *)
+
+val edges : t -> Obs.Critical_path.edge list
+(** Every recorded transfer as a critical-path message edge
+    (send start to delivery). *)
+
 val to_csv : t -> string

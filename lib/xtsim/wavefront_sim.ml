@@ -72,7 +72,7 @@ let flow (pg : Proc_grid.t) corner =
   let ox, oy = Proc_grid.corner_coords pg corner in
   ((if ox = 1 then 1 else -1), if oy = 1 then 1 else -1)
 
-let run ?(iterations = 1) ?(balanced = false) ?noise ?trace
+let run ?(iterations = 1) ?(balanced = false) ?noise ?trace ?obs ?metrics
     (machine : Machine.t) (app : App_params.t) =
   if iterations < 1 then invalid_arg "Wavefront_sim.run: iterations >= 1";
   (match noise with
@@ -81,7 +81,7 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?trace
   | _ -> ());
   let pg = machine.pgrid in
   let engine = Engine.create () in
-  let mpi = Mpi_sim.create ?trace engine machine in
+  let mpi = Mpi_sim.create ?trace ?metrics engine machine in
   let coll = Collective.ctx engine machine in
   let msg_ew = App_params.message_size_ew app pg in
   let msg_ns = App_params.message_size_ns app pg in
@@ -117,17 +117,38 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?trace
         fun () -> 1.0 +. (amplitude *. ((2.0 *. Random.State.float state 1.0) -. 1.0))
   in
 
+  (* Structured tracing: spans are stamped in simulated time. The [args]
+     thunk is only forced when a tracer is attached, so the disabled path
+     costs one option check and no allocation. *)
+  let emit name cat rank ~start ~args =
+    match obs with
+    | None -> ()
+    | Some tr ->
+        Obs.Tracer.record tr ~cat ~args:(args ()) ~rank ~start
+          ~dur:(Engine.now engine -. start) name
+  in
+  let no_args () = [] in
+
   (* [pure] is the uncontended model cost of the operation; anything beyond
      it is blocking/queueing wait. Operations with no closed-form cost
      (collectives, halo rounds) pass no [pure] and count fully as comm. *)
-  let timed_comm ?pure rank f =
+  let timed_comm ?pure ?(name = "comm") ?(args = no_args) rank f =
     let t0 = Engine.now engine in
     f ();
     let d = Engine.now engine -. t0 in
     comm.(rank) <- comm.(rank) +. d;
-    match pure with
+    (match pure with
     | Some p -> waits.(rank) <- waits.(rank) +. Float.max 0.0 (d -. p)
+    | None -> ());
+    match obs with
     | None -> ()
+    | Some tr ->
+        let wait =
+          match pure with Some p -> Float.max 0.0 (d -. p) | None -> d
+        in
+        Obs.Tracer.record tr ~cat:"comm"
+          ~args:(("wait", Obs.Span.Float wait) :: args ())
+          ~rank ~start:t0 ~dur:d name
   in
   let locality_for rank other =
     Machine.locality machine ~src:rank ~dst:other
@@ -138,10 +159,12 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?trace
   let pure_recv rank src size =
     Loggp.Comm_model.receive machine.platform (locality_for rank src) size
   in
-  let timed_compute rank d =
+  let timed_compute ?(name = "compute") rank d =
     if d > 0.0 then begin
+      let t0 = Engine.now engine in
       Engine.wait d;
-      compute.(rank) <- compute.(rank) +. d
+      compute.(rank) <- compute.(rank) +. d;
+      emit name "compute" rank ~start:t0 ~args:no_args
     end
   in
 
@@ -150,7 +173,7 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?trace
     | App_params.No_op -> ()
     | Fixed t -> timed_compute rank t
     | Allreduce { count; msg_size } ->
-        timed_comm rank (fun () ->
+        timed_comm ~name:"allreduce" rank (fun () ->
             for _ = 1 to count do
               Collective.allreduce coll mpi ~rank ~msg_size
             done)
@@ -174,7 +197,7 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?trace
             | `E -> (1, 0) | `W -> (-1, 0) | `S -> (0, 1) | `N -> (0, -1)
           in
           let dst = (i + di, j + dj) and src = (i - di, j - dj) in
-          timed_comm rank (fun () ->
+          timed_comm ~name:"halo" rank (fun () ->
               if Proc_grid.contains pg dst then
                 Mpi_sim.send mpi ~src:rank ~dst:(Proc_grid.rank pg dst) ~size;
               if Proc_grid.contains pg src then
@@ -197,27 +220,43 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?trace
           for _tile = 1 to ntiles do
             (* Figure 4: LU pre-computes part of the domain before the
                receives; Sweep3D and Chimaera have Wg_pre = 0. *)
-            timed_compute rank (w_pre *. jitter ());
+            timed_compute ~name:"precompute" rank (w_pre *. jitter ());
             if has up_x then begin
               let src = Proc_grid.rank pg up_x in
-              timed_comm ~pure:(pure_recv rank src msg_ew) rank (fun () ->
-                  Mpi_sim.recv mpi ~dst:rank ~src ~size:msg_ew)
+              timed_comm ~pure:(pure_recv rank src msg_ew) ~name:"recv"
+                ~args:(fun () ->
+                  [ ("src", Obs.Span.Int src); ("size", Int msg_ew);
+                    ("dir", Str "W") ])
+                rank
+                (fun () -> Mpi_sim.recv mpi ~dst:rank ~src ~size:msg_ew)
             end;
             if has up_y then begin
               let src = Proc_grid.rank pg up_y in
-              timed_comm ~pure:(pure_recv rank src msg_ns) rank (fun () ->
-                  Mpi_sim.recv mpi ~dst:rank ~src ~size:msg_ns)
+              timed_comm ~pure:(pure_recv rank src msg_ns) ~name:"recv"
+                ~args:(fun () ->
+                  [ ("src", Obs.Span.Int src); ("size", Int msg_ns);
+                    ("dir", Str "N") ])
+                rank
+                (fun () -> Mpi_sim.recv mpi ~dst:rank ~src ~size:msg_ns)
             end;
             timed_compute rank (w *. jitter ());
             if has down_x then begin
               let dst = Proc_grid.rank pg down_x in
-              timed_comm ~pure:(pure_send rank dst msg_ew) rank (fun () ->
-                  Mpi_sim.send mpi ~src:rank ~dst ~size:msg_ew)
+              timed_comm ~pure:(pure_send rank dst msg_ew) ~name:"send"
+                ~args:(fun () ->
+                  [ ("dst", Obs.Span.Int dst); ("size", Int msg_ew);
+                    ("dir", Str "E") ])
+                rank
+                (fun () -> Mpi_sim.send mpi ~src:rank ~dst ~size:msg_ew)
             end;
             if has down_y then begin
               let dst = Proc_grid.rank pg down_y in
-              timed_comm ~pure:(pure_send rank dst msg_ns) rank (fun () ->
-                  Mpi_sim.send mpi ~src:rank ~dst ~size:msg_ns)
+              timed_comm ~pure:(pure_send rank dst msg_ns) ~name:"send"
+                ~args:(fun () ->
+                  [ ("dst", Obs.Span.Int dst); ("size", Int msg_ns);
+                    ("dir", Str "S") ])
+                rank
+                (fun () -> Mpi_sim.send mpi ~src:rank ~dst ~size:msg_ns)
             end
           done)
         sweeps;
@@ -230,6 +269,23 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?trace
     Engine.spawn engine (program rank)
   done;
   let elapsed = Engine.run engine in
+  (* Cross-rank distributions of where time went, plus run totals, for the
+     profiling report. *)
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let h name arr =
+        let hist = Obs.Metrics.histogram m name in
+        Array.iter (Obs.Metrics.observe hist) arr
+      in
+      h "sim.rank.compute" compute;
+      h "sim.rank.comm" comm;
+      h "sim.rank.wait" waits;
+      Obs.Metrics.set (Obs.Metrics.gauge m "sim.elapsed") elapsed;
+      Obs.Metrics.inc ~by:(Engine.events_executed engine)
+        (Obs.Metrics.counter m "sim.events");
+      Obs.Metrics.inc ~by:(Mpi_sim.sends mpi)
+        (Obs.Metrics.counter m "sim.sends"));
   {
     elapsed;
     per_iteration = elapsed /. float_of_int iterations;

@@ -56,11 +56,25 @@ val run :
   ?balanced:bool ->
   ?noise:noise ->
   ?trace:Trace.t ->
+  ?obs:Obs.Tracer.t ->
+  ?metrics:Obs.Metrics.t ->
   Machine.t ->
   Wavefront_core.App_params.t ->
   outcome
 (** [balanced] derives each rank's tile work from the integer block
     decomposition instead of the model's uniform [Nx/n * Ny/m]. Raises
-    [Invalid_argument] on a noise amplitude outside [0, 1). *)
+    [Invalid_argument] on a noise amplitude outside [0, 1).
+
+    [obs] collects per-rank spans ([precompute]/[compute]/[recv]/[send],
+    plus [allreduce]/[halo] for the non-wavefront section) stamped in
+    simulated time — build it over the engine clock-free default; spans
+    are recorded with explicit timestamps so any tracer works. [recv] and
+    [send] spans carry ["src"]/["dst"] args usable by
+    {!Obs.Critical_path.edges_of_spans}, and every comm span carries a
+    ["wait"] arg with its blocking share. [metrics] additionally receives
+    per-protocol message/byte counters (via {!Mpi_sim.create}), cross-rank
+    [sim.rank.*] histograms and [sim.elapsed]/[sim.events]/[sim.sends]
+    totals. Both default to off; the disabled paths cost one option check
+    per operation. *)
 
 val pp_outcome : outcome Fmt.t

@@ -1,0 +1,394 @@
+(* Tests for the instrumentation layer: rings, histograms, tracers, the
+   Chrome trace export (validated through a real JSON parse) and the
+   critical-path walk, plus a stability check of the profile report. *)
+
+(* --- Ring buffers --- *)
+
+let test_ring_drop_newest () =
+  let r = Obs.Ring.create ~capacity:3 () in
+  for i = 1 to 7 do
+    Obs.Ring.push r i
+  done;
+  Alcotest.(check (list int)) "keeps first" [ 1; 2; 3 ] (Obs.Ring.to_list r);
+  Alcotest.(check int) "pushed" 7 (Obs.Ring.pushed r);
+  Alcotest.(check int) "dropped" 4 (Obs.Ring.dropped r);
+  Alcotest.(check int) "length" 3 (Obs.Ring.length r)
+
+let test_ring_overwrite_oldest () =
+  let r = Obs.Ring.create ~policy:Obs.Ring.Overwrite_oldest ~capacity:3 () in
+  for i = 1 to 7 do
+    Obs.Ring.push r i
+  done;
+  Alcotest.(check (list int)) "keeps last" [ 5; 6; 7 ] (Obs.Ring.to_list r);
+  Alcotest.(check int) "dropped" 4 (Obs.Ring.dropped r);
+  Obs.Ring.clear r;
+  Alcotest.(check int) "cleared" 0 (Obs.Ring.length r);
+  Alcotest.(check int) "clear resets the counts too" 0 (Obs.Ring.pushed r);
+  Alcotest.(check int) "no phantom drops" 0 (Obs.Ring.dropped r)
+
+(* --- Histogram quantiles --- *)
+
+let test_histogram_quantiles () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "h" in
+  for i = 1 to 1000 do
+    Obs.Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "n" 1000 (Obs.Metrics.observations h);
+  Alcotest.(check (float 1e-6)) "min" 1.0 (Obs.Metrics.min_value h);
+  Alcotest.(check (float 1e-6)) "max" 1000.0 (Obs.Metrics.max_value h);
+  Alcotest.(check (float 1e-6)) "mean" 500.5 (Obs.Metrics.mean h);
+  (* Bucket resolution is 2^(1/8), so quantiles are within ~9% relative. *)
+  let within q expected =
+    let v = Obs.Metrics.quantile h q in
+    let rel = Float.abs (v -. expected) /. expected in
+    Alcotest.(check bool)
+      (Printf.sprintf "p%.0f=%.1f within 9%% of %.1f" (100.0 *. q) v expected)
+      true (rel < 0.09)
+  in
+  within 0.5 500.0;
+  within 0.95 950.0;
+  within 0.99 990.0
+
+let test_histogram_edges () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "h" in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Obs.Metrics.quantile h 0.5));
+  Obs.Metrics.observe h 42.0;
+  Obs.Metrics.observe h Float.nan;
+  Alcotest.(check int) "nan ignored" 1 (Obs.Metrics.observations h);
+  (* A single observation: every quantile clamps to it exactly. *)
+  Alcotest.(check (float 1e-9)) "p50 clamps" 42.0 (Obs.Metrics.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p99 clamps" 42.0 (Obs.Metrics.quantile h 0.99)
+
+let test_metrics_registry () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "c" in
+  Obs.Metrics.inc c;
+  Obs.Metrics.inc ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Obs.Metrics.count c);
+  Alcotest.(check bool) "get-or-create" true
+    (Obs.Metrics.count (Obs.Metrics.counter m "c") = 5);
+  let g = Obs.Metrics.gauge m "g" in
+  Obs.Metrics.set g 7.5;
+  Alcotest.(check (float 0.0)) "gauge" 7.5 (Obs.Metrics.value g);
+  ignore (Obs.Metrics.histogram m "h");
+  Alcotest.(check (list string)) "insertion order" [ "c"; "g"; "h" ]
+    (List.map fst (Obs.Metrics.snapshot m));
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics.gauge: c is not a gauge") (fun () ->
+      ignore (Obs.Metrics.gauge m "c"))
+
+(* --- Tracer bounding and merging --- *)
+
+let test_tracer_bounding () =
+  let tr = Obs.Tracer.create ~capacity:2 () in
+  for i = 0 to 4 do
+    Obs.Tracer.record tr ~rank:0 ~start:(float_of_int i) ~dur:1.0 "s"
+  done;
+  Alcotest.(check int) "total" 5 (Obs.Tracer.total tr);
+  Alcotest.(check int) "recorded" 2 (Obs.Tracer.recorded tr);
+  Alcotest.(check int) "dropped" 3 (Obs.Tracer.dropped tr)
+
+let test_tracer_merge () =
+  let a = Obs.Tracer.create () and b = Obs.Tracer.create () in
+  Obs.Tracer.record a ~rank:0 ~start:3.0 ~dur:1.0 "x";
+  Obs.Tracer.record b ~rank:1 ~start:1.0 ~dur:1.0 "y";
+  Obs.Tracer.record a ~rank:0 ~start:2.0 ~dur:1.0 "z";
+  let names =
+    List.map (fun (s : Obs.Span.t) -> s.name) (Obs.Tracer.merge [| a; b |])
+  in
+  Alcotest.(check (list string)) "sorted by start" [ "y"; "z"; "x" ] names
+
+let test_tracer_span_clock () =
+  let now, advance = Obs.Clock.manual () in
+  let tr = Obs.Tracer.create ~clock:now () in
+  let v = Obs.Tracer.span tr ~rank:3 "work" (fun () -> advance 5.0; 17) in
+  Alcotest.(check int) "result" 17 v;
+  match Obs.Tracer.spans tr with
+  | [ s ] ->
+      Alcotest.(check (float 0.0)) "start" 0.0 s.t_start;
+      Alcotest.(check (float 0.0)) "dur" 5.0 s.dur;
+      Alcotest.(check int) "rank" 3 s.rank
+  | l -> Alcotest.failf "expected one span, got %d" (List.length l)
+
+(* --- A minimal JSON parser, enough to validate the Chrome export. --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "json: %s at %d" msg !pos) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              Buffer.add_string b
+                (Printf.sprintf "\\u%s" hex) (* kept verbatim: ASCII output *);
+              go ()
+          | _ -> fail "bad escape")
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or }"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ]"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | Some 't' -> pos := !pos + 4; Bool true
+    | Some 'f' -> pos := !pos + 5; Bool false
+    | Some 'n' -> pos := !pos + 4; Null
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let test_chrome_trace_roundtrip () =
+  let spans =
+    [
+      Obs.Span.v ~cat:"compute" ~rank:0 ~start:100.0 ~dur:5.0 "tile";
+      Obs.Span.v ~cat:"comm" ~rank:1 ~start:103.0 ~dur:2.5
+        ~args:[ ("src", Obs.Span.Int 0); ("note", Str "a\"b\\c\nd") ]
+        "recv";
+    ]
+  in
+  let json =
+    Obs.Chrome_trace.to_json
+      [ { Obs.Chrome_trace.pid = 0; name = "simulated"; spans } ]
+  in
+  let doc = parse_json json in
+  (match member "displayTimeUnit" doc with
+  | Some (Str "ms") -> ()
+  | _ -> Alcotest.fail "displayTimeUnit");
+  let events =
+    match member "traceEvents" doc with
+    | Some (List l) -> l
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let xs =
+    List.filter (fun e -> member "ph" e = Some (Str "X")) events
+  in
+  Alcotest.(check int) "one X event per span" 2 (List.length xs);
+  let metas =
+    List.filter (fun e -> member "ph" e = Some (Str "M")) events
+  in
+  Alcotest.(check bool) "process + thread metadata" true
+    (List.length metas = 3);
+  (* Normalization: the earliest span starts at ts 0. *)
+  let ts_of e = match member "ts" e with Some (Num f) -> f | _ -> nan in
+  Alcotest.(check (float 1e-9)) "normalized to 0" 0.0
+    (List.fold_left (fun a e -> Float.min a (ts_of e)) infinity xs);
+  (* The escaped string survived the round trip. *)
+  let recv =
+    List.find (fun e -> member "name" e = Some (Str "recv")) xs
+  in
+  match member "args" recv with
+  | Some args -> (
+      match member "note" args with
+      | Some (Str v) -> Alcotest.(check string) "escaping" "a\"b\\c\nd" v
+      | _ -> Alcotest.fail "note arg missing")
+  | None -> Alcotest.fail "args missing"
+
+(* --- Critical path --- *)
+
+let test_critical_path_walk () =
+  (* Rank 0: compute [0,10], send [10,11] to rank 1.
+     Rank 1: recv [5,12] (blocked before the send even starts), then
+     compute [12,20]. The path must reach back to rank 0's compute. *)
+  let spans =
+    [
+      Obs.Span.v ~cat:"compute" ~rank:0 ~start:0.0 ~dur:10.0 "compute";
+      Obs.Span.v ~cat:"comm" ~rank:0 ~start:10.0 ~dur:1.0
+        ~args:[ ("dst", Obs.Span.Int 1) ] "send";
+      Obs.Span.v ~cat:"comm" ~rank:1 ~start:5.0 ~dur:7.0
+        ~args:[ ("src", Obs.Span.Int 0) ] "recv";
+      Obs.Span.v ~cat:"compute" ~rank:1 ~start:12.0 ~dur:8.0 "compute";
+    ]
+  in
+  let edges = Obs.Critical_path.edges_of_spans spans in
+  (match edges with
+  | [ e ] ->
+      Alcotest.(check int) "src" 0 e.src;
+      Alcotest.(check int) "dst" 1 e.dst;
+      Alcotest.(check (float 0.0)) "t_send" 10.0 e.t_send;
+      Alcotest.(check (float 0.0)) "t_recv" 12.0 e.t_recv
+  | l -> Alcotest.failf "expected one edge, got %d" (List.length l));
+  let steps = Obs.Critical_path.walk ~spans ~edges in
+  let first = List.hd steps and last = List.nth steps (List.length steps - 1) in
+  Alcotest.(check int) "starts on rank 0" 0 first.span.rank;
+  Alcotest.(check (float 0.0)) "starts at t=0" 0.0 first.span.t_start;
+  Alcotest.(check string) "ends at last span" "compute" last.span.name;
+  Alcotest.(check int) "ends on rank 1" 1 last.span.rank;
+  Alcotest.(check bool) "crosses ranks via the message" true
+    (List.exists (fun (s : Obs.Critical_path.step) -> s.via_message <> None)
+       steps);
+  let segs = Obs.Critical_path.summarize steps in
+  Alcotest.(check bool) "compute dominates" true
+    ((List.hd segs).name = "compute")
+
+(* --- Profile report stability (golden) --- *)
+
+let render_tables (p : Harness.Profile.t) =
+  Fmt.str "%a\n%a\n%a" Harness.Table.render p.breakdown Harness.Table.render
+    p.protocols Harness.Table.render p.path
+
+let test_profile_stable () =
+  let app = Apps.Sweep3d.params (Wgrid.Data_grid.cube 16) in
+  let cfg =
+    Wavefront_core.Plugplay.config ~cmp:(Wgrid.Cmp.v ~cx:2 ~cy:1)
+      Loggp.Params.xt4 ~cores:4
+  in
+  let p1 = Harness.Profile.run cfg app in
+  let p2 = Harness.Profile.run cfg app in
+  Alcotest.(check string) "tables are deterministic" (render_tables p1)
+    (render_tables p2);
+  Alcotest.(check string) "trace JSON is deterministic"
+    (Harness.Profile.trace_json p1)
+    (Harness.Profile.trace_json p2);
+  Alcotest.(check int) "no spans dropped" 0 p1.sim_dropped;
+  (* The report carries the simulated elapsed time and the model terms. *)
+  (match Obs.Metrics.find p1.metrics "sim.elapsed" with
+  | Some (Obs.Metrics.Value v) ->
+      Alcotest.(check (float 1e-9)) "sim.elapsed matches outcome"
+        p1.sim.elapsed v
+  | _ -> Alcotest.fail "sim.elapsed missing");
+  (match Obs.Metrics.find p1.metrics "model.t_iteration" with
+  | Some (Obs.Metrics.Value v) ->
+      let expected = Wavefront_core.Plugplay.time_per_iteration app cfg in
+      Alcotest.(check (float 1e-9)) "model.t_iteration" expected v
+  | _ -> Alcotest.fail "model.t_iteration missing");
+  (* And the trace JSON stays parseable. *)
+  let doc = parse_json (Harness.Profile.trace_json p1) in
+  match member "traceEvents" doc with
+  | Some (List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "empty traceEvents"
+
+let suite =
+  [
+    ( "obs.ring",
+      [
+        Alcotest.test_case "drop newest" `Quick test_ring_drop_newest;
+        Alcotest.test_case "overwrite oldest" `Quick test_ring_overwrite_oldest;
+      ] );
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "histogram quantiles" `Quick
+          test_histogram_quantiles;
+        Alcotest.test_case "histogram edge cases" `Quick test_histogram_edges;
+        Alcotest.test_case "registry" `Quick test_metrics_registry;
+      ] );
+    ( "obs.tracer",
+      [
+        Alcotest.test_case "bounding" `Quick test_tracer_bounding;
+        Alcotest.test_case "merge" `Quick test_tracer_merge;
+        Alcotest.test_case "span with manual clock" `Quick
+          test_tracer_span_clock;
+      ] );
+    ( "obs.chrome_trace",
+      [
+        Alcotest.test_case "JSON round trip" `Quick
+          test_chrome_trace_roundtrip;
+      ] );
+    ( "obs.critical_path",
+      [ Alcotest.test_case "walk" `Quick test_critical_path_walk ] );
+    ( "obs.profile",
+      [ Alcotest.test_case "report stability" `Quick test_profile_stable ] );
+  ]

@@ -73,6 +73,87 @@ let test_allreduce_max () =
   in
   Array.iter (fun v -> Alcotest.(check (float 0.0)) "max" 4.0 v) r.values
 
+let test_rank_failure () =
+  (* A raising rank must not leak the other domains: they all run to
+     completion and the failure resurfaces with its rank attached. *)
+  let finished = Array.make 4 false in
+  match
+    Shmpi.Runtime.run ~ranks:4 (fun _ rank ->
+        if rank = 2 then failwith "boom";
+        finished.(rank) <- true)
+  with
+  | _ -> Alcotest.fail "expected Rank_failure"
+  | exception Shmpi.Runtime.Rank_failure { rank; failed; exn; _ } ->
+      Alcotest.(check int) "failing rank" 2 rank;
+      Alcotest.(check (list int)) "all failures collected" [ 2 ] failed;
+      (match exn with
+      | Failure m -> Alcotest.(check string) "original exception" "boom" m
+      | e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e));
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (Fmt.str "rank %d joined" r)
+            true finished.(r))
+        [ 0; 1; 3 ]
+
+let test_rank_failure_multiple () =
+  match
+    Shmpi.Runtime.run ~ranks:3 (fun _ rank ->
+        if rank <> 1 then failwith (string_of_int rank))
+  with
+  | _ -> Alcotest.fail "expected Rank_failure"
+  | exception Shmpi.Runtime.Rank_failure { rank; failed; _ } ->
+      Alcotest.(check int) "lowest failing rank" 0 rank;
+      Alcotest.(check (list int)) "every failure" [ 0; 2 ] failed
+
+let test_span_collection () =
+  (* Per-rank tracers on a real run: a program span per rank, send/recv
+     spans with routing args, and message edges recoverable from them. *)
+  let ranks = 3 in
+  let trs = Array.init ranks (fun _ -> Obs.Tracer.create ()) in
+  let r =
+    Shmpi.Runtime.run ~obs:trs ~ranks (fun comm rank ->
+        if rank = 0 then Shmpi.Comm.send comm ~src:0 ~dst:1 [| 1.0; 2.0 |]
+        else if rank = 1 then
+          ignore (Shmpi.Comm.recv comm ~dst:1 ~src:0);
+        Shmpi.Comm.barrier_r comm ~rank;
+        Shmpi.Comm.allreduce comm ~rank ~op:( +. ) 1.0)
+  in
+  Array.iter
+    (fun v -> Alcotest.(check (float 1e-9)) "allreduce result" 3.0 v)
+    r.values;
+  let spans = Obs.Tracer.merge trs in
+  let named n =
+    List.filter (fun (s : Obs.Span.t) -> s.name = n) spans
+  in
+  Alcotest.(check int) "one program span per rank" ranks
+    (List.length (named "rank"));
+  Alcotest.(check int) "one barrier span per rank" ranks
+    (List.length (named "barrier"));
+  Alcotest.(check int) "allreduce spans" ranks (List.length (named "allreduce"));
+  let boundary_send =
+    List.find
+      (fun (s : Obs.Span.t) ->
+        s.rank = 0 && Obs.Span.arg_int s "dst" = Some 1)
+      (named "send")
+  in
+  Alcotest.(check (option int)) "send size arg" (Some 2)
+    (Obs.Span.arg_int boundary_send "size");
+  let boundary_recv =
+    List.find
+      (fun (s : Obs.Span.t) ->
+        s.rank = 1 && Obs.Span.arg_int s "src" = Some 0)
+      (named "recv")
+  in
+  (match Obs.Span.arg_float boundary_recv "wait" with
+  | Some w -> Alcotest.(check bool) "wait is non-negative" true (w >= 0.0)
+  | None -> Alcotest.fail "recv span has no wait arg");
+  let edges = Obs.Critical_path.edges_of_spans spans in
+  Alcotest.(check bool) "0->1 message edge reconstructed" true
+    (List.exists
+       (fun (e : Obs.Critical_path.edge) -> e.src = 0 && e.dst = 1)
+       edges)
+
 let test_pingpong_measures () =
   let t = Shmpi.Pingpong.half_round_trip ~rounds:50 ~size_bytes:256 () in
   Alcotest.(check bool) "positive and sane" true (t > 0.0 && t < 1e6)
@@ -100,6 +181,13 @@ let suite =
         Alcotest.test_case "barrier" `Quick test_barrier;
         Alcotest.test_case "allreduce sum (any P)" `Quick test_allreduce_sum;
         Alcotest.test_case "allreduce max" `Quick test_allreduce_max;
+      ] );
+    ( "shmpi.runtime",
+      [
+        Alcotest.test_case "rank failure joins all" `Quick test_rank_failure;
+        Alcotest.test_case "multiple failures collected" `Quick
+          test_rank_failure_multiple;
+        Alcotest.test_case "span collection" `Quick test_span_collection;
       ] );
     ( "shmpi.pingpong",
       [
