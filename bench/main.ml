@@ -128,9 +128,25 @@ let obs_tests =
               Obs.Tracer.record tr ~rank:0 ~start:0.0 ~dur:1.0 "x")));
     ]
 
+(* The reference dataflow backend as a schedule validator: the acceptance
+   target is an 8192-rank Sweep3D schedule checked in well under a second
+   (no event simulation, no domains — just the precedence graph). *)
+let dataflow_tests =
+  let validate cores =
+    let pg = Wgrid.Proc_grid.of_cores cores in
+    let app = Apps.Sweep3d.params (Wgrid.Data_grid.cube 32) in
+    Test.make
+      ~name:(Printf.sprintf "validate/sweep3d-P%d" cores)
+      (Staged.stage (fun () ->
+           let o = Wrun.Dataflow.run pg app in
+           assert o.completed))
+  in
+  Test.make_grouped ~name:"dataflow" [ validate 1024; validate 8192 ]
+
 let all_tests =
   Test.make_grouped ~name:"wavefront"
-    [ figure_tests; model_tests; sim_tests; kernel_tests; obs_tests ]
+    [ figure_tests; model_tests; sim_tests; kernel_tests; obs_tests;
+      dataflow_tests ]
 
 let run_bechamel () =
   Fmt.pr "##### Bechamel timings #####@.";

@@ -131,8 +131,8 @@ let explain_cmd =
 
 (* --- simulate --- *)
 
-let simulate app_name grid cores cpn htile wg iterations =
-  let app = make_app app_name grid ~htile ~wg ~iterations in
+let simulate spec app_name grid cores cpn htile wg iterations =
+  let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
   let pg = Wgrid.Proc_grid.of_cores cores in
   let cmp = Wgrid.Cmp.of_cores_per_node cpn in
   let machine = Xtsim.Machine.v ~cmp Loggp.Params.xt4 pg in
@@ -147,7 +147,31 @@ let simulate app_name grid cores cpn htile wg iterations =
 let simulate_cmd =
   let doc = "Execute the wavefront code on the event-level simulated machine" in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const simulate $ app_arg $ grid_arg $ cores_arg $ cpn_arg
+    Term.(const simulate $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
+          $ htile_arg $ wg_arg $ iterations_arg)
+
+(* --- validate --- *)
+
+let validate spec app_name grid cores htile wg iterations =
+  let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
+  let pg = Wgrid.Proc_grid.of_cores cores in
+  Fmt.pr "validating %s on %a (reference dataflow backend)...@."
+    app.App_params.name Wgrid.Proc_grid.pp pg;
+  let t0 = Unix.gettimeofday () in
+  let o = Wrun.Dataflow.run pg app in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Fmt.pr "%a (%.0f ms)@." Wrun.Dataflow.pp_outcome o elapsed_ms;
+  List.iter (fun m -> Fmt.epr "  mismatch: %s@." m) o.mismatches;
+  if not o.completed || o.mismatches <> [] then exit 1
+
+let validate_cmd =
+  let doc =
+    "Check a schedule deadlocks nowhere and every rank agrees on the \
+     message sequence, on the fast reference dataflow backend (no \
+     simulation clock; scales to 100K+ ranks)"
+  in
+  Cmd.v (Cmd.info "validate" ~doc)
+    Term.(const validate $ spec_arg $ app_arg $ grid_arg $ cores_arg
           $ htile_arg $ wg_arg $ iterations_arg)
 
 (* --- figure --- *)
@@ -327,23 +351,29 @@ let profile_cmd =
 
 (* --- fit --- *)
 
+(* Both transports expose the one MICROBENCH signature, so the simulated
+   and the real curve reach Loggp.Fit through literally the same calls. *)
 let fit real =
   if real then begin
+    let (module M : Wrun.Substrate.MICROBENCH) = Shmpi.Pingpong.microbench () in
     let curve =
-      Shmpi.Pingpong.curve ~rounds:100
-        ~sizes:[ 64; 256; 1024; 4096; 16384; 65536 ] ()
+      M.curve ~rounds:100 ~sizes:[ 64; 256; 1024; 4096; 16384; 65536 ] ()
     in
     let p = Shmpi.Pingpong.fit_platform curve in
-    Fmt.pr "measured shared-memory ping-pong:@.";
+    Fmt.pr "measured %s:@." M.name;
     List.iter (fun (s, t) -> Fmt.pr "  %6d B: %8.3f us@." s t) curve;
     Fmt.pr "fitted: %a@." Loggp.Params.pp p
   end
   else begin
     let sizes = Xtsim.Pingpong.figure3_sizes in
-    let off_pts = Xtsim.Pingpong.curve Loggp.Params.xt4 Off_node ~sizes in
-    let on_pts = Xtsim.Pingpong.curve Loggp.Params.xt4 On_chip ~sizes in
-    let off, _ = Loggp.Fit.fit_offnode off_pts in
-    let on, _ = Loggp.Fit.fit_onchip on_pts in
+    let (module Off : Wrun.Substrate.MICROBENCH) =
+      Xtsim.Pingpong.microbench Loggp.Params.xt4 Off_node
+    in
+    let (module On : Wrun.Substrate.MICROBENCH) =
+      Xtsim.Pingpong.microbench Loggp.Params.xt4 On_chip
+    in
+    let off, _ = Loggp.Fit.fit_offnode (Off.curve ~sizes ()) in
+    let on, _ = Loggp.Fit.fit_onchip (On.curve ~sizes ()) in
     Fmt.pr "fitted from the simulated XT4 microbenchmark:@.";
     Fmt.pr "  off-node: %a@." Loggp.Params.pp_offnode off;
     Fmt.pr "  on-chip:  %a@." Loggp.Params.pp_onchip on
@@ -395,5 +425,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ predict_cmd; explain_cmd; simulate_cmd; report_cmd; profile_cmd;
-            figure_cmd; scale_cmd; fit_cmd; measure_cmd ]))
+          [ predict_cmd; explain_cmd; simulate_cmd; validate_cmd; report_cmd;
+            profile_cmd; figure_cmd; scale_cmd; fit_cmd; measure_cmd ]))

@@ -27,6 +27,16 @@ let () =
   Fmt.pr "running a real 2x2 distributed Sweep3D-style iteration (%a)...@."
     Wgrid.Data_grid.pp grid;
   let plan = Kernels.Sweep_exec.plan ~htile:4 grid pg in
+
+  (* The real run executes the same Figure-4 program the simulator and the
+     reference dataflow backend run; validate its schedule on the dataflow
+     backend first (microseconds, no domains spawned). *)
+  let df =
+    Wrun.Dataflow.run pg
+      (Wavefront_core.App_params.with_htile (Apps.Sweep3d.params grid) 4.0)
+  in
+  Fmt.pr "  dataflow validation: %a@." Wrun.Dataflow.pp_outcome df;
+
   let out = Kernels.Sweep_exec.run plan in
 
   (* Check the distributed result against the sequential reference before

@@ -11,9 +11,13 @@
      nsweeps = 4               # optional, default 2
      nfull = 2                 # optional, default min 2 nsweeps
      ndiag = 1                 # optional, default 0
+     schedule = sweep3d        # optional: sweep3d | lu | chimaera; a named
+                               # preset instead of nsweeps/nfull/ndiag
      bytes_per_cell = 96       # boundary payload per cell
      iterations = 200          # optional, default 1
-     nonwavefront = allreduce 2   # or: stencil WG HALO | fixed US | none
+     nonwavefront = allreduce 2      # or: allreduce N BYTES (default 8-byte
+                                     # messages) | stencil WG HALO |
+                                     # fixed US | none
 *)
 
 type error = [ `Msg of string ]
@@ -54,7 +58,7 @@ let parse_bindings text =
 
 let known_keys =
   [ "name"; "nx"; "ny"; "nz"; "wg"; "wg_pre"; "htile"; "nsweeps"; "nfull";
-    "ndiag"; "bytes_per_cell"; "iterations"; "nonwavefront" ]
+    "ndiag"; "schedule"; "bytes_per_cell"; "iterations"; "nonwavefront" ]
 
 let of_string text =
   match parse_bindings text with
@@ -103,6 +107,25 @@ let of_string text =
           let* ndiag = get_int "ndiag" in
           let* bytes_per_cell = get_float "bytes_per_cell" in
           let* iterations = get_int "iterations" in
+          let* schedule =
+            match get "schedule" with
+            | None -> Ok None
+            | Some "sweep3d" -> Ok (Some Sweeps.Schedule.sweep3d)
+            | Some "lu" -> Ok (Some Sweeps.Schedule.lu)
+            | Some "chimaera" -> Ok (Some Sweeps.Schedule.chimaera)
+            | Some v ->
+                err "schedule: expected sweep3d, lu or chimaera, got %S" v
+          in
+          let* () =
+            if
+              schedule <> None
+              && (nsweeps <> None || nfull <> None || ndiag <> None)
+            then
+              err
+                "schedule conflicts with nsweeps/nfull/ndiag: use one or the \
+                 other"
+            else Ok ()
+          in
           let* nonwavefront =
             match get "nonwavefront" with
             | None | Some "none" -> Ok None
@@ -116,6 +139,16 @@ let of_string text =
                              (Wavefront_core.App_params.Allreduce
                                 { count; msg_size = 8 }))
                     | None -> err "nonwavefront: bad all-reduce count %S" n)
+                | [ "allreduce"; n; bytes ] -> (
+                    match (int_of_string_opt n, int_of_string_opt bytes) with
+                    | Some count, Some msg_size when msg_size > 0 ->
+                        Ok
+                          (Some
+                             (Wavefront_core.App_params.Allreduce
+                                { count; msg_size }))
+                    | _ ->
+                        err "nonwavefront: bad all-reduce %S (want N [BYTES])"
+                          v)
                 | [ "stencil"; wg_s; halo ] -> (
                     match
                       (float_of_string_opt wg_s, float_of_string_opt halo)
@@ -131,15 +164,15 @@ let of_string text =
                     | None -> err "nonwavefront: bad fixed cost %S" v)
                 | _ ->
                     err
-                      "nonwavefront: expected 'allreduce N', 'stencil WG \
-                       HALO', 'fixed US' or 'none', got %S"
+                      "nonwavefront: expected 'allreduce N [BYTES]', \
+                       'stencil WG HALO', 'fixed US' or 'none', got %S"
                       v)
           in
           try
             Ok
               (Custom.params
                  ?name:(get "name")
-                 ?nsweeps ?nfull
+                 ?schedule ?nsweeps ?nfull
                  ?ndiag:(Option.map Fun.id ndiag)
                  ?wg_pre ?htile ?bytes_per_cell ?nonwavefront ?iterations ~wg
                  (Wgrid.Data_grid.v ~nx ~ny ~nz))

@@ -21,6 +21,13 @@ let block_of ~cells ~parts ~index =
   let base = cells / parts and extra = cells mod parts in
   if index < extra then base + 1 else base
 
+(* Closed form for the sum of the first [index] block sizes: the [min index
+   extra] leading blocks carry one extra cell each. *)
+let offset_of ~cells ~parts ~index =
+  if index < 0 || index > parts then invalid_arg "Decomp.offset_of: bad index";
+  let base = cells / parts and extra = cells mod parts in
+  (index * base) + min index extra
+
 (* Per-direction boundary message sizes (Table 3). A processor sends its
    east/west boundary face of one tile: [bytes_per_cell_column] bytes for each
    of the Ny/m rows it owns (scaled by tile height and per-cell payload), and

@@ -17,6 +17,10 @@ val blocks : cells:int -> parts:int -> int list
 val block_of : cells:int -> parts:int -> index:int -> int
 (** The size of block [index] (0-based) of {!blocks}. *)
 
+val offset_of : cells:int -> parts:int -> index:int -> int
+(** The starting cell of block [index]: the closed-form sum of the sizes of
+    blocks [0 .. index-1] (so [offset_of ~index:parts] = [cells]). *)
+
 val message_size : bytes_per_cell:float -> htile:float -> extent:float -> int
 (** Boundary message size in bytes for a face of [extent] cells at tile
     height [htile], with [bytes_per_cell] bytes exchanged per boundary cell

@@ -86,8 +86,8 @@ let run ?(real = false) ?(capacity = Obs.Tracer.default_capacity)
     else begin
       let htile = max 1 (int_of_float app.htile) in
       let plan =
-        Kernels.Sweep_exec.plan ~htile ~schedule:app.schedule app.grid
-          cfg.pgrid
+        Kernels.Sweep_exec.plan ~htile ~schedule:app.schedule
+          ~nonwavefront:app.nonwavefront app.grid cfg.pgrid
       in
       let trs =
         Array.init (Proc_grid.cores cfg.pgrid) (fun _ ->

@@ -1,10 +1,15 @@
 (* Real distributed wavefront sweeps: the transport kernel running over a
-   2-D decomposition on the shared-memory message-passing runtime, with the
-   blocking per-tile receive/compute/send loop of Figure 4. The distributed
-   result must equal the sequential reference bitwise — each cell sees the
-   same inputs in the same operation order — which the test suite checks. *)
+   2-D decomposition on the shared-memory message-passing runtime. The
+   per-tile receive/compute/send loop itself is the one substrate-agnostic
+   program of Wrun.Program (paper Figure 4); this module is the substrate
+   that makes its payloads real — boundary faces computed by
+   Transport.sweep_tile, carried between domains by Shmpi.Comm. The
+   distributed result must equal the sequential reference bitwise — each
+   cell sees the same inputs in the same operation order — which the test
+   suite checks. *)
 
 open Wgrid
+open Wavefront_core
 
 type plan = {
   grid : Data_grid.t;
@@ -12,14 +17,20 @@ type plan = {
   config : Transport.config;
   htile : int;
   schedule : Sweeps.Schedule.t;
+  nonwavefront : App_params.nonwavefront;
   iterations : int;
 }
 
+(* The default non-wavefront section is the end-of-iteration reduction the
+   transport benchmarks perform: one all-reduce of each rank's scalar-flux
+   sum. *)
 let plan ?(config = Transport.default) ?(htile = 1) ?(iterations = 1)
-    ?(schedule = Sweeps.Schedule.sweep3d) grid pg =
+    ?(schedule = Sweeps.Schedule.sweep3d)
+    ?(nonwavefront = App_params.Allreduce { count = 1; msg_size = 8 }) grid pg
+    =
   if htile < 1 then invalid_arg "Sweep_exec.plan: htile must be >= 1";
   if iterations < 1 then invalid_arg "Sweep_exec.plan: iterations must be >= 1";
-  { grid; pg; config; htile; schedule; iterations }
+  { grid; pg; config; htile; schedule; nonwavefront; iterations }
 
 (* Block extents and offsets of processor (i, j) (1-based). *)
 let block_x plan i =
@@ -28,65 +39,150 @@ let block_x plan i =
 let block_y plan j =
   Decomp.block_of ~cells:plan.grid.ny ~parts:plan.pg.rows ~index:(j - 1)
 
-let offset ~cells ~parts ~index =
-  let rec go acc k =
-    if k >= index then acc
-    else go (acc + Decomp.block_of ~cells ~parts ~index:k) (k + 1)
+let offset_x plan i =
+  Decomp.offset_of ~cells:plan.grid.nx ~parts:plan.pg.cols ~index:(i - 1)
+
+let offset_y plan j =
+  Decomp.offset_of ~cells:plan.grid.ny ~parts:plan.pg.rows ~index:(j - 1)
+
+let flow = Wrun.Program.flow
+
+(* The program configuration handed to the shared core: kernel tiling (h =
+   min htile (nz - t*htile)) and the honest byte sizes of the faces the
+   backend actually ships (8-byte floats, angles values per boundary
+   cell). *)
+let program_config plan =
+  let angles = plan.config.Transport.angles in
+  let face extent =
+    Decomp.message_size
+      ~bytes_per_cell:(8.0 *. float_of_int angles)
+      ~htile:(float_of_int plan.htile) ~extent
   in
-  go 0 0
+  Wrun.Program.v ~iterations:plan.iterations
+    ~tiling:(Wrun.Program.tiling_int ~nz:plan.grid.nz ~htile:plan.htile)
+    ~pg:plan.pg ~grid:plan.grid ~schedule:plan.schedule
+    ~nonwavefront:plan.nonwavefront
+    ~msg_ew:(face (Decomp.cells_y plan.grid plan.pg))
+    ~msg_ns:(face (Decomp.cells_x plan.grid plan.pg))
+    ~htile:(float_of_int plan.htile) ()
 
-let offset_x plan i = offset ~cells:plan.grid.nx ~parts:plan.pg.cols ~index:(i - 1)
-let offset_y plan j = offset ~cells:plan.grid.ny ~parts:plan.pg.rows ~index:(j - 1)
+(* Genuine elapsed work for the model-time non-wavefront costs (Fixed,
+   Stencil compute): this substrate is the real machine, so a cost in
+   microseconds is spent, not accounted. *)
+let busy_wait us =
+  if us > 0.0 then begin
+    let stop = Unix.gettimeofday () +. (us *. 1e-6) in
+    while Unix.gettimeofday () < stop do
+      ()
+    done
+  end
 
-(* Downstream direction of a sweep, as in the simulator. *)
-let flow pg (s : Sweeps.Schedule.sweep) =
-  let ox, oy = Proc_grid.corner_coords pg s.origin in
-  let dx = if ox = 1 then 1 else -1 in
-  let dy = if oy = 1 then 1 else -1 in
-  let dz = match s.zdir with `Up -> 1 | `Down -> -1 in
-  (dx, dy, dz)
+module Backend = struct
+  type t = {
+    plan : plan;
+    comm : Shmpi.Comm.t;
+    nx : int;  (* local block extents of this rank *)
+    ny : int;
+    phi : float array;
+    mutable st : Transport.sweep_state option;
+    (* Full-height receive buffers, reused every tile; a short last tile
+       falls back to the channel's own buffer (Channel.recv_into). *)
+    buf_x : float array;
+    buf_y : float array;
+  }
 
-(* The program of one rank: every sweep of every iteration, with blocking
-   receives from the upstream neighbours and sends to the downstream ones. *)
-let rank_program plan comm rank =
-  let pg = plan.pg in
-  let i, j = Proc_grid.coords pg rank in
-  let nx = block_x plan i and ny = block_y plan j in
-  let nz = plan.grid.nz in
-  let phi = Array.make (nx * ny * nz) 0.0 in
-  for _iter = 1 to plan.iterations do
-    List.iter
-      (fun sweep ->
-        let dx, dy, dz = flow pg sweep in
-        let up_x = (i - dx, j) and down_x = (i + dx, j) in
-        let up_y = (i, j - dy) and down_y = (i, j + dy) in
-        let recv_x ~tile:_ ~h =
-          if Proc_grid.contains pg up_x then
-            Shmpi.Comm.recv comm ~dst:rank ~src:(Proc_grid.rank pg up_x)
-          else Transport.boundary_x plan.config ~ny ~h
-        in
-        let recv_y ~tile:_ ~h =
-          if Proc_grid.contains pg up_y then
-            Shmpi.Comm.recv comm ~dst:rank ~src:(Proc_grid.rank pg up_y)
-          else Transport.boundary_y plan.config ~nx ~h
-        in
-        let send_x ~tile:_ face =
-          if Proc_grid.contains pg down_x then
-            Shmpi.Comm.send comm ~src:rank ~dst:(Proc_grid.rank pg down_x) face
-        in
-        let send_y ~tile:_ face =
-          if Proc_grid.contains pg down_y then
-            Shmpi.Comm.send comm ~src:rank ~dst:(Proc_grid.rank pg down_y) face
-        in
-        Transport.sweep plan.config ~nx ~ny ~nz ~dir:(dx, dy, dz)
-          ~htile:plan.htile ~recv_x ~recv_y ~send_x ~send_y ~phi)
-      (Sweeps.Schedule.sweeps plan.schedule);
-    (* The end-of-iteration reduction the transport benchmarks perform. *)
-    ignore
-      (Shmpi.Comm.allreduce comm ~rank ~op:( +. )
-         (Array.fold_left ( +. ) 0.0 phi))
-  done;
-  phi
+  let create plan comm rank =
+    let i, j = Proc_grid.coords plan.pg rank in
+    let nx = block_x plan i and ny = block_y plan j in
+    let a_n = plan.config.Transport.angles in
+    {
+      plan;
+      comm;
+      nx;
+      ny;
+      phi = Array.make (nx * ny * plan.grid.nz) 0.0;
+      st = None;
+      buf_x = Array.make (a_n * ny * plan.htile) 0.0;
+      buf_y = Array.make (a_n * nx * plan.htile) 0.0;
+    }
+
+  let phi t = t.phi
+
+  module Substrate = struct
+    type nonrec t = t
+    type payload = float array
+
+    let boundary t ~rank:_ ~axis ~h =
+      match axis with
+      | Wrun.Substrate.X -> Transport.boundary_x t.plan.config ~ny:t.ny ~h
+      | Y -> Transport.boundary_y t.plan.config ~nx:t.nx ~h
+
+    let recv t ~rank ~src ~axis ~tile:_ ~h:_ ~bytes:_ =
+      let buf =
+        match axis with Wrun.Substrate.X -> t.buf_x | Y -> t.buf_y
+      in
+      Shmpi.Comm.recv_into t.comm ~dst:rank ~src buf
+
+    let send t ~rank ~dst ~axis:_ ~tile:_ face =
+      Shmpi.Comm.send t.comm ~src:rank ~dst face
+
+    let sweep_begin t ~rank:_ ~sweep:_ ~dir =
+      t.st <-
+        Some
+          (Transport.sweep_start t.plan.config ~nx:t.nx ~ny:t.ny
+             ~nz:t.plan.grid.nz ~dir ~phi:t.phi)
+
+    let precompute _ ~rank:_ ~tile:_ = ()
+
+    let compute t ~rank:_ ~dir:_ ~tile:_ ~h ~x ~y =
+      match t.st with
+      | Some st -> Transport.sweep_tile st ~h ~xface:x ~yface:y
+      | None -> assert false (* sweep_begin precedes every tile *)
+
+    let fixed_work _ ~rank:_ us = busy_wait us
+
+    let stencil_compute t ~rank:_ ~wg_stencil =
+      busy_wait
+        (wg_stencil
+        *. Decomp.cells_x t.plan.grid t.plan.pg
+        *. Decomp.cells_y t.plan.grid t.plan.pg
+        *. float_of_int t.plan.grid.nz)
+
+    (* One direction of a halo round: the faces carry no physics here, so
+       ship a zero payload of the model's byte size and discard the
+       incoming one. *)
+    let halo t ~rank ~dst ~src ~bytes =
+      (match dst with
+      | Some d ->
+          Shmpi.Comm.send t.comm ~src:rank ~dst:d
+            (Array.make (max 1 ((bytes + 7) / 8)) 0.0)
+      | None -> ());
+      match src with
+      | Some s -> ignore (Shmpi.Comm.recv t.comm ~dst:rank ~src:s)
+      | None -> ()
+
+    (* A genuine global reduction of the rank's scalar-flux sum (the
+       payload real runtimes reduce between iterations); [msg_size] is the
+       model's input, not this substrate's. *)
+    let allreduce t ~rank ~count ~msg_size:_ =
+      for _ = 1 to count do
+        ignore
+          (Shmpi.Comm.allreduce t.comm ~rank ~op:( +. )
+             (Array.fold_left ( +. ) 0.0 t.phi))
+      done
+
+    let barrier t ~rank = Shmpi.Comm.barrier_r t.comm ~rank
+    let finish _ ~rank:_ = ()
+  end
+end
+
+(* The program of one rank: the shared Figure-4 core over this substrate. *)
+let rank_program plan =
+  let cfg = program_config plan in
+  fun comm rank ->
+    let b = Backend.create plan comm rank in
+    Wrun.Program.run_rank (module Backend.Substrate) b cfg rank;
+    b.Backend.phi
 
 type outcome = {
   blocks : float array array;  (** per-rank phi blocks *)

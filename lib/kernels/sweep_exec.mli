@@ -1,6 +1,7 @@
 (** Real distributed wavefront sweeps: the transport kernel over a 2-D
-    decomposition on the shared-memory runtime, following the blocking
-    receive/compute/send tile loop of Figure 4. *)
+    decomposition on the shared-memory runtime. The blocking per-tile
+    receive/compute/send loop is the shared {!Wrun.Program} core; this
+    module is its real-payload substrate. *)
 
 open Wgrid
 
@@ -10,6 +11,7 @@ type plan = {
   config : Transport.config;
   htile : int;
   schedule : Sweeps.Schedule.t;
+  nonwavefront : Wavefront_core.App_params.nonwavefront;
   iterations : int;
 }
 
@@ -18,17 +20,41 @@ val plan :
   ?htile:int ->
   ?iterations:int ->
   ?schedule:Sweeps.Schedule.t ->
+  ?nonwavefront:Wavefront_core.App_params.nonwavefront ->
   Data_grid.t ->
   Proc_grid.t ->
   plan
 (** Defaults: 6-angle transport, Htile 1, one iteration, the Sweep3D
-    schedule. *)
+    schedule, and [Allreduce {count = 1; msg_size = 8}] as the
+    non-wavefront section (the end-of-iteration reduction the transport
+    benchmarks perform). *)
 
 val block_x : plan -> int -> int
 (** Local x extent of column [i] (1-based). *)
 
 val block_y : plan -> int -> int
 val flow : Proc_grid.t -> Sweeps.Schedule.sweep -> int * int * int
+
+val program_config : plan -> Wrun.Program.config
+(** The plan as the shared core's program: kernel tiling and the honest
+    byte sizes of the faces this substrate ships. *)
+
+(** The real-payload substrate: payloads are the boundary faces computed
+    by {!Transport.sweep_tile}, carried between domains by {!Shmpi.Comm}
+    (receives into reused buffers). Exposed for driving
+    {!Wrun.Program.run_rank} directly. *)
+module Backend : sig
+  type t
+
+  val create : plan -> Shmpi.Comm.t -> int -> t
+  (** Per-rank state: the rank's scalar-flux block and its receive
+      buffers. *)
+
+  val phi : t -> float array
+
+  module Substrate :
+    Wrun.Substrate.S with type t = t and type payload = float array
+end
 
 type outcome = { blocks : float array array; wall_time : float }
 

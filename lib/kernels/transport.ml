@@ -34,89 +34,141 @@ let weight c _a = 1.0 /. float_of_int c.angles
 (* Iteration order along one dimension: cells visited upstream-to-downstream. *)
 let order ~len ~dir k = if dir > 0 then k else len - 1 - k
 
-(* One sweep of one octant over a local [nx * ny * nz] block, accumulating
-   the weighted scalar flux into [phi] (length nx*ny*nz, cell (x,y,z) at
-   [(z*ny + y)*nx + x]).
+(* State of one octant sweep over a local [nx * ny * nz] block: the
+   precomputed per-angle coefficients, the incoming z-face carried from
+   tile to tile down the stack, the per-plane scratch buffers, and a cursor
+   of how many planes have been processed. The weighted scalar flux
+   accumulates into [phi] (length nx*ny*nz, cell (x,y,z) at
+   [(z*ny + y)*nx + x]). *)
+type sweep_state = {
+  sc : config;
+  s_nx : int;
+  s_ny : int;
+  s_nz : int;
+  s_dx : int;
+  s_dy : int;
+  s_dz : int;
+  denom : float array;
+  mus : float array;
+  etas : float array;
+  xis : float array;
+  ws : float array;
+  zbuf : float array;  (* incoming z-face, persists across tiles *)
+  ybuf : float array;
+  xrow : float array;
+  s_phi : float array;
+  mutable pos : int;  (* planes processed so far *)
+}
 
-   Tiles are [htile] z-planes; for tile [t] the caller supplies the incoming
-   upstream x-face through [recv_x ~tile:t] (layout [(a*ny + y)*h + zz],
-   length angles*ny*h) and the incoming y-face through [recv_y] (layout
-   [(a*nx + x)*h + zz]), and receives the outgoing downstream faces through
-   [send_x]/[send_y] in the same layouts. This is exactly the communication
-   pattern of Figure 4. *)
-let sweep c ~nx ~ny ~nz ~dir:(dx, dy, dz) ~htile ~recv_x ~recv_y ~send_x
-    ~send_y ~phi =
+let sweep_start c ~nx ~ny ~nz ~dir:(dx, dy, dz) ~phi =
   if Array.length phi <> nx * ny * nz then
-    invalid_arg "Transport.sweep: phi has the wrong size";
-  if htile < 1 then invalid_arg "Transport.sweep: htile must be >= 1";
+    invalid_arg "Transport.sweep_start: phi has the wrong size";
   let a_n = c.angles in
-  let denom = Array.init a_n (fun a -> 1.0 +. c.sigma +. mu c a +. eta c a +. xi c a) in
-  let mus = Array.init a_n (mu c) in
-  let etas = Array.init a_n (eta c) in
-  let xis = Array.init a_n (xi c) in
-  let ws = Array.init a_n (weight c) in
-  (* Incoming z-face at the sweep's entry plane. *)
-  let zbuf = Array.make (a_n * nx * ny) c.boundary in
-  let ybuf = Array.make (a_n * nx) 0.0 in
-  let xrow = Array.make a_n 0.0 in
-  let ntiles = (nz + htile - 1) / htile in
-  for tile = 0 to ntiles - 1 do
-    (* Tiles and planes are visited in processing order; a descending sweep
-       (dz < 0) starts at the top plane. *)
-    let pos0 = tile * htile in
-    let h = min htile (nz - pos0) in
-    let xface = recv_x ~tile ~h in
-    let yface = recv_y ~tile ~h in
-    if Array.length xface <> a_n * ny * h then
-      invalid_arg "Transport.sweep: bad x-face size";
-    if Array.length yface <> a_n * nx * h then
-      invalid_arg "Transport.sweep: bad y-face size";
-    let out_x = Array.make (a_n * ny * h) 0.0 in
-    let out_y = Array.make (a_n * nx * h) 0.0 in
-    for zz = 0 to h - 1 do
-      let pos = pos0 + zz in
-      let z = if dz > 0 then pos else nz - 1 - pos in
-      (* Initialize the per-plane y buffer from the tile's y-face. *)
-      for a = 0 to a_n - 1 do
-        for x = 0 to nx - 1 do
-          ybuf.((a * nx) + x) <- yface.((((a * nx) + x) * h) + zz)
-        done
-      done;
-      for yy = 0 to ny - 1 do
-        let y = order ~len:ny ~dir:dy yy in
-        for a = 0 to a_n - 1 do
-          xrow.(a) <- xface.((((a * ny) + y) * h) + zz)
-        done;
-        for xx = 0 to nx - 1 do
-          let x = order ~len:nx ~dir:dx xx in
-          let cell = ((z * ny) + y) * nx + x in
-          let acc = ref 0.0 in
-          for a = 0 to a_n - 1 do
-            let zidx = (((a * nx) + x) * ny) + y in
-            let psi =
-              (c.source +. (mus.(a) *. xrow.(a))
-              +. (etas.(a) *. ybuf.((a * nx) + x))
-              +. (xis.(a) *. zbuf.(zidx)))
-              /. denom.(a)
-            in
-            xrow.(a) <- psi;
-            ybuf.((a * nx) + x) <- psi;
-            zbuf.(zidx) <- psi;
-            acc := !acc +. (ws.(a) *. psi)
-          done;
-          phi.(cell) <- phi.(cell) +. !acc
-        done;
-        (* xrow now holds the outgoing x fluxes of row y, plane zz. *)
-        for a = 0 to a_n - 1 do
-          out_x.((((a * ny) + y) * h) + zz) <- xrow.(a)
-        done
-      done;
-      for a = 0 to a_n - 1 do
-        for x = 0 to nx - 1 do
-          out_y.((((a * nx) + x) * h) + zz) <- ybuf.((a * nx) + x)
-        done
+  {
+    sc = c;
+    s_nx = nx;
+    s_ny = ny;
+    s_nz = nz;
+    s_dx = dx;
+    s_dy = dy;
+    s_dz = dz;
+    denom =
+      Array.init a_n (fun a -> 1.0 +. c.sigma +. mu c a +. eta c a +. xi c a);
+    mus = Array.init a_n (mu c);
+    etas = Array.init a_n (eta c);
+    xis = Array.init a_n (xi c);
+    ws = Array.init a_n (weight c);
+    (* Incoming z-face at the sweep's entry plane. *)
+    zbuf = Array.make (a_n * nx * ny) c.boundary;
+    ybuf = Array.make (a_n * nx) 0.0;
+    xrow = Array.make a_n 0.0;
+    s_phi = phi;
+    pos = 0;
+  }
+
+(* Compute the next [h] z-planes of the sweep from the tile's two upstream
+   faces (x-face layout [(a*ny + y)*h + zz], length angles*ny*h; y-face
+   [(a*nx + x)*h + zz]); returns the outgoing downstream faces in the same
+   layouts. Planes are visited in processing order; a descending sweep
+   (dz < 0) starts at the top plane. *)
+let sweep_tile st ~h ~xface ~yface =
+  let c = st.sc in
+  let nx = st.s_nx and ny = st.s_ny and nz = st.s_nz in
+  let a_n = c.angles in
+  if h < 1 || st.pos + h > nz then
+    invalid_arg "Transport.sweep_tile: bad tile height";
+  if Array.length xface <> a_n * ny * h then
+    invalid_arg "Transport.sweep_tile: bad x-face size";
+  if Array.length yface <> a_n * nx * h then
+    invalid_arg "Transport.sweep_tile: bad y-face size";
+  let { zbuf; ybuf; xrow; denom; mus; etas; xis; ws; s_phi = phi; _ } = st in
+  let pos0 = st.pos in
+  let out_x = Array.make (a_n * ny * h) 0.0 in
+  let out_y = Array.make (a_n * nx * h) 0.0 in
+  for zz = 0 to h - 1 do
+    let pos = pos0 + zz in
+    let z = if st.s_dz > 0 then pos else nz - 1 - pos in
+    (* Initialize the per-plane y buffer from the tile's y-face. *)
+    for a = 0 to a_n - 1 do
+      for x = 0 to nx - 1 do
+        ybuf.((a * nx) + x) <- yface.((((a * nx) + x) * h) + zz)
       done
     done;
+    for yy = 0 to ny - 1 do
+      let y = order ~len:ny ~dir:st.s_dy yy in
+      for a = 0 to a_n - 1 do
+        xrow.(a) <- xface.((((a * ny) + y) * h) + zz)
+      done;
+      for xx = 0 to nx - 1 do
+        let x = order ~len:nx ~dir:st.s_dx xx in
+        let cell = ((z * ny) + y) * nx + x in
+        let acc = ref 0.0 in
+        for a = 0 to a_n - 1 do
+          let zidx = (((a * nx) + x) * ny) + y in
+          let psi =
+            (c.source +. (mus.(a) *. xrow.(a))
+            +. (etas.(a) *. ybuf.((a * nx) + x))
+            +. (xis.(a) *. zbuf.(zidx)))
+            /. denom.(a)
+          in
+          xrow.(a) <- psi;
+          ybuf.((a * nx) + x) <- psi;
+          zbuf.(zidx) <- psi;
+          acc := !acc +. (ws.(a) *. psi)
+        done;
+        phi.(cell) <- phi.(cell) +. !acc
+      done;
+      (* xrow now holds the outgoing x fluxes of row y, plane zz. *)
+      for a = 0 to a_n - 1 do
+        out_x.((((a * ny) + y) * h) + zz) <- xrow.(a)
+      done
+    done;
+    for a = 0 to a_n - 1 do
+      for x = 0 to nx - 1 do
+        out_y.((((a * nx) + x) * h) + zz) <- ybuf.((a * nx) + x)
+      done
+    done
+  done;
+  st.pos <- pos0 + h;
+  (out_x, out_y)
+
+(* The whole sweep as a tile loop over [sweep_start]/[sweep_tile] — the
+   communication pattern of Figure 4, with the caller supplying the
+   incoming upstream faces of each tile and consuming the outgoing ones.
+   The distributed execution drives [sweep_tile] from the shared program
+   core (Wrun.Program) instead; this driver remains for the sequential
+   reference and callers that want the loop in one call. *)
+let sweep c ~nx ~ny ~nz ~dir ~htile ~recv_x ~recv_y ~send_x ~send_y ~phi =
+  if htile < 1 then invalid_arg "Transport.sweep: htile must be >= 1";
+  if Array.length phi <> nx * ny * nz then
+    invalid_arg "Transport.sweep: phi has the wrong size";
+  let st = sweep_start c ~nx ~ny ~nz ~dir ~phi in
+  let ntiles = (nz + htile - 1) / htile in
+  for tile = 0 to ntiles - 1 do
+    let h = min htile (nz - (tile * htile)) in
+    let xface = recv_x ~tile ~h in
+    let yface = recv_y ~tile ~h in
+    let out_x, out_y = sweep_tile st ~h ~xface ~yface in
     send_x ~tile out_x;
     send_y ~tile out_y
   done

@@ -24,6 +24,31 @@ val xi : config -> int -> float
 val weight : config -> int -> float
 val order : len:int -> dir:int -> int -> int
 
+type sweep_state
+(** In-progress octant sweep over a local block: per-angle coefficients,
+    the z-face carried from tile to tile, and the plane cursor. *)
+
+val sweep_start :
+  config ->
+  nx:int ->
+  ny:int ->
+  nz:int ->
+  dir:int * int * int ->
+  phi:float array ->
+  sweep_state
+(** Begin a sweep over a local [nx*ny*nz] block, accumulating weighted
+    scalar flux into [phi] (cell [(x,y,z)] at [(z*ny + y)*nx + x]). *)
+
+val sweep_tile :
+  sweep_state -> h:int -> xface:float array -> yface:float array ->
+  float array * float array
+(** Compute the next [h] z-planes from the tile's upstream faces (x-face
+    layout [(a*ny + y)*h + zz], length [angles*ny*h]; y-face
+    [(a*nx + x)*h + zz]); returns the outgoing [(out_x, out_y)] downstream
+    faces in the same layouts. Planes are visited in processing order (a
+    [dz < 0] sweep starts at the top plane). The substrate-agnostic
+    program core drives this as the compute step of the paper's Figure 4. *)
+
 val sweep :
   config ->
   nx:int ->
@@ -37,13 +62,11 @@ val sweep :
   send_y:(tile:int -> float array -> unit) ->
   phi:float array ->
   unit
-(** One octant sweep over a local block, accumulating weighted scalar flux
-    into [phi] (cell [(x,y,z)] at [(z*ny + y)*nx + x]). Tiles are [htile]
-    z-planes visited in processing order (a [dz < 0] sweep starts at the top
-    plane); [recv_x]/[recv_y] supply the upstream faces of each tile
-    (x-face layout [(a*ny + y)*h + zz], y-face [(a*nx + x)*h + zz]) and
-    [send_x]/[send_y] emit the downstream faces — the communication pattern
-    of the paper's Figure 4. *)
+(** The whole sweep as a tile loop over {!sweep_start}/{!sweep_tile}:
+    tiles are [htile] z-planes (short last tile); [recv_x]/[recv_y] supply
+    the upstream faces of each tile and [send_x]/[send_y] emit the
+    downstream ones — the communication pattern of the paper's Figure 4 in
+    one call. *)
 
 val boundary_x : config -> ny:int -> h:int -> float array
 val boundary_y : config -> nx:int -> h:int -> float array

@@ -1,0 +1,302 @@
+(* The reference dataflow backend: execute the schedule's precedence graph
+   deterministically, with no event simulation and no domains.
+
+   Every rank is an effect-based fiber (OCaml 5 one-shot continuations); a
+   blocking receive on an empty channel suspends the fiber, a send wakes
+   the waiting receiver, and a single FIFO run queue makes the interleaving
+   deterministic. There is no clock: the only thing this backend computes
+   is whether the program's blocking communication order is consistent —
+   which makes it a fast deadlock/schedule validator and a message-sequence
+   oracle at rank counts (100K+) where even the event-level simulator is
+   expensive. When the run queue drains with unfinished ranks, the program
+   has deadlocked and each stuck rank reports what it was blocked on. *)
+
+open Wgrid
+
+type msg = { axis : Substrate.axis; tile : int; bytes : int }
+
+type outcome = {
+  ranks : int;
+  completed : bool;
+  blocked : (int * string) list;
+      (** stuck ranks and what each was waiting on (empty iff completed) *)
+  messages : int;
+  mismatches : string list;  (** face-description disagreements (capped) *)
+}
+
+let pp_outcome ppf o =
+  if o.completed then
+    Fmt.pf ppf "%d ranks completed, %d messages%s" o.ranks o.messages
+      (match o.mismatches with
+      | [] -> ""
+      | l -> Fmt.str ", %d MISMATCHES" (List.length l))
+  else
+    Fmt.pf ppf "DEADLOCK: %d of %d ranks stuck (first: %s)"
+      (List.length o.blocked) o.ranks
+      (match o.blocked with
+      | (r, why) :: _ -> Fmt.str "rank %d %s" r why
+      | [] -> "?")
+
+module Raw = struct
+  type status =
+    | Idle
+    | Running
+    | Blocked_recv of int  (* waiting on a message from this rank *)
+    | Blocked_coll
+    | Finished
+
+  type task =
+    | Start of int
+    | Resume of (unit, unit) Effect.Deep.continuation
+
+  type sched = {
+    ranks : int;
+    chans : (int, msg Queue.t) Hashtbl.t;  (* src * ranks + dst *)
+    waiting : (int, (unit, unit) Effect.Deep.continuation) Hashtbl.t;
+    runnable : task Queue.t;
+    coll_parked : (unit, unit) Effect.Deep.continuation Queue.t;
+    mutable coll_count : int;
+    status : status array;
+    mutable finished : int;
+    mutable messages : int;
+    mutable program : int -> unit;
+    mutable executed : bool;
+  }
+
+  type _ Effect.t +=
+    | Block_recv : int -> unit Effect.t
+    | Block_coll : unit Effect.t
+
+  let create ~ranks =
+    if ranks < 1 then invalid_arg "Dataflow.Raw.create: ranks must be >= 1";
+    {
+      ranks;
+      chans = Hashtbl.create (4 * ranks);
+      waiting = Hashtbl.create 64;
+      runnable = Queue.create ();
+      coll_parked = Queue.create ();
+      coll_count = 0;
+      status = Array.make ranks Idle;
+      finished = 0;
+      messages = 0;
+      program = ignore;
+      executed = false;
+    }
+
+  let key t ~src ~dst = (src * t.ranks) + dst
+
+  let chan t key =
+    match Hashtbl.find_opt t.chans key with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.chans key q;
+        q
+
+  let check_rank t r name =
+    if r < 0 || r >= t.ranks then
+      invalid_arg ("Dataflow." ^ name ^ ": bad rank")
+
+  (* Buffered (eager) send: never blocks, matching the runtimes the
+     program targets. A receiver waiting on this channel becomes runnable
+     again (FIFO, so the wake order is deterministic). *)
+  let send t ~src ~dst m =
+    check_rank t src "send";
+    check_rank t dst "send";
+    let key = key t ~src ~dst in
+    Queue.push m (chan t key);
+    t.messages <- t.messages + 1;
+    match Hashtbl.find_opt t.waiting key with
+    | Some k ->
+        Hashtbl.remove t.waiting key;
+        Queue.push (Resume k) t.runnable
+    | None -> ()
+
+  (* Blocking receive: suspend the fiber until the channel is non-empty.
+     Only callable from inside a fiber run by [exec]. *)
+  let recv t ~rank ~src =
+    check_rank t rank "recv";
+    check_rank t src "recv";
+    let q = chan t (key t ~src ~dst:rank) in
+    if Queue.is_empty q then begin
+      t.status.(rank) <- Blocked_recv src;
+      Effect.perform (Block_recv (key t ~src ~dst:rank));
+      t.status.(rank) <- Running
+    end;
+    Queue.pop q
+
+  (* Full synchronization: park until every rank has arrived, then release
+     all arrivals in order. Every rank must call the same number of
+     times. *)
+  let barrier t ~rank =
+    check_rank t rank "barrier";
+    t.status.(rank) <- Blocked_coll;
+    Effect.perform Block_coll;
+    t.status.(rank) <- Running
+
+  let start_fiber t rank =
+    let open Effect.Deep in
+    t.status.(rank) <- Running;
+    match_with
+      (fun () -> t.program rank)
+      ()
+      {
+        retc =
+          (fun () ->
+            t.status.(rank) <- Finished;
+            t.finished <- t.finished + 1);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Block_recv key ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    Hashtbl.replace t.waiting key k)
+            | Block_coll ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    Queue.push k t.coll_parked;
+                    t.coll_count <- t.coll_count + 1;
+                    if t.coll_count = t.ranks then begin
+                      t.coll_count <- 0;
+                      Queue.iter
+                        (fun k -> Queue.push (Resume k) t.runnable)
+                        t.coll_parked;
+                      Queue.clear t.coll_parked
+                    end)
+            | _ -> None);
+      }
+
+  let exec t program =
+    if t.executed then invalid_arg "Dataflow.exec: already executed";
+    t.executed <- true;
+    t.program <- program;
+    for rank = 0 to t.ranks - 1 do
+      Queue.push (Start rank) t.runnable
+    done;
+    while not (Queue.is_empty t.runnable) do
+      match Queue.pop t.runnable with
+      | Start rank -> start_fiber t rank
+      | Resume k -> Effect.Deep.continue k ()
+    done
+
+  let blocked t =
+    let acc = ref [] in
+    for rank = t.ranks - 1 downto 0 do
+      match t.status.(rank) with
+      | Blocked_recv src ->
+          acc := (rank, Fmt.str "blocked receiving from rank %d" src) :: !acc
+      | Blocked_coll ->
+          acc := (rank, "blocked in a collective") :: !acc
+      | Idle -> acc := (rank, "never ran") :: !acc
+      | Running | Finished -> ()
+    done;
+    !acc
+
+  let outcome t =
+    {
+      ranks = t.ranks;
+      completed = t.finished = t.ranks;
+      blocked = blocked t;
+      messages = t.messages;
+      mismatches = [];
+    }
+end
+
+(* --- The substrate over the raw scheduler --- *)
+
+type t = {
+  sched : Raw.sched;
+  msg_ew : int;
+  msg_ns : int;
+  mutable mismatches : string list;  (* reversed; capped *)
+  mutable n_mismatch : int;
+}
+
+let mismatch_cap = 16
+
+let create ~ranks ~msg_ew ~msg_ns =
+  {
+    sched = Raw.create ~ranks;
+    msg_ew;
+    msg_ns;
+    mismatches = [];
+    n_mismatch = 0;
+  }
+
+let of_app pg app =
+  create
+    ~ranks:(Proc_grid.cores pg)
+    ~msg_ew:(Wavefront_core.App_params.message_size_ew app pg)
+    ~msg_ns:(Wavefront_core.App_params.message_size_ns app pg)
+
+let record_mismatch t fmt =
+  Fmt.kstr
+    (fun m ->
+      t.n_mismatch <- t.n_mismatch + 1;
+      if t.n_mismatch <= mismatch_cap then t.mismatches <- m :: t.mismatches)
+    fmt
+
+module Substrate = struct
+  type nonrec t = t
+  type payload = msg
+
+  let boundary _ ~rank:_ ~axis ~h:_ = { axis; tile = -1; bytes = 0 }
+
+  (* Receive and check the face description against what the program
+     expects: a mismatch means two ranks disagree about which message
+     travels on an edge of the precedence graph. *)
+  let recv t ~rank ~src ~axis ~tile ~h:_ ~bytes =
+    let m = Raw.recv t.sched ~rank ~src in
+    if m.axis <> axis || m.tile <> tile || m.bytes <> bytes then
+      record_mismatch t
+        "rank %d <- %d: expected %s face of tile %d (%dB), got %s tile %d \
+         (%dB)"
+        rank src (Substrate.axis_name axis) tile bytes
+        (Substrate.axis_name m.axis) m.tile m.bytes;
+    m
+
+  let send t ~rank ~dst ~axis:_ ~tile:_ m = Raw.send t.sched ~src:rank ~dst m
+
+  let compute t ~rank:_ ~dir:_ ~tile ~h:_ ~x:_ ~y:_ =
+    ( { axis = Substrate.X; tile; bytes = t.msg_ew },
+      { axis = Substrate.Y; tile; bytes = t.msg_ns } )
+
+  let precompute _ ~rank:_ ~tile:_ = ()
+  let sweep_begin _ ~rank:_ ~sweep:_ ~dir:_ = ()
+  let fixed_work _ ~rank:_ _ = ()
+  let stencil_compute _ ~rank:_ ~wg_stencil:_ = ()
+
+  let halo t ~rank ~dst ~src ~bytes =
+    (match dst with
+    | Some d ->
+        Raw.send t.sched ~src:rank ~dst:d
+          { axis = Substrate.X; tile = -1; bytes }
+    | None -> ());
+    match src with
+    | Some s -> ignore (Raw.recv t.sched ~rank ~src:s)
+    | None -> ()
+
+  (* All-reduces synchronize every rank; their internal message pattern is
+     a backend choice, so here each one is simply a full barrier of the
+     precedence graph. *)
+  let allreduce t ~rank ~count ~msg_size:_ =
+    for _ = 1 to count do
+      Raw.barrier t.sched ~rank
+    done
+
+  let barrier t ~rank = Raw.barrier t.sched ~rank
+  let finish _ ~rank:_ = ()
+end
+
+let exec t program = Raw.exec t.sched program
+
+let outcome t =
+  { (Raw.outcome t.sched) with mismatches = List.rev t.mismatches }
+
+let run ?iterations ?tiling pg app =
+  let cfg = Program.of_app ?iterations ?tiling pg app in
+  let t = of_app pg app in
+  exec t (fun rank -> Program.run_rank (module Substrate) t cfg rank);
+  outcome t

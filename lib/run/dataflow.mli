@@ -1,0 +1,70 @@
+(** The reference dataflow backend: deterministic execution of the
+    program's blocking-communication precedence graph, with no event
+    simulation and no domains.
+
+    Every rank is an effect-based fiber; a receive on an empty channel
+    suspends it, a send wakes the waiting receiver, and a single FIFO run
+    queue makes the interleaving deterministic. There is no clock — the
+    backend answers only whether the schedule's communication order is
+    consistent, which makes it a fast deadlock validator and a
+    message-sequence oracle at 100K+ ranks. *)
+
+open Wgrid
+
+type msg = { axis : Substrate.axis; tile : int; bytes : int }
+(** What travels on an edge of the precedence graph: a face description
+    rather than data. *)
+
+type outcome = {
+  ranks : int;
+  completed : bool;
+  blocked : (int * string) list;
+      (** stuck ranks and what each was waiting on (empty iff completed) *)
+  messages : int;
+  mismatches : string list;
+      (** face-description disagreements between sender and receiver
+          (capped at 16) *)
+}
+
+val pp_outcome : outcome Fmt.t
+
+(** The raw deterministic scheduler, for custom programs (e.g. testing
+    that a deliberately broken communication order is reported as
+    deadlock). {!send}/{!recv}/{!barrier} may only be called from inside a
+    program run by {!exec}. *)
+module Raw : sig
+  type sched
+
+  val create : ranks:int -> sched
+  val send : sched -> src:int -> dst:int -> msg -> unit
+  val recv : sched -> rank:int -> src:int -> msg
+  val barrier : sched -> rank:int -> unit
+
+  val exec : sched -> (int -> unit) -> unit
+  (** Run every rank's program to completion or deadlock. One-shot. *)
+
+  val outcome : sched -> outcome
+end
+
+type t
+
+val create : ranks:int -> msg_ew:int -> msg_ns:int -> t
+val of_app : Proc_grid.t -> Wavefront_core.App_params.t -> t
+
+module Substrate : Substrate.S with type t = t and type payload = msg
+
+val exec : t -> (int -> unit) -> unit
+(** Run rank programs (typically
+    [fun rank -> Program.run_rank (module Substrate) t cfg rank], possibly
+    wrapped in {!Record.Wrap}) under the deterministic scheduler. *)
+
+val outcome : t -> outcome
+
+val run :
+  ?iterations:int ->
+  ?tiling:Program.tiling ->
+  Proc_grid.t ->
+  Wavefront_core.App_params.t ->
+  outcome
+(** Validate a Table 3 application end to end: build the program with
+    {!Program.of_app} and execute it on this backend. *)

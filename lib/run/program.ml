@@ -1,0 +1,148 @@
+(* The one wavefront program (paper Figure 4), written against the
+   substrate interface.
+
+   Every rank runs, for each sweep of the schedule and each tile of its
+   stack: pre-compute, blocking receive of the two upstream faces, compute
+   the tile, send the two downstream faces — then the application's
+   non-wavefront operations at the end of each iteration. The sweep
+   precedence behaviour of Figure 2 (Follow/Diagonal/Full gating) is not
+   programmed anywhere: it emerges from the blocking receives and the
+   per-sweep origin corners, exactly as in the real codes the paper models.
+
+   Which machine this runs on — event-level simulation, OCaml domains with
+   real payloads, or the reference dataflow scheduler — is entirely the
+   substrate's business. *)
+
+open Wgrid
+
+(* Downstream x/y direction of a sweep, by origin corner: a sweep flows
+   away from its origin in both dimensions. *)
+let flow_xy (pg : Proc_grid.t) corner =
+  let ox, oy = Proc_grid.corner_coords pg corner in
+  ((if ox = 1 then 1 else -1), if oy = 1 then 1 else -1)
+
+let flow pg (s : Sweeps.Schedule.sweep) =
+  let dx, dy = flow_xy pg s.origin in
+  let dz = match s.zdir with `Up -> 1 | `Down -> -1 in
+  (dx, dy, dz)
+
+(* How a rank's Nz-plane stack is cut into tiles. The model's Htile is
+   real-valued (Sweep3D's mk*mmi/mmo need not be integral), so the plane
+   count of tile [t] comes from the cumulative boundaries: tile t covers
+   planes [ceil(t*htile), ceil((t+1)*htile)). For integral Htile this is
+   exactly the familiar "htile planes per tile, short last tile". *)
+type tiling = { ntiles : int; h_of : int -> int }
+
+let tiling ~nz ~htile =
+  if htile <= 0.0 then invalid_arg "Program.tiling: htile must be > 0";
+  let ntiles = Tile.ntiles_int ~nz ~htile in
+  let bound t = min nz (int_of_float (Float.ceil (htile *. float_of_int t))) in
+  { ntiles; h_of = (fun t -> bound (t + 1) - bound t) }
+
+let tiling_int ~nz ~htile =
+  if htile < 1 then invalid_arg "Program.tiling_int: htile must be >= 1";
+  {
+    ntiles = (nz + htile - 1) / htile;
+    h_of = (fun t -> min htile (nz - (t * htile)));
+  }
+
+type config = {
+  pg : Proc_grid.t;
+  grid : Data_grid.t;
+  schedule : Sweeps.Schedule.t;
+  nonwavefront : Wavefront_core.App_params.nonwavefront;
+  msg_ew : int;
+  msg_ns : int;
+  tiling : tiling;
+  iterations : int;
+}
+
+let v ?(iterations = 1) ?tiling:tl ~pg ~grid ~schedule ~nonwavefront ~msg_ew
+    ~msg_ns ~htile () =
+  if iterations < 1 then invalid_arg "Program.v: iterations must be >= 1";
+  let tiling =
+    match tl with Some t -> t | None -> tiling ~nz:grid.Data_grid.nz ~htile
+  in
+  { pg; grid; schedule; nonwavefront; msg_ew; msg_ns; tiling; iterations }
+
+let of_app ?iterations ?tiling pg (app : Wavefront_core.App_params.t) =
+  v ?iterations ?tiling ~pg ~grid:app.grid ~schedule:app.schedule
+    ~nonwavefront:app.nonwavefront
+    ~msg_ew:(Wavefront_core.App_params.message_size_ew app pg)
+    ~msg_ns:(Wavefront_core.App_params.message_size_ns app pg)
+    ~htile:app.htile ()
+
+(* The non-wavefront section. The halo exchange proceeds one direction at a
+   time — everyone sends east and receives from the west, then the reverse,
+   then the same for north/south — to stay deadlock-free on blocking
+   substrates. *)
+let nonwavefront (type st p) ((module S) : (st, p) Substrate.s) (s : st) cfg
+    rank (i, j) =
+  match cfg.nonwavefront with
+  | Wavefront_core.App_params.No_op -> ()
+  | Fixed t -> S.fixed_work s ~rank t
+  | Allreduce { count; msg_size } -> S.allreduce s ~rank ~count ~msg_size
+  | Stencil { wg_stencil; halo_bytes_per_cell } ->
+      let pg = cfg.pg in
+      let nz = float_of_int cfg.grid.Data_grid.nz in
+      S.stencil_compute s ~rank ~wg_stencil;
+      let face extent =
+        Decomp.message_size ~bytes_per_cell:halo_bytes_per_cell ~htile:nz
+          ~extent
+      in
+      let ew = face (Decomp.cells_y cfg.grid pg) in
+      let ns = face (Decomp.cells_x cfg.grid pg) in
+      let exchange (di, dj) bytes =
+        let neighbour p =
+          if Proc_grid.contains pg p then Some (Proc_grid.rank pg p) else None
+        in
+        S.halo s ~rank
+          ~dst:(neighbour (i + di, j + dj))
+          ~src:(neighbour (i - di, j - dj))
+          ~bytes
+      in
+      exchange (1, 0) ew;
+      exchange (-1, 0) ew;
+      exchange (0, 1) ns;
+      exchange (0, -1) ns
+
+let run_rank (type st p) ((module S) : (st, p) Substrate.s) (s : st) cfg rank
+    =
+  let pg = cfg.pg in
+  let i, j = Proc_grid.coords pg rank in
+  let has p = Proc_grid.contains pg p in
+  let sweeps = Sweeps.Schedule.sweeps cfg.schedule in
+  for _iter = 1 to cfg.iterations do
+    List.iteri
+      (fun sweep_idx sw ->
+        let (dx, dy, _) as dir = flow pg sw in
+        let up_x = (i - dx, j) and up_y = (i, j - dy) in
+        let down_x = (i + dx, j) and down_y = (i, j + dy) in
+        S.sweep_begin s ~rank ~sweep:sweep_idx ~dir;
+        for tile = 0 to cfg.tiling.ntiles - 1 do
+          let h = cfg.tiling.h_of tile in
+          (* Figure 4: LU pre-computes part of the domain before the
+             receives; Sweep3D and Chimaera have Wg_pre = 0. *)
+          S.precompute s ~rank ~tile;
+          let x =
+            if has up_x then
+              S.recv s ~rank ~src:(Proc_grid.rank pg up_x) ~axis:X ~tile ~h
+                ~bytes:cfg.msg_ew
+            else S.boundary s ~rank ~axis:X ~h
+          in
+          let y =
+            if has up_y then
+              S.recv s ~rank ~src:(Proc_grid.rank pg up_y) ~axis:Y ~tile ~h
+                ~bytes:cfg.msg_ns
+            else S.boundary s ~rank ~axis:Y ~h
+          in
+          let out_x, out_y = S.compute s ~rank ~dir ~tile ~h ~x ~y in
+          if has down_x then
+            S.send s ~rank ~dst:(Proc_grid.rank pg down_x) ~axis:X ~tile out_x;
+          if has down_y then
+            S.send s ~rank ~dst:(Proc_grid.rank pg down_y) ~axis:Y ~tile out_y
+        done)
+      sweeps;
+    nonwavefront (module S) s cfg rank (i, j)
+  done;
+  S.finish s ~rank

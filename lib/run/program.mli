@@ -1,0 +1,68 @@
+(** The one wavefront program (paper Figure 4), written against the
+    {!Substrate} interface and shared by every backend: the event-level
+    simulator, the shared-memory runtime with real payloads, and the
+    reference dataflow scheduler. It owns the per-tile
+    receive/compute/send loop, the sweep flow directions, the Htile
+    stacking and every [App_params.nonwavefront] variant — exactly once. *)
+
+open Wgrid
+
+val flow_xy : Proc_grid.t -> Proc_grid.corner -> int * int
+(** Downstream (dx, dy) of a sweep originating at the given corner. *)
+
+val flow : Proc_grid.t -> Sweeps.Schedule.sweep -> int * int * int
+(** As {!flow_xy} plus dz from the sweep's z direction. *)
+
+type tiling = { ntiles : int; h_of : int -> int }
+(** How a rank's Nz-plane stack is cut: [ntiles] tiles, tile [t] holding
+    [h_of t] planes. *)
+
+val tiling : nz:int -> htile:float -> tiling
+(** The model's convention: [ceil (nz / htile)] tiles with cumulative
+    real-valued boundaries (Table 3's Htile may be fractional). *)
+
+val tiling_int : nz:int -> htile:int -> tiling
+(** The executable kernels' convention: [htile] whole planes per tile,
+    short last tile — {!Kernels.Transport}'s layout. Equal to {!tiling}
+    when [htile] is integral. *)
+
+type config = {
+  pg : Proc_grid.t;
+  grid : Data_grid.t;
+  schedule : Sweeps.Schedule.t;
+  nonwavefront : Wavefront_core.App_params.nonwavefront;
+  msg_ew : int;  (** east/west face size in bytes (Table 3) *)
+  msg_ns : int;
+  tiling : tiling;
+  iterations : int;
+}
+
+val v :
+  ?iterations:int ->
+  ?tiling:tiling ->
+  pg:Proc_grid.t ->
+  grid:Data_grid.t ->
+  schedule:Sweeps.Schedule.t ->
+  nonwavefront:Wavefront_core.App_params.nonwavefront ->
+  msg_ew:int ->
+  msg_ns:int ->
+  htile:float ->
+  unit ->
+  config
+(** [htile] only determines the default {!tiling}. *)
+
+val of_app :
+  ?iterations:int ->
+  ?tiling:tiling ->
+  Proc_grid.t ->
+  Wavefront_core.App_params.t ->
+  config
+(** The program of a Table 3 application: message sizes and default tiling
+    derived from the app's parameters. [iterations] defaults to 1 (one
+    wavefront iteration), matching the simulator's historical default, not
+    the app's [iterations] field. *)
+
+val run_rank : ('t, 'p) Substrate.s -> 't -> config -> int -> unit
+(** Execute one rank's program on the given substrate. The caller provides
+    the concurrency (simulator processes, domains, or dataflow fibers);
+    this function only performs the rank's own blocking sequence. *)

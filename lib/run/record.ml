@@ -1,0 +1,85 @@
+(* Message-sequence recording: wrap any substrate so each rank's sequence
+   of communication steps is captured in program order. Two backends
+   executing the same program must produce identical per-rank sequences —
+   the cross-substrate oracle the differential tests check.
+
+   Each rank appends only to its own slot, so the wrapper is safe on both
+   single-threaded substrates (simulator, dataflow) and one-domain-per-rank
+   runtimes. *)
+
+type event =
+  | Send of { peer : int; axis : Substrate.axis; tile : int }
+  | Recv of { peer : int; axis : Substrate.axis; tile : int; bytes : int }
+  | Boundary of { axis : Substrate.axis }
+  | Allreduce of { count : int; msg_size : int }
+  | Halo of { dst : int option; src : int option; bytes : int }
+  | Barrier
+  | Finish
+
+type t = event list ref array
+
+let create ~ranks : t = Array.init ranks (fun _ -> ref [])
+let events (t : t) rank = List.rev !(t.(rank))
+let push (t : t) rank e = t.(rank) := e :: !(t.(rank))
+
+let pp_event ppf = function
+  | Send { peer; axis; tile } ->
+      Fmt.pf ppf "send[%s] tile %d -> %d" (Substrate.axis_name axis) tile peer
+  | Recv { peer; axis; tile; bytes } ->
+      Fmt.pf ppf "recv[%s] tile %d <- %d (%dB)" (Substrate.axis_name axis)
+        tile peer bytes
+  | Boundary { axis } -> Fmt.pf ppf "boundary[%s]" (Substrate.axis_name axis)
+  | Allreduce { count; msg_size } ->
+      Fmt.pf ppf "allreduce x%d (%dB)" count msg_size
+  | Halo { dst; src; bytes } ->
+      let pp_o ppf = function
+        | Some r -> Fmt.pf ppf "%d" r
+        | None -> Fmt.pf ppf "-"
+      in
+      Fmt.pf ppf "halo ->%a <-%a (%dB)" pp_o dst pp_o src bytes
+  | Barrier -> Fmt.pf ppf "barrier"
+  | Finish -> Fmt.pf ppf "finish"
+
+module Wrap (S : Substrate.S) = struct
+  type nonrec t = t * S.t
+  type payload = S.payload
+
+  let boundary (r, s) ~rank ~axis ~h =
+    push r rank (Boundary { axis });
+    S.boundary s ~rank ~axis ~h
+
+  let recv (r, s) ~rank ~src ~axis ~tile ~h ~bytes =
+    push r rank (Recv { peer = src; axis; tile; bytes });
+    S.recv s ~rank ~src ~axis ~tile ~h ~bytes
+
+  let send (r, s) ~rank ~dst ~axis ~tile payload =
+    push r rank (Send { peer = dst; axis; tile });
+    S.send s ~rank ~dst ~axis ~tile payload
+
+  let precompute (_, s) ~rank ~tile = S.precompute s ~rank ~tile
+
+  let compute (_, s) ~rank ~dir ~tile ~h ~x ~y =
+    S.compute s ~rank ~dir ~tile ~h ~x ~y
+
+  let sweep_begin (_, s) ~rank ~sweep ~dir = S.sweep_begin s ~rank ~sweep ~dir
+  let fixed_work (_, s) ~rank t = S.fixed_work s ~rank t
+
+  let stencil_compute (_, s) ~rank ~wg_stencil =
+    S.stencil_compute s ~rank ~wg_stencil
+
+  let halo (r, s) ~rank ~dst ~src ~bytes =
+    push r rank (Halo { dst; src; bytes });
+    S.halo s ~rank ~dst ~src ~bytes
+
+  let allreduce (r, s) ~rank ~count ~msg_size =
+    push r rank (Allreduce { count; msg_size });
+    S.allreduce s ~rank ~count ~msg_size
+
+  let barrier (r, s) ~rank =
+    push r rank Barrier;
+    S.barrier s ~rank
+
+  let finish (r, s) ~rank =
+    push r rank Finish;
+    S.finish s ~rank
+end

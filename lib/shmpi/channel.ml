@@ -1,18 +1,56 @@
 (* A blocking FIFO channel between two domains, the transport under the
    real (shared-memory) message-passing runtime. Payloads are float arrays;
-   the sender copies on enqueue so the receiver owns what it dequeues. *)
+   the sender copies on enqueue so the receiver owns what it dequeues.
+
+   A receiver using [recv_into] hands its dequeued buffers back to a small
+   pool, and [send] draws its enqueue copy from the pool when a buffer of
+   the right length is waiting — so a steady-state tile loop (fixed face
+   sizes between a fixed pair of ranks) allocates nothing per message. *)
 
 type t = {
   mutex : Mutex.t;
   nonempty : Condition.t;
   queue : float array Queue.t;
+  pool : float array Queue.t;  (* recycled enqueue buffers *)
 }
 
+(* More than the queue ever holds in a steady-state tile loop; bounding it
+   keeps a burst from pinning memory. *)
+let pool_cap = 4
+
 let create () =
-  { mutex = Mutex.create (); nonempty = Condition.create (); queue = Queue.create () }
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = Queue.create ();
+    pool = Queue.create ();
+  }
+
+(* Pop a pooled buffer of exactly [len] floats, if any (the pool can hold
+   mixed lengths when tile heights vary; it is at most [pool_cap] long, so
+   the scan is trivial). Caller holds the mutex. *)
+let take_pooled t len =
+  let n = Queue.length t.pool in
+  let found = ref None in
+  for _ = 1 to n do
+    let b = Queue.pop t.pool in
+    if !found = None && Array.length b = len then found := Some b
+    else Queue.push b t.pool
+  done;
+  !found
 
 let send t payload =
-  let copy = Array.copy payload in
+  let len = Array.length payload in
+  Mutex.lock t.mutex;
+  let pooled = take_pooled t len in
+  Mutex.unlock t.mutex;
+  let copy =
+    match pooled with
+    | Some b ->
+        Array.blit payload 0 b 0 len;
+        b
+    | None -> Array.copy payload
+  in
   Mutex.lock t.mutex;
   Queue.push copy t.queue;
   Condition.signal t.nonempty;
@@ -45,6 +83,36 @@ let recv_wait t =
   let payload = Queue.pop t.queue in
   Mutex.unlock t.mutex;
   (payload, wait)
+
+(* As [recv_wait], but when the payload's length matches [dst]'s, its
+   contents are blitted into [dst], the internal buffer is recycled for
+   future sends, and [dst] is returned; on a length mismatch the payload
+   itself is returned (the caller keeps the data either way). The buffer
+   is recycled only after the blit — the sender may reuse it the moment it
+   enters the pool. *)
+let recv_into t dst =
+  Mutex.lock t.mutex;
+  let wait =
+    if Queue.is_empty t.queue then begin
+      let t0 = Unix.gettimeofday () in
+      while Queue.is_empty t.queue do
+        Condition.wait t.nonempty t.mutex
+      done;
+      (Unix.gettimeofday () -. t0) *. 1e6
+    end
+    else 0.0
+  in
+  let payload = Queue.pop t.queue in
+  Mutex.unlock t.mutex;
+  let len = Array.length payload in
+  if len = Array.length dst then begin
+    Array.blit payload 0 dst 0 len;
+    Mutex.lock t.mutex;
+    if Queue.length t.pool < pool_cap then Queue.push payload t.pool;
+    Mutex.unlock t.mutex;
+    (dst, wait)
+  end
+  else (payload, wait)
 
 let try_recv t =
   Mutex.lock t.mutex;

@@ -14,4 +14,12 @@ val recv_wait : t -> float array * float
     queue, in wall-clock microseconds ([0.] if a payload was already
     there). *)
 
+val recv_into : t -> float array -> float array * float
+(** As {!recv_wait}, receiving into a caller-owned buffer: when the next
+    payload's length equals the buffer's, the data is blitted in, the
+    channel's internal buffer is recycled for future {!send}s, and the
+    caller's buffer is returned — a steady-state loop reusing one buffer
+    per face allocates nothing per message. On a length mismatch (e.g. a
+    short last tile) the payload is returned unchanged instead. *)
+
 val try_recv : t -> float array option

@@ -75,6 +75,26 @@ let recv t ~dst ~src =
     payload
   end
 
+let recv_into t ~dst ~src buf =
+  check_rank t src "recv_into";
+  check_rank t dst "recv_into";
+  let ch = channel t ~src ~dst in
+  if not (traced t) then fst (Channel.recv_into ch buf)
+  else begin
+    let tr = t.obs.(dst) in
+    let clock = Obs.Tracer.clock tr in
+    let t0 = clock () in
+    let payload, wait = Channel.recv_into ch buf in
+    Obs.Tracer.record tr ~cat:"comm"
+      ~args:
+        [ ("src", Obs.Span.Int src); ("size", Int (Array.length payload));
+          ("wait", Float wait) ]
+      ~rank:dst ~start:t0
+      ~dur:(clock () -. t0)
+      "recv";
+    payload
+  end
+
 let barrier_impl t =
   Mutex.lock t.barrier_mutex;
   let epoch = t.barrier_epoch in

@@ -21,6 +21,12 @@ val recv : t -> dst:int -> src:int -> float array
 (** Blocks until a message from [src] arrives. Messages between a given
     pair are delivered in order. *)
 
+val recv_into : t -> dst:int -> src:int -> float array -> float array
+(** As {!recv}, receiving into a caller-owned buffer ({!Channel.recv_into}):
+    returns the buffer filled with the message when lengths match — with
+    the channel's internal buffer recycled, so a steady-state tile loop
+    allocates nothing per message — and the message itself otherwise. *)
+
 val barrier : t -> unit
 (** All ranks must call; reusable. *)
 

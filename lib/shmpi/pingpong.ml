@@ -78,3 +78,11 @@ let fit_platform ?(name = "OCaml shared-memory") points =
     }
   in
   { Loggp.Params.name; offnode; onchip; cores_per_node = 1 }
+
+(* The same microbenchmark signature the simulated transport exposes, so
+   `wavefront fit` drives either through one interface. *)
+let microbench () : (module Wrun.Substrate.MICROBENCH) =
+  (module struct
+    let name = "shared-memory ping-pong"
+    let curve = curve
+  end)

@@ -16,3 +16,8 @@ val fit_platform : ?name:string -> (int * float) list -> Loggp.Params.t
     with a cache knee instead of the XT4's protocol knee — and falls back to
     a single relative-error-weighted segment. Raises [Invalid_argument] if
     even the fallback is non-physical. *)
+
+val microbench : unit -> (module Wrun.Substrate.MICROBENCH)
+(** {!curve} behind the one microbenchmark signature `wavefront fit`
+    drives, so the real and the simulated transport feed {!Loggp.Fit}
+    identically. *)

@@ -43,3 +43,19 @@ let curve ?rounds ?model_bus platform locality ~sizes =
 let figure3_sizes =
   [ 1; 16; 64; 128; 256; 384; 512; 640; 768; 896; 1000; 1024; 1025; 1100;
     1280; 1536; 2048; 3072; 4096; 6144; 8192; 10240; 12288 ]
+
+(* The microbenchmark behind the one interface `wavefront fit` drives, so
+   the simulated and the real transport feed Loggp.Fit through the same
+   signature. *)
+let microbench ?model_bus platform locality : (module Wrun.Substrate.MICROBENCH)
+    =
+  (module struct
+    let name =
+      Fmt.str "simulated ping-pong (%s)"
+        (match (locality : Loggp.Comm_model.locality) with
+        | On_chip -> "on-chip"
+        | Off_node -> "off-node")
+
+    let curve ?rounds ~sizes () =
+      curve ?rounds ?model_bus platform locality ~sizes
+  end)

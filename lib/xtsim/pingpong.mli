@@ -22,3 +22,12 @@ val curve :
 
 val figure3_sizes : int list
 (** The 1B-12KB sweep of Figure 3, denser near the 1KB boundary. *)
+
+val microbench :
+  ?model_bus:bool ->
+  Loggp.Params.t ->
+  Loggp.Comm_model.locality ->
+  (module Wrun.Substrate.MICROBENCH)
+(** {!curve} behind the one microbenchmark signature `wavefront fit`
+    drives, so the simulated and the real transport feed {!Loggp.Fit}
+    identically. *)

@@ -1,13 +1,15 @@
-(* Executable wavefront programs on the simulated machine.
+(* The simulated-machine substrate and the classic entry point around it.
 
-   Each core of the machine runs the program of Figure 4 for every sweep of
-   the application's schedule, using blocking simulated MPI: receive the
-   boundary values from the two upstream neighbours, compute the tile, send
-   to the two downstream neighbours, repeat down the stack. The sweep
-   precedence behaviour of Figure 2 (Follow/Diagonal/Full gating) is not
-   programmed anywhere — it emerges from the blocking communication and the
-   per-sweep origins, exactly as it does in the real codes the paper
-   models.
+   The Figure-4 rank program itself lives in Wrun.Program — written once,
+   against the substrate interface — and this module supplies what varies
+   on the simulated machine: payloads are byte sizes, sends and receives
+   cost what the LogGP-calibrated Mpi_sim charges, computes advance the
+   simulated clock by the model's Wg work, and every step is attributed to
+   per-rank compute/comm/wait totals and (optionally) tracer spans stamped
+   in simulated time. The sweep precedence behaviour of Figure 2
+   (Follow/Diagonal/Full gating) is not programmed anywhere — it emerges
+   from the blocking communication and the per-sweep origins, exactly as
+   it does in the real codes the paper models.
 
    Beyond the model's assumptions, the simulator can inject two effects the
    closed forms ignore, for robustness studies:
@@ -66,11 +68,207 @@ let estimated_events (machine : Machine.t) (app : App_params.t) ~iterations =
   let nsweeps = Sweeps.Schedule.nsweeps app.schedule in
   cores * ntiles * nsweeps * 6 * iterations
 
-(* Downstream x/y direction of a sweep, by origin corner: a sweep flows away
-   from its origin in both dimensions. *)
-let flow (pg : Proc_grid.t) corner =
-  let ox, oy = Proc_grid.corner_coords pg corner in
-  ((if ox = 1 then 1 else -1), if oy = 1 then 1 else -1)
+let flow = Wrun.Program.flow_xy
+
+module Backend = struct
+  type t = {
+    engine : Engine.t;
+    mpi : Mpi_sim.t;
+    coll : Collective.ctx;
+    machine : Machine.t;
+    grid : Data_grid.t;
+    msg_ew : int;
+    msg_ns : int;
+    work : (float * float) array;  (* per-rank (w, w_pre) *)
+    jitter : (unit -> float) array;
+    compute : float array;
+    comm : float array;
+    waits : float array;
+    finish : float array;
+    done_flags : bool array;
+    obs : Obs.Tracer.t option;
+  }
+
+  let create ?(balanced = false) ?noise ?trace ?obs ?metrics engine
+      (machine : Machine.t) (app : App_params.t) =
+    let pg = machine.pgrid in
+    let cores = Proc_grid.cores pg in
+    (* Per-rank tile work: uniform (the model's view) or from the integer
+       block decomposition. *)
+    let work_of rank =
+      let cells =
+        if balanced then begin
+          let i, j = Proc_grid.coords pg rank in
+          let bx =
+            Decomp.block_of ~cells:app.grid.nx ~parts:pg.cols ~index:(i - 1)
+          in
+          let by =
+            Decomp.block_of ~cells:app.grid.ny ~parts:pg.rows ~index:(j - 1)
+          in
+          app.htile *. float_of_int (bx * by)
+        end
+        else Decomp.cells_per_tile app.grid pg ~htile:app.htile
+      in
+      (app.wg *. cells, app.wg_pre *. cells)
+    in
+    let jitter_of rank =
+      match noise with
+      | None -> fun () -> 1.0
+      | Some { amplitude; seed } ->
+          let state = Random.State.make [| seed; rank |] in
+          fun () ->
+            1.0 +. (amplitude *. ((2.0 *. Random.State.float state 1.0) -. 1.0))
+    in
+    {
+      engine;
+      mpi = Mpi_sim.create ?trace ?metrics engine machine;
+      coll = Collective.ctx engine machine;
+      machine;
+      grid = app.grid;
+      msg_ew = App_params.message_size_ew app pg;
+      msg_ns = App_params.message_size_ns app pg;
+      work = Array.init cores work_of;
+      jitter = Array.init cores jitter_of;
+      compute = Array.make cores 0.0;
+      comm = Array.make cores 0.0;
+      waits = Array.make cores 0.0;
+      finish = Array.make cores 0.0;
+      done_flags = Array.make cores false;
+      obs;
+    }
+
+  (* Structured tracing: spans are stamped in simulated time. The [args]
+     thunk is only forced when a tracer is attached, so the disabled path
+     costs one option check and no allocation. *)
+  let emit t name cat rank ~start ~args =
+    match t.obs with
+    | None -> ()
+    | Some tr ->
+        Obs.Tracer.record tr ~cat ~args:(args ()) ~rank ~start
+          ~dur:(Engine.now t.engine -. start)
+          name
+
+  let no_args () = []
+
+  (* [pure] is the uncontended model cost of the operation; anything beyond
+     it is blocking/queueing wait. Operations with no closed-form cost
+     (collectives, halo rounds) pass no [pure] and count fully as comm. *)
+  let timed_comm ?pure ?(name = "comm") ?(args = no_args) t rank f =
+    let t0 = Engine.now t.engine in
+    f ();
+    let d = Engine.now t.engine -. t0 in
+    t.comm.(rank) <- t.comm.(rank) +. d;
+    (match pure with
+    | Some p -> t.waits.(rank) <- t.waits.(rank) +. Float.max 0.0 (d -. p)
+    | None -> ());
+    match t.obs with
+    | None -> ()
+    | Some tr ->
+        let wait =
+          match pure with Some p -> Float.max 0.0 (d -. p) | None -> d
+        in
+        Obs.Tracer.record tr ~cat:"comm"
+          ~args:(("wait", Obs.Span.Float wait) :: args ())
+          ~rank ~start:t0 ~dur:d name
+
+  let locality_for t rank other =
+    Machine.locality t.machine ~src:rank ~dst:other
+
+  let pure_send t rank dst size =
+    Loggp.Comm_model.send t.machine.platform (locality_for t rank dst) size
+
+  let pure_recv t rank src size =
+    Loggp.Comm_model.receive t.machine.platform (locality_for t rank src) size
+
+  let timed_compute ?(name = "compute") t rank d =
+    if d > 0.0 then begin
+      let t0 = Engine.now t.engine in
+      Engine.wait d;
+      t.compute.(rank) <- t.compute.(rank) +. d;
+      emit t name "compute" rank ~start:t0 ~args:no_args
+    end
+
+  (* The substrate: payloads are byte sizes, the messages' contents being
+     the model's business rather than the simulator's. The per-tile [recv]
+     and [send] span directions are fixed compass labels per axis ("W"/"N"
+     upstream, "E"/"S" downstream), as the historical program emitted. *)
+  module Substrate = struct
+    type nonrec t = t
+    type payload = int
+
+    let boundary _ ~rank:_ ~axis:_ ~h:_ = 0
+
+    let recv t ~rank ~src ~axis ~tile:_ ~h:_ ~bytes =
+      timed_comm
+        ~pure:(pure_recv t rank src bytes)
+        ~name:"recv"
+        ~args:(fun () ->
+          [ ("src", Obs.Span.Int src); ("size", Int bytes);
+            ("dir", Str (match axis with Wrun.Substrate.X -> "W" | Y -> "N"));
+          ])
+        t rank
+        (fun () -> Mpi_sim.recv t.mpi ~dst:rank ~src ~size:bytes);
+      bytes
+
+    let send t ~rank ~dst ~axis ~tile:_ bytes =
+      timed_comm
+        ~pure:(pure_send t rank dst bytes)
+        ~name:"send"
+        ~args:(fun () ->
+          [ ("dst", Obs.Span.Int dst); ("size", Int bytes);
+            ("dir", Str (match axis with Wrun.Substrate.X -> "E" | Y -> "S"));
+          ])
+        t rank
+        (fun () -> Mpi_sim.send t.mpi ~src:rank ~dst ~size:bytes)
+
+    (* Figure 4: LU pre-computes part of the domain before the receives;
+       Sweep3D and Chimaera have Wg_pre = 0 (the jitter stream is still
+       consumed so noise draws stay aligned per tile). *)
+    let precompute t ~rank ~tile:_ =
+      let _, w_pre = t.work.(rank) in
+      timed_compute ~name:"precompute" t rank (w_pre *. t.jitter.(rank) ())
+
+    let compute t ~rank ~dir:_ ~tile:_ ~h:_ ~x:_ ~y:_ =
+      let w, _ = t.work.(rank) in
+      timed_compute t rank (w *. t.jitter.(rank) ());
+      (t.msg_ew, t.msg_ns)
+
+    let sweep_begin _ ~rank:_ ~sweep:_ ~dir:_ = ()
+    let fixed_work t ~rank d = timed_compute t rank d
+
+    let stencil_compute t ~rank ~wg_stencil =
+      let pg = t.machine.pgrid in
+      let cells_x = Decomp.cells_x t.grid pg in
+      let cells_y = Decomp.cells_y t.grid pg in
+      let nz = float_of_int t.grid.nz in
+      timed_compute t rank (wg_stencil *. cells_x *. cells_y *. nz)
+
+    let halo t ~rank ~dst ~src ~bytes =
+      timed_comm ~name:"halo" t rank (fun () ->
+          (match dst with
+          | Some d -> Mpi_sim.send t.mpi ~src:rank ~dst:d ~size:bytes
+          | None -> ());
+          match src with
+          | Some s -> Mpi_sim.recv t.mpi ~dst:rank ~src:s ~size:bytes
+          | None -> ())
+
+    let allreduce t ~rank ~count ~msg_size =
+      timed_comm ~name:"allreduce" t rank (fun () ->
+          for _ = 1 to count do
+            Collective.allreduce t.coll t.mpi ~rank ~msg_size
+          done)
+
+    (* The simulated machine has no dedicated barrier network; synchronize
+       with a minimal all-reduce, as the real codes do. *)
+    let barrier t ~rank =
+      timed_comm ~name:"barrier" t rank (fun () ->
+          Collective.allreduce t.coll t.mpi ~rank ~msg_size:8)
+
+    let finish t ~rank =
+      t.done_flags.(rank) <- true;
+      t.finish.(rank) <- Engine.now t.engine
+  end
+end
 
 let run ?(iterations = 1) ?(balanced = false) ?noise ?trace ?obs ?metrics
     (machine : Machine.t) (app : App_params.t) =
@@ -81,192 +279,12 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?trace ?obs ?metrics
   | _ -> ());
   let pg = machine.pgrid in
   let engine = Engine.create () in
-  let mpi = Mpi_sim.create ?trace ?metrics engine machine in
-  let coll = Collective.ctx engine machine in
-  let msg_ew = App_params.message_size_ew app pg in
-  let msg_ns = App_params.message_size_ns app pg in
-  let ntiles = Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile in
-  let sweeps = Sweeps.Schedule.sweeps app.schedule in
+  let b = Backend.create ~balanced ?noise ?trace ?obs ?metrics engine machine app in
+  let cfg = Wrun.Program.of_app ~iterations pg app in
   let cores = Proc_grid.cores pg in
-  let done_flags = Array.make cores false in
-  let compute = Array.make cores 0.0 in
-  let comm = Array.make cores 0.0 in
-  let waits = Array.make cores 0.0 in
-  let finish = Array.make cores 0.0 in
-
-  (* Per-rank tile work: uniform (the model's view) or from the integer
-     block decomposition. *)
-  let work_of rank =
-    let cells =
-      if balanced then begin
-        let i, j = Proc_grid.coords pg rank in
-        let bx = Decomp.block_of ~cells:app.grid.nx ~parts:pg.cols ~index:(i - 1) in
-        let by = Decomp.block_of ~cells:app.grid.ny ~parts:pg.rows ~index:(j - 1) in
-        app.htile *. float_of_int (bx * by)
-      end
-      else Decomp.cells_per_tile app.grid pg ~htile:app.htile
-    in
-    (app.wg *. cells, app.wg_pre *. cells)
-  in
-
-  let jitter_of rank =
-    match noise with
-    | None -> fun () -> 1.0
-    | Some { amplitude; seed } ->
-        let state = Random.State.make [| seed; rank |] in
-        fun () -> 1.0 +. (amplitude *. ((2.0 *. Random.State.float state 1.0) -. 1.0))
-  in
-
-  (* Structured tracing: spans are stamped in simulated time. The [args]
-     thunk is only forced when a tracer is attached, so the disabled path
-     costs one option check and no allocation. *)
-  let emit name cat rank ~start ~args =
-    match obs with
-    | None -> ()
-    | Some tr ->
-        Obs.Tracer.record tr ~cat ~args:(args ()) ~rank ~start
-          ~dur:(Engine.now engine -. start) name
-  in
-  let no_args () = [] in
-
-  (* [pure] is the uncontended model cost of the operation; anything beyond
-     it is blocking/queueing wait. Operations with no closed-form cost
-     (collectives, halo rounds) pass no [pure] and count fully as comm. *)
-  let timed_comm ?pure ?(name = "comm") ?(args = no_args) rank f =
-    let t0 = Engine.now engine in
-    f ();
-    let d = Engine.now engine -. t0 in
-    comm.(rank) <- comm.(rank) +. d;
-    (match pure with
-    | Some p -> waits.(rank) <- waits.(rank) +. Float.max 0.0 (d -. p)
-    | None -> ());
-    match obs with
-    | None -> ()
-    | Some tr ->
-        let wait =
-          match pure with Some p -> Float.max 0.0 (d -. p) | None -> d
-        in
-        Obs.Tracer.record tr ~cat:"comm"
-          ~args:(("wait", Obs.Span.Float wait) :: args ())
-          ~rank ~start:t0 ~dur:d name
-  in
-  let locality_for rank other =
-    Machine.locality machine ~src:rank ~dst:other
-  in
-  let pure_send rank dst size =
-    Loggp.Comm_model.send machine.platform (locality_for rank dst) size
-  in
-  let pure_recv rank src size =
-    Loggp.Comm_model.receive machine.platform (locality_for rank src) size
-  in
-  let timed_compute ?(name = "compute") rank d =
-    if d > 0.0 then begin
-      let t0 = Engine.now engine in
-      Engine.wait d;
-      compute.(rank) <- compute.(rank) +. d;
-      emit name "compute" rank ~start:t0 ~args:no_args
-    end
-  in
-
-  let nonwavefront rank =
-    match app.nonwavefront with
-    | App_params.No_op -> ()
-    | Fixed t -> timed_compute rank t
-    | Allreduce { count; msg_size } ->
-        timed_comm ~name:"allreduce" rank (fun () ->
-            for _ = 1 to count do
-              Collective.allreduce coll mpi ~rank ~msg_size
-            done)
-    | Stencil { wg_stencil; halo_bytes_per_cell } ->
-        let i, j = Proc_grid.coords pg rank in
-        let cells_x = Decomp.cells_x app.grid pg in
-        let cells_y = Decomp.cells_y app.grid pg in
-        let nz = float_of_int app.grid.nz in
-        timed_compute rank (wg_stencil *. cells_x *. cells_y *. nz);
-        (* Halo exchange, one direction at a time to stay deadlock-free:
-           everyone sends east and receives from the west, then the reverse,
-           then the same for north/south. *)
-        let face extent =
-          Decomp.message_size ~bytes_per_cell:halo_bytes_per_cell ~htile:nz
-            ~extent
-        in
-        let ew = face cells_y and ns = face cells_x in
-        let exchange dir size =
-          let di, dj =
-            match dir with
-            | `E -> (1, 0) | `W -> (-1, 0) | `S -> (0, 1) | `N -> (0, -1)
-          in
-          let dst = (i + di, j + dj) and src = (i - di, j - dj) in
-          timed_comm ~name:"halo" rank (fun () ->
-              if Proc_grid.contains pg dst then
-                Mpi_sim.send mpi ~src:rank ~dst:(Proc_grid.rank pg dst) ~size;
-              if Proc_grid.contains pg src then
-                Mpi_sim.recv mpi ~dst:rank ~src:(Proc_grid.rank pg src) ~size)
-        in
-        exchange `E ew; exchange `W ew; exchange `S ns; exchange `N ns
-  in
-
-  let program rank () =
-    let i, j = Proc_grid.coords pg rank in
-    let w, w_pre = work_of rank in
-    let jitter = jitter_of rank in
-    for _iter = 1 to iterations do
-      List.iter
-        (fun (s : Sweeps.Schedule.sweep) ->
-          let dx, dy = flow pg s.origin in
-          let up_x = (i - dx, j) and up_y = (i, j - dy) in
-          let down_x = (i + dx, j) and down_y = (i, j + dy) in
-          let has p = Proc_grid.contains pg p in
-          for _tile = 1 to ntiles do
-            (* Figure 4: LU pre-computes part of the domain before the
-               receives; Sweep3D and Chimaera have Wg_pre = 0. *)
-            timed_compute ~name:"precompute" rank (w_pre *. jitter ());
-            if has up_x then begin
-              let src = Proc_grid.rank pg up_x in
-              timed_comm ~pure:(pure_recv rank src msg_ew) ~name:"recv"
-                ~args:(fun () ->
-                  [ ("src", Obs.Span.Int src); ("size", Int msg_ew);
-                    ("dir", Str "W") ])
-                rank
-                (fun () -> Mpi_sim.recv mpi ~dst:rank ~src ~size:msg_ew)
-            end;
-            if has up_y then begin
-              let src = Proc_grid.rank pg up_y in
-              timed_comm ~pure:(pure_recv rank src msg_ns) ~name:"recv"
-                ~args:(fun () ->
-                  [ ("src", Obs.Span.Int src); ("size", Int msg_ns);
-                    ("dir", Str "N") ])
-                rank
-                (fun () -> Mpi_sim.recv mpi ~dst:rank ~src ~size:msg_ns)
-            end;
-            timed_compute rank (w *. jitter ());
-            if has down_x then begin
-              let dst = Proc_grid.rank pg down_x in
-              timed_comm ~pure:(pure_send rank dst msg_ew) ~name:"send"
-                ~args:(fun () ->
-                  [ ("dst", Obs.Span.Int dst); ("size", Int msg_ew);
-                    ("dir", Str "E") ])
-                rank
-                (fun () -> Mpi_sim.send mpi ~src:rank ~dst ~size:msg_ew)
-            end;
-            if has down_y then begin
-              let dst = Proc_grid.rank pg down_y in
-              timed_comm ~pure:(pure_send rank dst msg_ns) ~name:"send"
-                ~args:(fun () ->
-                  [ ("dst", Obs.Span.Int dst); ("size", Int msg_ns);
-                    ("dir", Str "S") ])
-                rank
-                (fun () -> Mpi_sim.send mpi ~src:rank ~dst ~size:msg_ns)
-            end
-          done)
-        sweeps;
-      nonwavefront rank
-    done;
-    done_flags.(rank) <- true;
-    finish.(rank) <- Engine.now engine
-  in
   for rank = 0 to cores - 1 do
-    Engine.spawn engine (program rank)
+    Engine.spawn engine (fun () ->
+        Wrun.Program.run_rank (module Backend.Substrate) b cfg rank)
   done;
   let elapsed = Engine.run engine in
   (* Cross-rank distributions of where time went, plus run totals, for the
@@ -278,25 +296,25 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?trace ?obs ?metrics
         let hist = Obs.Metrics.histogram m name in
         Array.iter (Obs.Metrics.observe hist) arr
       in
-      h "sim.rank.compute" compute;
-      h "sim.rank.comm" comm;
-      h "sim.rank.wait" waits;
+      h "sim.rank.compute" b.compute;
+      h "sim.rank.comm" b.comm;
+      h "sim.rank.wait" b.waits;
       Obs.Metrics.set (Obs.Metrics.gauge m "sim.elapsed") elapsed;
       Obs.Metrics.inc ~by:(Engine.events_executed engine)
         (Obs.Metrics.counter m "sim.events");
-      Obs.Metrics.inc ~by:(Mpi_sim.sends mpi)
+      Obs.Metrics.inc ~by:(Mpi_sim.sends b.mpi)
         (Obs.Metrics.counter m "sim.sends"));
   {
     elapsed;
     per_iteration = elapsed /. float_of_int iterations;
     iterations;
-    completed = Array.for_all Fun.id done_flags;
+    completed = Array.for_all Fun.id b.done_flags;
     events = Engine.events_executed engine;
-    sends = Mpi_sim.sends mpi;
+    sends = Mpi_sim.sends b.mpi;
     stats =
       Array.init cores (fun r ->
-          { compute = compute.(r); comm = comm.(r); wait = waits.(r);
-            finish = finish.(r) });
+          { compute = b.compute.(r); comm = b.comm.(r); wait = b.waits.(r);
+            finish = b.finish.(r) });
   }
 
 let pp_outcome ppf o =

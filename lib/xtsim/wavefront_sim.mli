@@ -44,7 +44,31 @@ val comm_share : outcome -> float
     (Figure 11). *)
 
 val flow : Wgrid.Proc_grid.t -> Wgrid.Proc_grid.corner -> int * int
-(** Downstream (dx, dy) of a sweep originating at the given corner. *)
+(** Downstream (dx, dy) of a sweep originating at the given corner
+    (= {!Wrun.Program.flow_xy}). *)
+
+(** The simulated-machine substrate behind {!run}: payloads are byte
+    sizes, communication costs what the LogGP-calibrated {!Mpi_sim}
+    charges, computes advance the simulated clock. Exposed for driving
+    {!Wrun.Program.run_rank} directly — e.g. wrapped in
+    {!Wrun.Record.Wrap} to compare message sequences against another
+    backend. *)
+module Backend : sig
+  type t
+
+  val create :
+    ?balanced:bool ->
+    ?noise:noise ->
+    ?trace:Trace.t ->
+    ?obs:Obs.Tracer.t ->
+    ?metrics:Obs.Metrics.t ->
+    Engine.t ->
+    Machine.t ->
+    Wavefront_core.App_params.t ->
+    t
+
+  module Substrate : Wrun.Substrate.S with type t = t and type payload = int
+end
 
 val estimated_events :
   Machine.t -> Wavefront_core.App_params.t -> iterations:int -> int

@@ -101,6 +101,18 @@ let prop_block_of_matches_blocks =
         bs
         (List.init parts Fun.id))
 
+let prop_offset_of_closed_form =
+  QCheck.Test.make ~name:"offset_of is the prefix sum of block_of" ~count:100
+    QCheck.(pair (int_range 1 5_000) (int_range 1 64))
+    (fun (cells, parts) ->
+      let prefix = ref 0 in
+      let ok = ref (Decomp.offset_of ~cells ~parts ~index:parts = cells) in
+      for index = 0 to parts - 1 do
+        ok := !ok && Decomp.offset_of ~cells ~parts ~index = !prefix;
+        prefix := !prefix + Decomp.block_of ~cells ~parts ~index
+      done;
+      !ok)
+
 let test_message_size () =
   (* Chimaera on 64x64: 8B * 10 angles * Htile=1 * 240/64 cells = 300B. *)
   let size = Decomp.message_size ~bytes_per_cell:80.0 ~htile:1.0 ~extent:3.75 in
@@ -199,6 +211,7 @@ let props =
       prop_of_cores_exact;
       prop_blocks_sum;
       prop_block_of_matches_blocks;
+      prop_offset_of_closed_form;
       prop_locality_symmetric;
     ]
 

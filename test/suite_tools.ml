@@ -72,6 +72,45 @@ let test_spec_errors () =
   expect_error ~substr:"stencil"
     "nx=8\nny=8\nnz=8\nwg=1\nnonwavefront = stencil x y"
 
+let test_spec_schedule () =
+  (match
+     Apps.Spec.of_string "nx=8\nny=8\nnz=8\nwg=1\nschedule = chimaera"
+   with
+  | Ok app ->
+      let c = App_params.counts app in
+      Alcotest.(check int) "chimaera nsweeps" 8 c.nsweeps;
+      Alcotest.(check bool) "same sweeps as preset" true
+        (Sweeps.Schedule.sweeps app.App_params.schedule
+        = Sweeps.Schedule.sweeps Sweeps.Schedule.chimaera)
+  | Error (`Msg m) -> Alcotest.fail m);
+  expect_error ~substr:"schedule"
+    "nx=8\nny=8\nnz=8\nwg=1\nschedule = zigzag";
+  expect_error ~substr:"conflicts"
+    "nx=8\nny=8\nnz=8\nwg=1\nschedule = lu\nnsweeps = 4"
+
+let test_spec_allreduce_bytes () =
+  (match
+     Apps.Spec.of_string "nx=8\nny=8\nnz=8\nwg=1\nnonwavefront=allreduce 3 256"
+   with
+  | Ok app -> (
+      match app.App_params.nonwavefront with
+      | Allreduce { count; msg_size } ->
+          Alcotest.(check int) "count" 3 count;
+          Alcotest.(check int) "msg_size" 256 msg_size
+      | _ -> Alcotest.fail "expected allreduce")
+  | Error (`Msg m) -> Alcotest.fail m);
+  (* The two-token form still defaults to 8-byte messages. *)
+  (match
+     Apps.Spec.of_string "nx=8\nny=8\nnz=8\nwg=1\nnonwavefront=allreduce 3"
+   with
+  | Ok app -> (
+      match app.App_params.nonwavefront with
+      | Allreduce { count = 3; msg_size = 8 } -> ()
+      | _ -> Alcotest.fail "expected allreduce 3 x 8B")
+  | Error (`Msg m) -> Alcotest.fail m);
+  expect_error ~substr:"all-reduce"
+    "nx=8\nny=8\nnz=8\nwg=1\nnonwavefront=allreduce 3 none"
+
 let test_spec_stencil_and_fixed () =
   (match Apps.Spec.of_string "nx=8\nny=8\nnz=8\nwg=1\nnonwavefront=stencil 0.1 40" with
   | Ok app -> (
@@ -166,6 +205,9 @@ let suite =
         Alcotest.test_case "errors are loud" `Quick test_spec_errors;
         Alcotest.test_case "stencil and fixed epilogues" `Quick
           test_spec_stencil_and_fixed;
+        Alcotest.test_case "schedule presets" `Quick test_spec_schedule;
+        Alcotest.test_case "allreduce message size" `Quick
+          test_spec_allreduce_bytes;
       ] );
     ( "tools.explain",
       [ Alcotest.test_case "worksheet renders" `Quick test_worksheet_renders ]
