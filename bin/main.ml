@@ -349,6 +349,78 @@ let profile_cmd =
           $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ real
           $ capacity $ trace_out)
 
+(* --- perturb --- *)
+
+let perturb spec app_name grid cores cpn htile wg iterations platform pspec
+    real capacity =
+  (match capacity with
+  | Some c when c < 1 ->
+      Fmt.epr "wavefront: --capacity must be at least 1@.";
+      exit 2
+  | _ -> ());
+  let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
+  (* Precedence: --perturb on the command line, then the spec file's
+     perturb stanza, then the zero spec (a do-nothing control run). *)
+  let pspec =
+    match pspec with
+    | Some s -> (
+        match Perturb.Spec.of_string s with
+        | Ok p -> p
+        | Error (`Msg m) ->
+            Fmt.epr "wavefront: --perturb: %s@." m;
+            exit 2)
+    | None -> (
+        match spec with
+        | None -> Perturb.Spec.zero
+        | Some path -> (
+            match Apps.Spec.full_of_file path with
+            | Ok { perturb = Some p; _ } -> p
+            | Ok { perturb = None; _ } -> Perturb.Spec.zero
+            | Error (`Msg m) -> Fmt.failwith "%s: %s" path m))
+  in
+  let cfg = make_cfg platform ~cores ~cpn in
+  Fmt.pr "perturbing %s on %d cores (%d/node, %s) with [%a]...@."
+    app.App_params.name cores cpn platform.Loggp.Params.name Perturb.Spec.pp
+    pspec;
+  if Perturb.Spec.is_zero pspec then
+    Fmt.pr "(zero spec: control run, expect no deltas)@.";
+  let r = Harness.Perturb_report.run ~real ?capacity cfg app pspec in
+  Fmt.pr "%a@." Harness.Perturb_report.pp r;
+  if not r.dataflow.completed then exit 1
+
+let perturb_cmd =
+  let doc =
+    "Evaluate one perturbation spec on every substrate: noise-adjusted \
+     model estimate vs perturbed simulation (vs real), dataflow \
+     completion under adversarial straggler ordering, and where the \
+     injected delay was absorbed"
+  in
+  let pspec =
+    Arg.(value & opt (some string) None
+         & info [ "perturb" ] ~docv:"SPEC"
+             ~doc:
+               "Perturbation clauses, e.g. 'seed=42 noise=uniform:0.2 \
+                straggler=3:50 fail=1:10'; overrides the spec file's \
+                perturb stanza.")
+  in
+  let real =
+    Arg.(value & flag
+         & info [ "real" ]
+             ~doc:
+               "Also execute the transport kernel, unperturbed then \
+                perturbed (resilient), on one OCaml domain per rank (use \
+                small core counts).")
+  in
+  let capacity =
+    Arg.(value & opt (some int) None
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Per-tracer span capacity (drops are reported).")
+  in
+  Cmd.v (Cmd.info "perturb" ~doc)
+    Term.(const perturb $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
+          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ pspec $ real
+          $ capacity)
+
 (* --- fit --- *)
 
 (* Both transports expose the one MICROBENCH signature, so the simulated
@@ -426,4 +498,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ predict_cmd; explain_cmd; simulate_cmd; validate_cmd; report_cmd;
-            profile_cmd; figure_cmd; scale_cmd; fit_cmd; measure_cmd ]))
+            profile_cmd; perturb_cmd; figure_cmd; scale_cmd; fit_cmd;
+            measure_cmd ]))

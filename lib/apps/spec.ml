@@ -18,6 +18,8 @@
      nonwavefront = allreduce 2      # or: allreduce N BYTES (default 8-byte
                                      # messages) | stencil WG HALO |
                                      # fixed US | none
+     perturb = seed=42 noise=uniform:0.2 straggler=3:50   # optional; the
+                                     # clause syntax of Perturb.Spec.of_string
 *)
 
 type error = [ `Msg of string ]
@@ -58,9 +60,15 @@ let parse_bindings text =
 
 let known_keys =
   [ "name"; "nx"; "ny"; "nz"; "wg"; "wg_pre"; "htile"; "nsweeps"; "nfull";
-    "ndiag"; "schedule"; "bytes_per_cell"; "iterations"; "nonwavefront" ]
+    "ndiag"; "schedule"; "bytes_per_cell"; "iterations"; "nonwavefront";
+    "perturb" ]
 
-let of_string text =
+type full = {
+  app : Wavefront_core.App_params.t;
+  perturb : Perturb.Spec.t option;
+}
+
+let full_of_string text =
   match parse_bindings text with
   | Error e -> Error e
   | Ok bindings -> (
@@ -168,17 +176,34 @@ let of_string text =
                        'stencil WG HALO', 'fixed US' or 'none', got %S"
                       v)
           in
+          let* perturb =
+            match get "perturb" with
+            | None -> Ok None
+            | Some v -> (
+                match Perturb.Spec.of_string v with
+                | Ok p -> Ok (Some p)
+                | Error (`Msg m) -> err "%s" m)
+          in
           try
             Ok
-              (Custom.params
-                 ?name:(get "name")
-                 ?schedule ?nsweeps ?nfull
-                 ?ndiag:(Option.map Fun.id ndiag)
-                 ?wg_pre ?htile ?bytes_per_cell ?nonwavefront ?iterations ~wg
-                 (Wgrid.Data_grid.v ~nx ~ny ~nz))
+              {
+                app =
+                  Custom.params
+                    ?name:(get "name")
+                    ?schedule ?nsweeps ?nfull
+                    ?ndiag:(Option.map Fun.id ndiag)
+                    ?wg_pre ?htile ?bytes_per_cell ?nonwavefront ?iterations
+                    ~wg
+                    (Wgrid.Data_grid.v ~nx ~ny ~nz);
+                perturb;
+              }
           with Invalid_argument m -> err "%s" m))
 
-let of_file path =
+let of_string text = Result.map (fun f -> f.app) (full_of_string text)
+
+let full_of_file path =
   match In_channel.with_open_text path In_channel.input_all with
-  | text -> of_string text
+  | text -> full_of_string text
   | exception Sys_error m -> Error (`Msg m)
+
+let of_file path = Result.map (fun f -> f.app) (full_of_file path)

@@ -4,5 +4,19 @@
 
 type error = [ `Msg of string ]
 
+type full = {
+  app : Wavefront_core.App_params.t;
+  perturb : Perturb.Spec.t option;
+      (** the spec's [perturb = ...] stanza ({!Perturb.Spec.of_string}
+          clause syntax), if present *)
+}
+
+val full_of_string : string -> (full, error) result
+val full_of_file : string -> (full, error) result
+
 val of_string : string -> (Wavefront_core.App_params.t, error) result
+(** {!full_of_string} keeping only the application (a [perturb] stanza
+    still parses — and still fails loudly when malformed — but is
+    dropped). *)
+
 val of_file : string -> (Wavefront_core.App_params.t, error) result

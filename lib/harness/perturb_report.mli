@@ -1,0 +1,37 @@
+(** The workflow behind [wavefront perturb]: one perturbation spec driven
+    through the analytic estimate ({!Perturb.Estimate}), an unperturbed
+    and a perturbed simulator run, the dataflow validator under
+    adversarial straggler ordering, and (optionally) the real
+    shared-memory kernel — reconciled into a model-vs-sim-vs-real table
+    and an absorbed-vs-propagated account of the injected delay. *)
+
+open Wavefront_core
+
+type t = {
+  estimate : Perturb.Estimate.breakdown;
+  compare : Table.t;  (** perturbed iteration time, model vs sim vs real *)
+  injection : Table.t;
+      (** per-source injected delay against the estimate's charge, and how
+          much of it the pipeline absorbed *)
+  sim_base : Xtsim.Wavefront_sim.outcome;
+  sim : Xtsim.Wavefront_sim.outcome;
+  dataflow : Wrun.Dataflow.outcome;
+  real :
+    (Kernels.Sweep_exec.outcome * Kernels.Sweep_exec.resilient_outcome) option;
+      (** baseline and perturbed real runs, when requested *)
+}
+
+val run :
+  ?real:bool ->
+  ?capacity:int ->
+  Plugplay.config ->
+  App_params.t ->
+  Perturb.Spec.t ->
+  t
+(** Evaluate one (configuration, application, perturbation) triple.
+    [real] (default off) also executes the transport kernel twice —
+    unperturbed, then perturbed via {!Kernels.Sweep_exec.run_resilient} —
+    on one domain per rank; use small core counts. With [real] off the
+    report is fully deterministic (simulated time only). *)
+
+val pp : Format.formatter -> t -> unit

@@ -19,6 +19,7 @@ type plan = {
   schedule : Sweeps.Schedule.t;
   nonwavefront : App_params.nonwavefront;
   iterations : int;
+  perturb : Perturb.Spec.t option;
 }
 
 (* The default non-wavefront section is the end-of-iteration reduction the
@@ -26,11 +27,11 @@ type plan = {
    sum. *)
 let plan ?(config = Transport.default) ?(htile = 1) ?(iterations = 1)
     ?(schedule = Sweeps.Schedule.sweep3d)
-    ?(nonwavefront = App_params.Allreduce { count = 1; msg_size = 8 }) grid pg
-    =
+    ?(nonwavefront = App_params.Allreduce { count = 1; msg_size = 8 }) ?perturb
+    grid pg =
   if htile < 1 then invalid_arg "Sweep_exec.plan: htile must be >= 1";
   if iterations < 1 then invalid_arg "Sweep_exec.plan: iterations must be >= 1";
-  { grid; pg; config; htile; schedule; nonwavefront; iterations }
+  { grid; pg; config; htile; schedule; nonwavefront; iterations; perturb }
 
 (* Block extents and offsets of processor (i, j) (1-based). *)
 let block_x plan i =
@@ -89,9 +90,16 @@ module Backend = struct
        falls back to the channel's own buffer (Channel.recv_into). *)
     buf_x : float array;
     buf_y : float array;
+    (* Perturbation state: one model shared by all ranks (each rank only
+       touches its own streams), this rank's tracer for tagging injected
+       delay, and a shared tiles-completed counter array for the frontier
+       a degraded run reports. *)
+    model : Perturb.Model.t option;
+    tracer : Obs.Tracer.t option;
+    progress : int array option;
   }
 
-  let create plan comm rank =
+  let create ?model ?tracer ?progress plan comm rank =
     let i, j = Proc_grid.coords plan.pg rank in
     let nx = block_x plan i and ny = block_y plan j in
     let a_n = plan.config.Transport.angles in
@@ -104,9 +112,23 @@ module Backend = struct
       st = None;
       buf_x = Array.make (a_n * ny * plan.htile) 0.0;
       buf_y = Array.make (a_n * nx * plan.htile) 0.0;
+      model;
+      tracer;
+      progress;
     }
 
   let phi t = t.phi
+
+  (* Spend an injected delay for real — a perturbed rank is genuinely
+     occupied, like [fixed_work] — and tag it so critical-path reports can
+     tell absorbed delay from propagated. *)
+  let inject t ~rank ~name us =
+    if us > 0.0 then
+      match t.tracer with
+      | None -> busy_wait us
+      | Some tr ->
+          Obs.Tracer.span tr ~cat:"perturb" ~rank name (fun () ->
+              busy_wait us)
 
   module Substrate = struct
     type nonrec t = t
@@ -124,6 +146,11 @@ module Backend = struct
       Shmpi.Comm.recv_into t.comm ~dst:rank ~src buf
 
     let send t ~rank ~dst ~axis:_ ~tile:_ face =
+      (match t.model with
+      | None -> ()
+      | Some m ->
+          inject t ~rank ~name:"perturb.link"
+            (Perturb.Model.link_extra m ~src:rank));
       Shmpi.Comm.send t.comm ~src:rank ~dst face
 
     let sweep_begin t ~rank:_ ~sweep:_ ~dir =
@@ -134,10 +161,32 @@ module Backend = struct
 
     let precompute _ ~rank:_ ~tile:_ = ()
 
-    let compute t ~rank:_ ~dir:_ ~tile:_ ~h ~x ~y =
-      match t.st with
-      | Some st -> Transport.sweep_tile st ~h ~xface:x ~yface:y
-      | None -> assert false (* sweep_begin precedes every tile *)
+    let compute t ~rank ~dir:_ ~tile ~h ~x ~y =
+      (match t.model with
+      | Some m when Perturb.Model.fails_now m ~rank ->
+          raise (Perturb.Model.Killed { rank; tile })
+      | _ -> ());
+      let faces =
+        match (t.st, t.model) with
+        | None, _ -> assert false (* sweep_begin precedes every tile *)
+        | Some st, None -> Transport.sweep_tile st ~h ~xface:x ~yface:y
+        | Some st, Some m ->
+            (* Noise scales with the tile's measured duration — the real
+               analogue of the simulator scaling the model's tile work.
+               The draws line up one per tile either way. *)
+            let t0 = Unix.gettimeofday () in
+            let faces = Transport.sweep_tile st ~h ~xface:x ~yface:y in
+            let dt = (Unix.gettimeofday () -. t0) *. 1e6 in
+            inject t ~rank ~name:"perturb.noise"
+              (Perturb.Model.noise_extra m ~rank ~work:dt);
+            inject t ~rank ~name:"perturb.straggler"
+              (Perturb.Model.straggler_delay m ~rank);
+            faces
+      in
+      (match t.progress with
+      | Some p -> p.(rank) <- p.(rank) + 1
+      | None -> ());
+      faces
 
     let fixed_work _ ~rank:_ us = busy_wait us
 
@@ -177,10 +226,11 @@ module Backend = struct
 end
 
 (* The program of one rank: the shared Figure-4 core over this substrate. *)
-let rank_program plan =
+let rank_program ?model ?obs ?progress plan =
   let cfg = program_config plan in
   fun comm rank ->
-    let b = Backend.create plan comm rank in
+    let tracer = Option.map (fun trs -> trs.(rank)) obs in
+    let b = Backend.create ?model ?tracer ?progress plan comm rank in
     Wrun.Program.run_rank (module Backend.Substrate) b cfg rank;
     b.Backend.phi
 
@@ -189,12 +239,43 @@ type outcome = {
   wall_time : float;  (** us *)
 }
 
-let run ?obs plan =
+let model_of plan ~ranks =
+  Option.map (Perturb.Model.create ~ranks) plan.perturb
+
+let run ?obs ?timeout_us plan =
+  let ranks = Proc_grid.cores plan.pg in
   let r =
-    Shmpi.Runtime.run ?obs ~ranks:(Proc_grid.cores plan.pg)
-      (rank_program plan)
+    Shmpi.Runtime.run ?obs ?timeout_us ~ranks
+      (rank_program ?model:(model_of plan ~ranks) ?obs plan)
   in
   { blocks = r.values; wall_time = r.wall_time }
+
+type resilient_outcome =
+  | Completed of outcome
+  | Degraded of {
+      failed : int list;
+      reason : exn;
+      frontier : int array;
+      wall_time : float;
+    }
+
+let run_resilient ?obs ?(timeout_us = 1e6) plan =
+  let ranks = Proc_grid.cores plan.pg in
+  let progress = Array.make ranks 0 in
+  let start = Shmpi.Runtime.now_us () in
+  match
+    Shmpi.Runtime.run ?obs ~timeout_us ~ranks
+      (rank_program ?model:(model_of plan ~ranks) ?obs ~progress plan)
+  with
+  | r -> Completed { blocks = r.values; wall_time = r.wall_time }
+  | exception Shmpi.Runtime.Rank_failure { failed; exn; _ } ->
+      Degraded
+        {
+          failed;
+          reason = exn;
+          frontier = progress;
+          wall_time = Shmpi.Runtime.now_us () -. start;
+        }
 
 (* Assemble per-rank blocks into a global grid for comparison. *)
 let gather plan blocks =

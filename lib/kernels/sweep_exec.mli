@@ -13,6 +13,7 @@ type plan = {
   schedule : Sweeps.Schedule.t;
   nonwavefront : Wavefront_core.App_params.nonwavefront;
   iterations : int;
+  perturb : Perturb.Spec.t option;
 }
 
 val plan :
@@ -21,13 +22,21 @@ val plan :
   ?iterations:int ->
   ?schedule:Sweeps.Schedule.t ->
   ?nonwavefront:Wavefront_core.App_params.nonwavefront ->
+  ?perturb:Perturb.Spec.t ->
   Data_grid.t ->
   Proc_grid.t ->
   plan
 (** Defaults: 6-angle transport, Htile 1, one iteration, the Sweep3D
     schedule, and [Allreduce {count = 1; msg_size = 8}] as the
     non-wavefront section (the end-of-iteration reduction the transport
-    benchmarks perform). *)
+    benchmarks perform).
+
+    [perturb] injects the spec's delays into the real execution: noise and
+    straggler time is genuinely spent (busy-waited) after each tile's
+    compute, link injection before each wavefront send, and a spec'd
+    failure raises {!Perturb.Model.Killed} at the rank's chosen tile. The
+    injected delays never touch the payloads, so the gathered result stays
+    bitwise-equal to {!run_sequential} whenever the run completes. *)
 
 val block_x : plan -> int -> int
 (** Local x extent of column [i] (1-based). *)
@@ -46,9 +55,19 @@ val program_config : plan -> Wrun.Program.config
 module Backend : sig
   type t
 
-  val create : plan -> Shmpi.Comm.t -> int -> t
+  val create :
+    ?model:Perturb.Model.t ->
+    ?tracer:Obs.Tracer.t ->
+    ?progress:int array ->
+    plan ->
+    Shmpi.Comm.t ->
+    int ->
+    t
   (** Per-rank state: the rank's scalar-flux block and its receive
-      buffers. *)
+      buffers. [model] is the (shared) instantiated perturbation spec;
+      [tracer] tags injected delay as [perturb.*] spans; [progress] is a
+      shared per-rank tiles-completed array (slot [rank] is only written
+      by this rank). *)
 
   val phi : t -> float array
 
@@ -58,11 +77,34 @@ end
 
 type outcome = { blocks : float array array; wall_time : float }
 
-val run : ?obs:Obs.Tracer.t array -> plan -> outcome
+val run : ?obs:Obs.Tracer.t array -> ?timeout_us:float -> plan -> outcome
 (** Execute on one domain per processor; returns each rank's scalar-flux
     block and the wall-clock time in us. [obs] (one tracer per rank)
     records per-rank spans for every send/receive/allreduce and a ["rank"]
-    span per program — see {!Shmpi.Runtime.run}. *)
+    span per program — see {!Shmpi.Runtime.run}. [timeout_us] bounds every
+    blocking wait ({!Shmpi.Comm.Timeout} instead of a hang). A plan whose
+    spec kills a rank raises {!Shmpi.Runtime.Rank_failure}; use
+    {!run_resilient} to degrade gracefully instead. *)
+
+type resilient_outcome =
+  | Completed of outcome
+  | Degraded of {
+      failed : int list;
+          (** every rank that raised, ascending: spec-killed ranks plus
+              peers that timed out starved of their messages *)
+      reason : exn;  (** the lowest-numbered failing rank's exception *)
+      frontier : int array;
+          (** tiles completed per rank when the run stopped — how far the
+              wavefront got *)
+      wall_time : float;  (** us *)
+    }
+
+val run_resilient :
+  ?obs:Obs.Tracer.t array -> ?timeout_us:float -> plan -> resilient_outcome
+(** As {!run}, but a failing rank degrades instead of raising: every
+    blocking wait carries a deadline ([timeout_us], default 1 s) so ranks
+    starved by a dead neighbour time out rather than hang the join, and
+    the outcome reports who failed and the partial wavefront frontier. *)
 
 val gather : plan -> float array array -> float array
 (** Assemble per-rank blocks into a global [nx*ny*nz] grid. *)

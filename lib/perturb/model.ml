@@ -1,0 +1,98 @@
+(* A perturbation spec instantiated for a run: per-rank draw streams and
+   failure counters.
+
+   The contract that makes one spec drive three substrates identically is
+   draw alignment: every substrate consumes exactly one noise draw per tile
+   compute (from the rank's stream) and one link draw per wavefront send
+   (from the sender's stream), in program order. Each rank touches only its
+   own streams and counters, so one model value can be shared by every rank
+   of a domains-based runtime without synchronization. Zero-amplitude specs
+   draw nothing and inject nothing, so a zero spec is bitwise
+   indistinguishable from no spec at all. *)
+
+exception Killed of { rank : int; tile : int }
+
+let () =
+  Printexc.register_printer (function
+    | Killed { rank; tile } ->
+        Some
+          (Printf.sprintf
+             "Perturb.Model.Killed: rank %d killed by the perturbation spec \
+              before tile %d"
+             rank tile)
+    | _ -> None)
+
+type t = {
+  spec : Spec.t;
+  noise : Prng.t array;  (* one compute-noise stream per rank *)
+  links : Prng.t array;  (* one link-delay stream per sending rank *)
+  straggle : float array;  (* per-rank per-tile extra, us *)
+  fail_after : int array;  (* tile at which the rank dies; max_int = never *)
+  tiles : int array;  (* tiles started per rank (failure counter) *)
+}
+
+let create spec ~ranks =
+  if ranks < 1 then invalid_arg "Perturb.Model.create: ranks must be >= 1";
+  let top = Spec.max_rank spec in
+  if top >= ranks then
+    Fmt.invalid_arg
+      "Perturb.Model.create: spec names rank %d but the run has only %d \
+       ranks"
+      top ranks;
+  let straggle = Array.make ranks 0.0 in
+  List.iter
+    (fun (s : Spec.straggler) ->
+      straggle.(s.rank) <- straggle.(s.rank) +. s.delay)
+    spec.stragglers;
+  let fail_after = Array.make ranks max_int in
+  List.iter
+    (fun (f : Spec.failure) ->
+      fail_after.(f.rank) <- min fail_after.(f.rank) f.after_tiles)
+    spec.failures;
+  {
+    spec;
+    noise = Array.init ranks (fun r -> Prng.create ~seed:spec.seed ~stream:r);
+    links =
+      Array.init ranks (fun r ->
+          Prng.create ~seed:spec.seed ~stream:(ranks + r));
+    straggle;
+    fail_after;
+    tiles = Array.make ranks 0;
+  }
+
+let spec t = t.spec
+let ranks t = Array.length t.noise
+
+(* Extra compute time for one tile whose unperturbed work is [work] us.
+   Consumes one draw from the rank's stream iff the spec has noise, so the
+   draw sequence is identical whether the substrate measures [work] (real
+   runtime) or models it (simulator). *)
+let noise_extra t ~rank ~work =
+  match t.spec.noise with
+  | Spec.No_noise -> 0.0
+  | Uniform a -> if a = 0.0 then 0.0 else Prng.uniform t.noise.(rank) a *. work
+  | Exponential m ->
+      if m = 0.0 then 0.0 else Prng.exponential t.noise.(rank) m *. work
+
+let straggler_delay t ~rank = t.straggle.(rank)
+
+(* Extra injection delay for one message sent by [src]; one draw per send
+   when a link clause is present. *)
+let link_extra t ~src =
+  match t.spec.link with
+  | None -> 0.0
+  | Some { prob; delay } ->
+      if prob = 0.0 || delay = 0.0 then 0.0
+      else if Prng.bernoulli t.links.(src) prob then delay
+      else 0.0
+
+(* Called once at the start of every tile compute; true when the spec kills
+   the rank here (the tile is not computed, no faces are sent). *)
+let fails_now t ~rank =
+  let n = t.tiles.(rank) in
+  t.tiles.(rank) <- n + 1;
+  n >= t.fail_after.(rank)
+
+let tiles_started t ~rank = t.tiles.(rank)
+let fails t ~rank = t.fail_after.(rank) < max_int
+let is_straggler t ~rank = t.straggle.(rank) > 0.0

@@ -1,0 +1,47 @@
+(* SplitMix64: the perturbation layer's own pseudo-random stream.
+
+   Perturbations must be reproducible bit-for-bit across runs, substrates
+   and compiler versions — a noise draw made by the simulator and the same
+   draw made by the real runtime have to agree, and the determinism
+   property tests pin them down. [Stdlib.Random]'s algorithm is an
+   implementation detail of the compiler release, so the layer carries its
+   own: SplitMix64 (Steele, Lea & Flood, OOPSLA'14), two multiplies and
+   three xor-shifts per draw, with a trivially seedable state that lets
+   every (seed, stream) pair — one stream per rank, one per link source —
+   start decorrelated without sharing state across domains. *)
+
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L (* 2^64 / phi, the Weyl increment *)
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Distinct streams from one seed: bury both the seed and the stream index
+   through the output mixer so low-entropy inputs (seed 0, 1, 2...) still
+   produce unrelated sequences. *)
+let create ~seed ~stream =
+  {
+    state =
+      mix64
+        (Int64.add
+           (Int64.mul (Int64.of_int seed) gamma)
+           (mix64 (Int64.mul (Int64.of_int (stream + 1)) 0xD6E8FEB86659FD93L)));
+  }
+
+let next t =
+  t.state <- Int64.add t.state gamma;
+  mix64 t.state
+
+(* Uniform in [0, 1), from the top 53 bits. *)
+let float t = Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+let uniform t hi = hi *. float t
+
+(* Exponential with the given mean, by inversion; [1 - float t] keeps the
+   argument of [log] strictly positive. *)
+let exponential t mean = -.mean *. log (1.0 -. float t)
+
+let bernoulli t p = float t < p

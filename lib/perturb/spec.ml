@@ -1,0 +1,187 @@
+(* A perturbation specification: everything that may push an execution off
+   the ideal path the plug-and-play model assumes, as one seeded, fully
+   deterministic description shared by all three substrates.
+
+   The textual form is a whitespace-separated list of clauses, usable on a
+   `wavefront perturb --perturb "..."` command line or as the value of a
+   spec file's `perturb = ...` stanza:
+
+     seed=42                  # stream seed (default 0)
+     noise=uniform:0.15       # per-tile extra compute, frac of the tile's
+                              # work drawn uniform in [0, 0.15)
+     noise=exp:0.05           # or exponential with mean fraction 0.05
+     link=0.02:5.0            # each message delayed 5 us with prob 0.02
+     straggler=3:250          # rank 3 loses 250 us on every tile (repeatable)
+     fail=5:40                # rank 5 dies before its 41st tile (repeatable)
+
+   Noise and delays are one-sided: OS noise, contention and stragglers only
+   ever steal time, never refund it, which is what makes predicted and
+   simulated runtimes monotone in every amplitude (the regression tests pin
+   this down). *)
+
+type noise =
+  | No_noise
+  | Uniform of float  (* extra fraction drawn uniform in [0, amplitude) *)
+  | Exponential of float  (* extra fraction, exponential with this mean *)
+
+type link = { prob : float; delay : float }
+type straggler = { rank : int; delay : float }
+type failure = { rank : int; after_tiles : int }
+
+type t = {
+  seed : int;
+  noise : noise;
+  link : link option;
+  stragglers : straggler list;
+  failures : failure list;
+}
+
+let zero =
+  { seed = 0; noise = No_noise; link = None; stragglers = []; failures = [] }
+
+let is_zero t =
+  (match t.noise with
+  | No_noise -> true
+  | Uniform a | Exponential a -> a = 0.0)
+  && (match t.link with
+     | None -> true
+     | Some { prob; delay } -> prob = 0.0 || delay = 0.0)
+  && List.for_all (fun s -> s.delay = 0.0) t.stragglers
+  && t.failures = []
+
+let invalid fmt = Fmt.kstr invalid_arg fmt
+
+let v ?(seed = 0) ?(noise = No_noise) ?link ?(stragglers = [])
+    ?(failures = []) () =
+  (match noise with
+  | No_noise -> ()
+  | Uniform a | Exponential a ->
+      if a < 0.0 || not (Float.is_finite a) then
+        invalid "Perturb.Spec.v: noise amplitude %g must be finite and >= 0" a);
+  (match link with
+  | None -> ()
+  | Some { prob; delay } ->
+      if prob < 0.0 || prob > 1.0 then
+        invalid "Perturb.Spec.v: link probability %g outside [0, 1]" prob;
+      if delay < 0.0 then invalid "Perturb.Spec.v: negative link delay");
+  List.iter
+    (fun { rank; delay } ->
+      if rank < 0 then invalid "Perturb.Spec.v: negative straggler rank";
+      if delay < 0.0 then invalid "Perturb.Spec.v: negative straggler delay")
+    stragglers;
+  List.iter
+    (fun { rank; after_tiles } ->
+      if rank < 0 then invalid "Perturb.Spec.v: negative failure rank";
+      if after_tiles < 0 then
+        invalid "Perturb.Spec.v: negative failure tile count")
+    failures;
+  { seed; noise; link; stragglers; failures }
+
+(* The expected extra compute fraction per tile, the analytic side's view
+   of the noise distribution. *)
+let mean_noise_frac t =
+  match t.noise with
+  | No_noise -> 0.0
+  | Uniform a -> a /. 2.0
+  | Exponential m -> m
+
+let max_rank t =
+  List.fold_left
+    (fun acc r -> max acc r)
+    (-1)
+    (List.map (fun (s : straggler) -> s.rank) t.stragglers
+    @ List.map (fun (f : failure) -> f.rank) t.failures)
+
+(* --- Parsing --- *)
+
+let err fmt = Fmt.kstr (fun m -> Error (`Msg m)) fmt
+
+let parse_clause spec clause =
+  let fail () = err "perturb: bad clause %S" clause in
+  let float_of s = float_of_string_opt s in
+  let int_of s = int_of_string_opt s in
+  let two v of_a of_b k =
+    match String.split_on_char ':' v with
+    | [ a; b ] -> (
+        match (of_a a, of_b b) with
+        | Some a, Some b -> k a b
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  match String.index_opt clause '=' with
+  | None -> fail ()
+  | Some i -> (
+      let key = String.sub clause 0 i in
+      let v = String.sub clause (i + 1) (String.length clause - i - 1) in
+      match key with
+      | "seed" -> (
+          match int_of v with
+          | Some seed -> Ok { spec with seed }
+          | None -> fail ())
+      | "noise" -> (
+          match String.split_on_char ':' v with
+          | [ "uniform"; a ] | [ a ] -> (
+              match float_of a with
+              | Some a when a >= 0.0 -> Ok { spec with noise = Uniform a }
+              | _ -> fail ())
+          | [ "exp"; m ] -> (
+              match float_of m with
+              | Some m when m >= 0.0 -> Ok { spec with noise = Exponential m }
+              | _ -> fail ())
+          | _ -> fail ())
+      | "link" ->
+          two v float_of float_of (fun prob delay ->
+              if prob < 0.0 || prob > 1.0 || delay < 0.0 then fail ()
+              else Ok { spec with link = Some { prob; delay } })
+      | "straggler" ->
+          two v int_of float_of (fun rank delay ->
+              if rank < 0 || delay < 0.0 then fail ()
+              else
+                Ok
+                  {
+                    spec with
+                    stragglers = spec.stragglers @ [ { rank; delay } ];
+                  })
+      | "fail" ->
+          two v int_of int_of (fun rank after_tiles ->
+              if rank < 0 || after_tiles < 0 then fail ()
+              else
+                Ok
+                  {
+                    spec with
+                    failures = spec.failures @ [ { rank; after_tiles } ];
+                  })
+      | _ ->
+          err
+            "perturb: unknown clause %S (known: seed, noise, link, \
+             straggler, fail)"
+            key)
+
+let of_string text =
+  let clauses =
+    String.split_on_char ' ' text
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.concat_map (String.split_on_char ';')
+    |> List.filter (( <> ) "")
+  in
+  List.fold_left
+    (fun acc clause -> Result.bind acc (fun spec -> parse_clause spec clause))
+    (Ok zero) clauses
+
+let pp_noise ppf = function
+  | No_noise -> ()
+  | Uniform a -> Fmt.pf ppf " noise=uniform:%g" a
+  | Exponential m -> Fmt.pf ppf " noise=exp:%g" m
+
+let pp ppf t =
+  Fmt.pf ppf "seed=%d%a" t.seed pp_noise t.noise;
+  (match t.link with
+  | None -> ()
+  | Some { prob; delay } -> Fmt.pf ppf " link=%g:%g" prob delay);
+  List.iter (fun { rank; delay } -> Fmt.pf ppf " straggler=%d:%g" rank delay)
+    t.stragglers;
+  List.iter
+    (fun { rank; after_tiles } -> Fmt.pf ppf " fail=%d:%d" rank after_tiles)
+    t.failures
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,66 @@
+(** Perturbation specifications: seeded noise, link contention, stragglers
+    and rank failures, as one deterministic description that all three
+    substrates (simulator, real shared-memory runtime, dataflow reference)
+    interpret identically. See the implementation header for the textual
+    clause syntax ([seed=42 noise=uniform:0.15 link=0.02:5 straggler=3:250
+    fail=5:40]).
+
+    All perturbations are one-sided — they only ever add time — so model
+    and simulated runtimes are monotone in every amplitude. *)
+
+type noise =
+  | No_noise
+  | Uniform of float
+      (** per-tile extra compute fraction, uniform in [0, amplitude) *)
+  | Exponential of float  (** per-tile extra compute fraction, this mean *)
+
+type link = {
+  prob : float;  (** probability each message is delayed *)
+  delay : float;  (** the injected delay, us *)
+}
+
+type straggler = {
+  rank : int;
+  delay : float;  (** extra us this rank loses on every tile *)
+}
+
+type failure = {
+  rank : int;
+  after_tiles : int;  (** the rank dies before computing tile [after_tiles] *)
+}
+
+type t = {
+  seed : int;
+  noise : noise;
+  link : link option;
+  stragglers : straggler list;
+  failures : failure list;
+}
+
+val zero : t
+(** No perturbation at all; running any substrate under [zero] must be
+    bitwise identical to not perturbing it. *)
+
+val is_zero : t -> bool
+
+val v :
+  ?seed:int ->
+  ?noise:noise ->
+  ?link:link ->
+  ?stragglers:straggler list ->
+  ?failures:failure list ->
+  unit ->
+  t
+(** Validating constructor; raises [Invalid_argument] on negative
+    amplitudes, delays or ranks, or a link probability outside [0, 1]. *)
+
+val mean_noise_frac : t -> float
+(** Expected extra compute fraction per tile, used by the analytic
+    estimate. *)
+
+val max_rank : t -> int
+(** Highest rank named by a straggler or failure clause; [-1] if none. *)
+
+val of_string : string -> (t, [ `Msg of string ]) result
+val to_string : t -> string
+val pp : t Fmt.t

@@ -9,7 +9,15 @@
    which makes it a fast deadlock/schedule validator and a message-sequence
    oracle at rank counts (100K+) where even the event-level simulator is
    expensive. When the run queue drains with unfinished ranks, the program
-   has deadlocked and each stuck rank reports what it was blocked on. *)
+   has deadlocked and each stuck rank reports what it was blocked on.
+
+   Perturbation (a Perturb.Spec.t) maps onto the clockless scheduler
+   logically: a straggler rank's tasks go to a deferred queue that only
+   drains when every other rank is blocked or done — the most adversarial
+   legal ordering, so a completed run proves the precedence graph tolerates
+   that rank always arriving last — and a spec'd failure ends the rank's
+   fiber at its chosen tile, after which the outcome reports who starved
+   and which sent messages were orphaned in flight. *)
 
 open Wgrid
 
@@ -20,16 +28,26 @@ type outcome = {
   completed : bool;
   blocked : (int * string) list;
       (** stuck ranks and what each was waiting on (empty iff completed) *)
+  failed : int list;  (** ranks killed by the perturbation spec, ascending *)
   messages : int;
+  orphaned : int;
+      (** sent messages never received — non-zero flags a sender whose
+          receiver died or a program leaking sends *)
   mismatches : string list;  (** face-description disagreements (capped) *)
 }
 
 let pp_outcome ppf o =
   if o.completed then
-    Fmt.pf ppf "%d ranks completed, %d messages%s" o.ranks o.messages
+    Fmt.pf ppf "%d ranks completed, %d messages%s%s" o.ranks o.messages
+      (if o.orphaned = 0 then "" else Fmt.str ", %d ORPHANED" o.orphaned)
       (match o.mismatches with
       | [] -> ""
       | l -> Fmt.str ", %d MISMATCHES" (List.length l))
+  else if o.failed <> [] then
+    Fmt.pf ppf
+      "DEGRADED: rank(s) %s killed, %d of %d stuck, %d orphaned message(s)"
+      (String.concat ", " (List.map string_of_int o.failed))
+      (List.length o.blocked) o.ranks o.orphaned
   else
     Fmt.pf ppf "DEADLOCK: %d of %d ranks stuck (first: %s)"
       (List.length o.blocked) o.ranks
@@ -44,21 +62,30 @@ module Raw = struct
     | Blocked_recv of int  (* waiting on a message from this rank *)
     | Blocked_coll
     | Finished
+    | Failed  (* killed by the perturbation spec *)
 
+  (* Tasks carry the rank they run so the scheduler can route a
+     straggler's work to the deferred queue at wake time. *)
   type task =
     | Start of int
-    | Resume of (unit, unit) Effect.Deep.continuation
+    | Resume of int * (unit, unit) Effect.Deep.continuation
 
   type sched = {
     ranks : int;
     chans : (int, msg Queue.t) Hashtbl.t;  (* src * ranks + dst *)
     waiting : (int, (unit, unit) Effect.Deep.continuation) Hashtbl.t;
     runnable : task Queue.t;
-    coll_parked : (unit, unit) Effect.Deep.continuation Queue.t;
+    (* Straggler tasks; drained one at a time, only when [runnable] is
+       empty — the most adversarial legal ordering. *)
+    deferred : task Queue.t;
+    straggler : bool array;
+    failed : bool array;
+    coll_parked : (int * (unit, unit) Effect.Deep.continuation) Queue.t;
     mutable coll_count : int;
     status : status array;
     mutable finished : int;
     mutable messages : int;
+    mutable received : int;
     mutable program : int -> unit;
     mutable executed : bool;
   }
@@ -74,14 +101,27 @@ module Raw = struct
       chans = Hashtbl.create (4 * ranks);
       waiting = Hashtbl.create 64;
       runnable = Queue.create ();
+      deferred = Queue.create ();
+      straggler = Array.make ranks false;
+      failed = Array.make ranks false;
       coll_parked = Queue.create ();
       coll_count = 0;
       status = Array.make ranks Idle;
       finished = 0;
       messages = 0;
+      received = 0;
       program = ignore;
       executed = false;
     }
+
+  let set_straggler t rank =
+    if rank < 0 || rank >= t.ranks then
+      invalid_arg "Dataflow.set_straggler: bad rank";
+    t.straggler.(rank) <- true
+
+  let enqueue t rank task =
+    if t.straggler.(rank) then Queue.push task t.deferred
+    else Queue.push task t.runnable
 
   let key t ~src ~dst = (src * t.ranks) + dst
 
@@ -109,7 +149,7 @@ module Raw = struct
     match Hashtbl.find_opt t.waiting key with
     | Some k ->
         Hashtbl.remove t.waiting key;
-        Queue.push (Resume k) t.runnable
+        enqueue t dst (Resume (dst, k))
     | None -> ()
 
   (* Blocking receive: suspend the fiber until the channel is non-empty.
@@ -123,6 +163,7 @@ module Raw = struct
       Effect.perform (Block_recv (key t ~src ~dst:rank));
       t.status.(rank) <- Running
     end;
+    t.received <- t.received + 1;
     Queue.pop q
 
   (* Full synchronization: park until every rank has arrived, then release
@@ -138,13 +179,21 @@ module Raw = struct
     let open Effect.Deep in
     t.status.(rank) <- Running;
     match_with
-      (fun () -> t.program rank)
+      (fun () ->
+        (* The try frame lives on the fiber's own stack, so it still
+           catches a kill raised after the fiber was suspended and
+           resumed. *)
+        try t.program rank
+        with Perturb.Model.Killed { rank; _ } -> t.failed.(rank) <- true)
       ()
       {
         retc =
           (fun () ->
-            t.status.(rank) <- Finished;
-            t.finished <- t.finished + 1);
+            if t.failed.(rank) then t.status.(rank) <- Failed
+            else begin
+              t.status.(rank) <- Finished;
+              t.finished <- t.finished + 1
+            end);
         exnc = raise;
         effc =
           (fun (type a) (eff : a Effect.t) ->
@@ -156,12 +205,12 @@ module Raw = struct
             | Block_coll ->
                 Some
                   (fun (k : (a, _) continuation) ->
-                    Queue.push k t.coll_parked;
+                    Queue.push (rank, k) t.coll_parked;
                     t.coll_count <- t.coll_count + 1;
                     if t.coll_count = t.ranks then begin
                       t.coll_count <- 0;
                       Queue.iter
-                        (fun k -> Queue.push (Resume k) t.runnable)
+                        (fun (r, k) -> enqueue t r (Resume (r, k)))
                         t.coll_parked;
                       Queue.clear t.coll_parked
                     end)
@@ -173,12 +222,16 @@ module Raw = struct
     t.executed <- true;
     t.program <- program;
     for rank = 0 to t.ranks - 1 do
-      Queue.push (Start rank) t.runnable
+      enqueue t rank (Start rank)
     done;
-    while not (Queue.is_empty t.runnable) do
-      match Queue.pop t.runnable with
+    while not (Queue.is_empty t.runnable && Queue.is_empty t.deferred) do
+      let task =
+        if Queue.is_empty t.runnable then Queue.pop t.deferred
+        else Queue.pop t.runnable
+      in
+      match task with
       | Start rank -> start_fiber t rank
-      | Resume k -> Effect.Deep.continue k ()
+      | Resume (_, k) -> Effect.Deep.continue k ()
     done
 
   let blocked t =
@@ -190,7 +243,14 @@ module Raw = struct
       | Blocked_coll ->
           acc := (rank, "blocked in a collective") :: !acc
       | Idle -> acc := (rank, "never ran") :: !acc
-      | Running | Finished -> ()
+      | Running | Finished | Failed -> ()
+    done;
+    !acc
+
+  let failed_ranks t =
+    let acc = ref [] in
+    for rank = t.ranks - 1 downto 0 do
+      if t.failed.(rank) then acc := rank :: !acc
     done;
     !acc
 
@@ -199,7 +259,9 @@ module Raw = struct
       ranks = t.ranks;
       completed = t.finished = t.ranks;
       blocked = blocked t;
+      failed = failed_ranks t;
       messages = t.messages;
+      orphaned = t.messages - t.received;
       mismatches = [];
     }
 end
@@ -210,26 +272,31 @@ type t = {
   sched : Raw.sched;
   msg_ew : int;
   msg_ns : int;
+  model : Perturb.Model.t option;
   mutable mismatches : string list;  (* reversed; capped *)
   mutable n_mismatch : int;
 }
 
 let mismatch_cap = 16
 
-let create ~ranks ~msg_ew ~msg_ns =
-  {
-    sched = Raw.create ~ranks;
-    msg_ew;
-    msg_ns;
-    mismatches = [];
-    n_mismatch = 0;
-  }
+let create ?perturb ~ranks ~msg_ew ~msg_ns () =
+  let sched = Raw.create ~ranks in
+  let model = Option.map (Perturb.Model.create ~ranks) perturb in
+  (match model with
+  | None -> ()
+  | Some m ->
+      for rank = 0 to ranks - 1 do
+        if Perturb.Model.is_straggler m ~rank then
+          Raw.set_straggler sched rank
+      done);
+  { sched; msg_ew; msg_ns; model; mismatches = []; n_mismatch = 0 }
 
-let of_app pg app =
-  create
+let of_app ?perturb pg app =
+  create ?perturb
     ~ranks:(Proc_grid.cores pg)
     ~msg_ew:(Wavefront_core.App_params.message_size_ew app pg)
     ~msg_ns:(Wavefront_core.App_params.message_size_ns app pg)
+    ()
 
 let record_mismatch t fmt =
   Fmt.kstr
@@ -259,7 +326,11 @@ module Substrate = struct
 
   let send t ~rank ~dst ~axis:_ ~tile:_ m = Raw.send t.sched ~src:rank ~dst m
 
-  let compute t ~rank:_ ~dir:_ ~tile ~h:_ ~x:_ ~y:_ =
+  let compute t ~rank ~dir:_ ~tile ~h:_ ~x:_ ~y:_ =
+    (match t.model with
+    | Some m when Perturb.Model.fails_now m ~rank ->
+        raise (Perturb.Model.Killed { rank; tile })
+    | _ -> ());
     ( { axis = Substrate.X; tile; bytes = t.msg_ew },
       { axis = Substrate.Y; tile; bytes = t.msg_ns } )
 
@@ -295,8 +366,8 @@ let exec t program = Raw.exec t.sched program
 let outcome t =
   { (Raw.outcome t.sched) with mismatches = List.rev t.mismatches }
 
-let run ?iterations ?tiling pg app =
+let run ?iterations ?tiling ?perturb pg app =
   let cfg = Program.of_app ?iterations ?tiling pg app in
-  let t = of_app pg app in
+  let t = of_app ?perturb pg app in
   exec t (fun rank -> Program.run_rank (module Substrate) t cfg rank);
   outcome t

@@ -7,7 +7,15 @@
     queue makes the interleaving deterministic. There is no clock — the
     backend answers only whether the schedule's communication order is
     consistent, which makes it a fast deadlock validator and a
-    message-sequence oracle at 100K+ ranks. *)
+    message-sequence oracle at 100K+ ranks.
+
+    A {!Perturb.Spec.t} maps onto the clockless scheduler logically: a
+    straggler's tasks only run when every other rank is blocked or done
+    (the most adversarial legal ordering — completing under it proves the
+    precedence graph tolerates that rank always arriving last), and a
+    spec'd failure ends the rank's fiber at its chosen tile, after which
+    the outcome reports the starved ranks and the orphaned in-flight
+    messages. *)
 
 open Wgrid
 
@@ -20,7 +28,11 @@ type outcome = {
   completed : bool;
   blocked : (int * string) list;
       (** stuck ranks and what each was waiting on (empty iff completed) *)
+  failed : int list;  (** ranks killed by the perturbation spec, ascending *)
   messages : int;
+  orphaned : int;
+      (** sent messages never received — non-zero flags a sender whose
+          receiver died or a program leaking sends *)
   mismatches : string list;
       (** face-description disagreements between sender and receiver
           (capped at 16) *)
@@ -36,6 +48,11 @@ module Raw : sig
   type sched
 
   val create : ranks:int -> sched
+
+  val set_straggler : sched -> int -> unit
+  (** Route the rank's tasks to the deferred queue, which only drains when
+      no non-straggler can run. Call before {!exec}. *)
+
   val send : sched -> src:int -> dst:int -> msg -> unit
   val recv : sched -> rank:int -> src:int -> msg
   val barrier : sched -> rank:int -> unit
@@ -48,8 +65,13 @@ end
 
 type t
 
-val create : ranks:int -> msg_ew:int -> msg_ns:int -> t
-val of_app : Proc_grid.t -> Wavefront_core.App_params.t -> t
+val create :
+  ?perturb:Perturb.Spec.t -> ranks:int -> msg_ew:int -> msg_ns:int -> unit -> t
+(** [perturb] marks the spec's stragglers for deferred scheduling and arms
+    its failures; the spec's timed clauses (noise, link delay) are no-ops
+    on this clockless backend. *)
+
+val of_app : ?perturb:Perturb.Spec.t -> Proc_grid.t -> Wavefront_core.App_params.t -> t
 
 module Substrate : Substrate.S with type t = t and type payload = msg
 
@@ -63,6 +85,7 @@ val outcome : t -> outcome
 val run :
   ?iterations:int ->
   ?tiling:Program.tiling ->
+  ?perturb:Perturb.Spec.t ->
   Proc_grid.t ->
   Wavefront_core.App_params.t ->
   outcome

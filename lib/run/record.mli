@@ -1,0 +1,38 @@
+(** Message-sequence recording: the cross-substrate differential oracle.
+
+    {!Wrap} layers over any {!Substrate.S} and captures each rank's
+    communication steps in program order, leaving the wrapped substrate's
+    behaviour untouched. Two backends executing the same
+    {!Program.config} must produce identical per-rank event sequences;
+    the differential tests check exactly that, including under
+    perturbation — injected delays and adversarial scheduling may move
+    events in time but never reorder a rank's own sequence.
+
+    Each rank appends only to its own slot, so recording is safe on
+    single-threaded substrates (simulator, dataflow) and on
+    one-domain-per-rank runtimes alike. *)
+
+type event =
+  | Send of { peer : int; axis : Substrate.axis; tile : int }
+  | Recv of { peer : int; axis : Substrate.axis; tile : int; bytes : int }
+  | Boundary of { axis : Substrate.axis }
+  | Allreduce of { count : int; msg_size : int }
+  | Halo of { dst : int option; src : int option; bytes : int }
+  | Barrier
+  | Finish
+
+type t
+
+val create : ranks:int -> t
+
+val events : t -> int -> event list
+(** The rank's recorded events, oldest first. *)
+
+val pp_event : event Fmt.t
+
+module Wrap (S : Substrate.S) :
+  Substrate.S with type t = t * S.t and type payload = S.payload
+(** The recording substrate: pass [(recorder, backend)] where the
+    original program passed [backend]. Communication hooks (send, recv,
+    boundary, halo, allreduce, barrier, finish) are recorded; compute
+    hooks pass straight through. *)

@@ -13,7 +13,13 @@
    non-wavefront operation) so each backend can attribute time, spans and
    validation exactly where today's hand-written programs do. All hooks
    take the calling [rank]: a substrate value may be shared by every rank
-   (the simulator) or private to one (the shared-memory runtime). *)
+   (the simulator) or private to one (the shared-memory runtime).
+
+   The fine grain also carries the perturbation layer's draw-alignment
+   contract: a backend honouring a [Perturb.Spec] makes exactly one noise
+   draw per [compute] and one link draw per wavefront [send], in program
+   order, so the same seeded spec injects the same delay sequence into
+   every substrate. *)
 
 (* Which of the two downstream dimensions a boundary face crosses. The
    direction of travel along the axis is the sweep's business ([Program]

@@ -114,6 +114,50 @@ let recv_into t dst =
   end
   else (payload, wait)
 
+(* OCaml's [Condition] carries no timed wait, so a deadline receive polls
+   the queue under the mutex and sleeps between probes with exponential
+   backoff (1 us doubling to a 1 ms cap): a payload already in flight is
+   picked up within microseconds, while a dead sender costs at most one
+   wakeup per millisecond until the deadline. *)
+let backoff_min = 1e-6
+let backoff_max = 1e-3
+
+let recv_deadline t ~timeout_us =
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. (timeout_us *. 1e-6) in
+  let rec poll sleep =
+    Mutex.lock t.mutex;
+    if not (Queue.is_empty t.queue) then begin
+      let payload = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      Some payload
+    end
+    else begin
+      Mutex.unlock t.mutex;
+      if Unix.gettimeofday () >= deadline then None
+      else begin
+        Unix.sleepf sleep;
+        poll (Float.min (sleep *. 2.0) backoff_max)
+      end
+    end
+  in
+  let payload = poll backoff_min in
+  (payload, (Unix.gettimeofday () -. t0) *. 1e6)
+
+let recv_into_deadline t dst ~timeout_us =
+  match recv_deadline t ~timeout_us with
+  | None, wait -> (None, wait)
+  | Some payload, wait ->
+      let len = Array.length payload in
+      if len = Array.length dst then begin
+        Array.blit payload 0 dst 0 len;
+        Mutex.lock t.mutex;
+        if Queue.length t.pool < pool_cap then Queue.push payload t.pool;
+        Mutex.unlock t.mutex;
+        (Some dst, wait)
+      end
+      else (Some payload, wait)
+
 let try_recv t =
   Mutex.lock t.mutex;
   let payload = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in

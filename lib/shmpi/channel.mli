@@ -22,4 +22,15 @@ val recv_into : t -> float array -> float array * float
     per face allocates nothing per message. On a length mismatch (e.g. a
     short last tile) the payload is returned unchanged instead. *)
 
+val recv_deadline : t -> timeout_us:float -> float array option * float
+(** As {!recv_wait}, but gives up after [timeout_us] microseconds of
+    waiting, returning [None] and the time actually waited. [Condition]
+    carries no timed wait, so the blocking path polls with exponential
+    backoff (1 us doubling to a 1 ms cap) — cheap for payloads already in
+    flight, bounded wakeups while waiting out a dead sender. *)
+
+val recv_into_deadline :
+  t -> float array -> timeout_us:float -> float array option * float
+(** {!recv_into} with the deadline semantics of {!recv_deadline}. *)
+
 val try_recv : t -> float array option

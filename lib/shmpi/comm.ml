@@ -8,14 +8,30 @@ type t = {
   ranks : int;
   channels : Channel.t array;  (* dst * ranks + src *)
   obs : Obs.Tracer.t array;  (* one tracer per rank, or [||] when off *)
+  timeout_us : float option;  (* deadline on every blocking wait *)
   barrier_mutex : Mutex.t;
   barrier_cond : Condition.t;
   mutable barrier_count : int;
   mutable barrier_epoch : int;
 }
 
-let create ?obs ranks =
+exception Timeout of { rank : int; src : int; op : string; waited_us : float }
+
+let () =
+  Printexc.register_printer (function
+    | Timeout { rank; src; op; waited_us } ->
+        Some
+          (Printf.sprintf
+             "Shmpi.Comm.Timeout (rank %d, %s%s, waited %.0f us)" rank op
+             (if src >= 0 then Printf.sprintf " from rank %d" src else "")
+             waited_us)
+    | _ -> None)
+
+let create ?obs ?timeout_us ranks =
   if ranks < 1 then invalid_arg "Comm.create: ranks must be >= 1";
+  (match timeout_us with
+  | Some u when u <= 0.0 -> invalid_arg "Comm.create: timeout must be > 0"
+  | _ -> ());
   let obs =
     match obs with
     | None -> [||]
@@ -28,6 +44,7 @@ let create ?obs ranks =
     ranks;
     channels = Array.init (ranks * ranks) (fun _ -> Channel.create ());
     obs;
+    timeout_us;
     barrier_mutex = Mutex.create ();
     barrier_cond = Condition.create ();
     barrier_count = 0;
@@ -55,16 +72,37 @@ let send t ~src ~dst payload =
       ~rank:src "send"
       (fun () -> Channel.send ch payload)
 
+(* A [recv] / [recv_into] against a dead upstream must surface as a
+   [Timeout] rather than a hang: with a deadline configured, both go
+   through the channel's polling deadline wait. *)
+let recv_wait_deadline t ~dst ~src ch =
+  match t.timeout_us with
+  | None -> Channel.recv_wait ch
+  | Some timeout_us -> (
+      match Channel.recv_deadline ch ~timeout_us with
+      | Some payload, wait -> (payload, wait)
+      | None, waited_us ->
+          raise (Timeout { rank = dst; src; op = "recv"; waited_us }))
+
+let recv_into_deadline t ~dst ~src ch buf =
+  match t.timeout_us with
+  | None -> Channel.recv_into ch buf
+  | Some timeout_us -> (
+      match Channel.recv_into_deadline ch buf ~timeout_us with
+      | Some payload, wait -> (payload, wait)
+      | None, waited_us ->
+          raise (Timeout { rank = dst; src; op = "recv_into"; waited_us }))
+
 let recv t ~dst ~src =
   check_rank t src "recv";
   check_rank t dst "recv";
   let ch = channel t ~src ~dst in
-  if not (traced t) then Channel.recv ch
+  if not (traced t) then fst (recv_wait_deadline t ~dst ~src ch)
   else begin
     let tr = t.obs.(dst) in
     let clock = Obs.Tracer.clock tr in
     let t0 = clock () in
-    let payload, wait = Channel.recv_wait ch in
+    let payload, wait = recv_wait_deadline t ~dst ~src ch in
     Obs.Tracer.record tr ~cat:"comm"
       ~args:
         [ ("src", Obs.Span.Int src); ("size", Int (Array.length payload));
@@ -79,12 +117,12 @@ let recv_into t ~dst ~src buf =
   check_rank t src "recv_into";
   check_rank t dst "recv_into";
   let ch = channel t ~src ~dst in
-  if not (traced t) then fst (Channel.recv_into ch buf)
+  if not (traced t) then fst (recv_into_deadline t ~dst ~src ch buf)
   else begin
     let tr = t.obs.(dst) in
     let clock = Obs.Tracer.clock tr in
     let t0 = clock () in
-    let payload, wait = Channel.recv_into ch buf in
+    let payload, wait = recv_into_deadline t ~dst ~src ch buf in
     Obs.Tracer.record tr ~cat:"comm"
       ~args:
         [ ("src", Obs.Span.Int src); ("size", Int (Array.length payload));
@@ -95,7 +133,7 @@ let recv_into t ~dst ~src buf =
     payload
   end
 
-let barrier_impl t =
+let barrier_impl ?(rank = -1) t =
   Mutex.lock t.barrier_mutex;
   let epoch = t.barrier_epoch in
   t.barrier_count <- t.barrier_count + 1;
@@ -104,19 +142,48 @@ let barrier_impl t =
     t.barrier_epoch <- t.barrier_epoch + 1;
     Condition.broadcast t.barrier_cond
   end
-  else
-    while t.barrier_epoch = epoch do
-      Condition.wait t.barrier_cond t.barrier_mutex
-    done;
+  else begin
+    match t.timeout_us with
+    | None ->
+        while t.barrier_epoch = epoch do
+          Condition.wait t.barrier_cond t.barrier_mutex
+        done
+    | Some timeout_us ->
+        (* No timed [Condition.wait] in the stdlib, so the deadline path
+           polls the epoch with the same backoff as the channels. A rank
+           that gives up retracts its arrival so the barrier's count stays
+           consistent for whoever inspects the wreckage. *)
+        let t0 = Unix.gettimeofday () in
+        let deadline = t0 +. (timeout_us *. 1e-6) in
+        let sleep = ref 1e-6 in
+        while t.barrier_epoch = epoch && Unix.gettimeofday () < deadline do
+          Mutex.unlock t.barrier_mutex;
+          Unix.sleepf !sleep;
+          sleep := Float.min (!sleep *. 2.0) 1e-3;
+          Mutex.lock t.barrier_mutex
+        done;
+        if t.barrier_epoch = epoch then begin
+          t.barrier_count <- t.barrier_count - 1;
+          Mutex.unlock t.barrier_mutex;
+          raise
+            (Timeout
+               {
+                 rank;
+                 src = -1;
+                 op = "barrier";
+                 waited_us = (Unix.gettimeofday () -. t0) *. 1e6;
+               })
+        end
+  end;
   Mutex.unlock t.barrier_mutex
 
 (* The barrier has no caller rank in its signature; [rank] is only needed
    for the span, so tracing callers use [barrier_r]. *)
 let barrier_r t ~rank =
-  if not (traced t) then barrier_impl t
+  if not (traced t) then barrier_impl ~rank t
   else
     Obs.Tracer.span t.obs.(rank) ~cat:"sync" ~rank "barrier" (fun () ->
-        barrier_impl t)
+        barrier_impl ~rank t)
 
 let barrier t = barrier_impl t
 

@@ -3,14 +3,27 @@
 
 type t
 
-val create : ?obs:Obs.Tracer.t array -> int -> t
+exception Timeout of { rank : int; src : int; op : string; waited_us : float }
+(** A blocking wait exceeded the communicator's deadline: [rank] is the
+    waiting rank, [src] the awaited sender ([-1] for the barrier, which
+    waits on everyone), [op] the operation ("recv", "recv_into",
+    "barrier"). Only raised when {!create} was given [timeout_us]. *)
+
+val create : ?obs:Obs.Tracer.t array -> ?timeout_us:float -> int -> t
 (** [obs] attaches one tracer per rank (the array must have one entry per
     rank): {!send}, {!recv}, {!barrier_r} and {!allreduce} then record
     spans on the calling rank's tracer, each written only from that rank's
     domain. [recv] spans carry a ["wait"] arg with the time blocked on an
     empty channel, and ["src"]/["dst"] args make the spans usable with
     [Obs.Critical_path.edges_of_spans]. Without [obs] every operation
-    costs a single length check. *)
+    costs a single length check.
+
+    [timeout_us] bounds every blocking wait — {!recv}, {!recv_into}, the
+    barrier, and the collectives built on them — raising {!Timeout}
+    instead of hanging when a peer has died. Sends are buffered and never
+    block, so with a deadline set no operation can wait forever. The
+    deadline path polls with exponential backoff (1 us to a 1 ms cap), so
+    it only changes costs when a wait is already long. *)
 
 val ranks : t -> int
 

@@ -15,12 +15,19 @@ exception
     printer is registered so the failure reads with its rank context. *)
 
 val run :
-  ?obs:Obs.Tracer.t array -> ranks:int -> (Comm.t -> int -> 'a) -> 'a result
+  ?obs:Obs.Tracer.t array ->
+  ?timeout_us:float ->
+  ranks:int ->
+  (Comm.t -> int -> 'a) ->
+  'a result
 (** Run [f comm rank] on [ranks] domains. Every domain is joined before
     returning — a raising rank does not leak the others — and any failure
     is re-raised as {!Rank_failure}. Note that a raising rank can leave
     peers blocked in [Comm.recv] forever; structure programs so failures
-    are either collective or upstream of every receive.
+    are either collective or upstream of every receive — or pass
+    [timeout_us], which bounds every blocking {!Comm} wait so starved
+    peers raise {!Comm.Timeout} (collected into the same {!Rank_failure})
+    instead of hanging the join.
 
     [obs] (one tracer per rank) records a ["rank"] span covering each
     rank's whole program and turns on per-operation spans in {!Comm};

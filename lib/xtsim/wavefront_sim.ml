@@ -11,13 +11,23 @@
    from the blocking communication and the per-sweep origins, exactly as
    it does in the real codes the paper models.
 
-   Beyond the model's assumptions, the simulator can inject two effects the
+   Beyond the model's assumptions, the simulator can inject effects the
    closed forms ignore, for robustness studies:
    - [balanced]: per-rank work from the integer block decomposition instead
      of the model's uniform real-valued Nx/n * Ny/m (load imbalance on
      non-divisible grids);
    - [noise]: multiplicative per-tile compute jitter from a deterministic
-     per-rank RNG (OS noise / cache variability). *)
+     per-rank RNG (OS noise / cache variability);
+   - [perturb]: a full Perturb.Spec — one-sided seeded compute noise, link
+     injection delays, permanent stragglers and rank failures — the same
+     spec the real runtime and the dataflow backend accept. Injected
+     delays advance the simulated clock as dedicated events and are tagged
+     as "perturb.noise" / "perturb.straggler" / "perturb.link" spans, so
+     critical-path reports show where delay was absorbed vs propagated. A
+     killed rank's fiber stops (its sends never happen); downstream ranks
+     block forever and the run completes with [completed = false] and the
+     dead ranks in [failed] — the simulated analogue of the real runtime's
+     Rank_failure degradation. *)
 
 open Wgrid
 open Wavefront_core
@@ -39,6 +49,7 @@ type outcome = {
   per_iteration : float;
   iterations : int;
   completed : bool;  (** all ranks finished (false indicates deadlock) *)
+  failed : int list;  (** ranks killed by the perturbation spec, ascending *)
   events : int;
   sends : int;
   stats : rank_stats array;
@@ -81,15 +92,17 @@ module Backend = struct
     msg_ns : int;
     work : (float * float) array;  (* per-rank (w, w_pre) *)
     jitter : (unit -> float) array;
+    perturb : Perturb.Model.t option;
     compute : float array;
     comm : float array;
     waits : float array;
     finish : float array;
     done_flags : bool array;
+    failed_flags : bool array;
     obs : Obs.Tracer.t option;
   }
 
-  let create ?(balanced = false) ?noise ?trace ?obs ?metrics engine
+  let create ?(balanced = false) ?noise ?perturb ?trace ?obs ?metrics engine
       (machine : Machine.t) (app : App_params.t) =
     let pg = machine.pgrid in
     let cores = Proc_grid.cores pg in
@@ -129,11 +142,13 @@ module Backend = struct
       msg_ns = App_params.message_size_ns app pg;
       work = Array.init cores work_of;
       jitter = Array.init cores jitter_of;
+      perturb = Option.map (Perturb.Model.create ~ranks:cores) perturb;
       compute = Array.make cores 0.0;
       comm = Array.make cores 0.0;
       waits = Array.make cores 0.0;
       finish = Array.make cores 0.0;
       done_flags = Array.make cores false;
+      failed_flags = Array.make cores false;
       obs;
     }
 
@@ -210,7 +225,20 @@ module Backend = struct
         (fun () -> Mpi_sim.recv t.mpi ~dst:rank ~src ~size:bytes);
       bytes
 
+    (* The spec's link contention: a seeded injection delay spent before
+       the send enters the network, so downstream receivers see the
+       message later — tagged as its own comm span. *)
+    let inject_link_delay t rank =
+      match t.perturb with
+      | None -> ()
+      | Some m ->
+          let extra = Perturb.Model.link_extra m ~src:rank in
+          if extra > 0.0 then
+            timed_comm ~name:"perturb.link" t rank (fun () ->
+                Engine.wait extra)
+
     let send t ~rank ~dst ~axis ~tile:_ bytes =
+      inject_link_delay t rank;
       timed_comm
         ~pure:(pure_send t rank dst bytes)
         ~name:"send"
@@ -228,9 +256,20 @@ module Backend = struct
       let _, w_pre = t.work.(rank) in
       timed_compute ~name:"precompute" t rank (w_pre *. t.jitter.(rank) ())
 
-    let compute t ~rank ~dir:_ ~tile:_ ~h:_ ~x:_ ~y:_ =
+    let compute t ~rank ~dir:_ ~tile ~h:_ ~x:_ ~y:_ =
+      (match t.perturb with
+      | Some m when Perturb.Model.fails_now m ~rank ->
+          raise (Perturb.Model.Killed { rank; tile })
+      | _ -> ());
       let w, _ = t.work.(rank) in
       timed_compute t rank (w *. t.jitter.(rank) ());
+      (match t.perturb with
+      | None -> ()
+      | Some m ->
+          let extra = Perturb.Model.noise_extra m ~rank ~work:w in
+          if extra > 0.0 then timed_compute ~name:"perturb.noise" t rank extra;
+          let d = Perturb.Model.straggler_delay m ~rank in
+          if d > 0.0 then timed_compute ~name:"perturb.straggler" t rank d);
       (t.msg_ew, t.msg_ns)
 
     let sweep_begin _ ~rank:_ ~sweep:_ ~dir:_ = ()
@@ -270,8 +309,8 @@ module Backend = struct
   end
 end
 
-let run ?(iterations = 1) ?(balanced = false) ?noise ?trace ?obs ?metrics
-    (machine : Machine.t) (app : App_params.t) =
+let run ?(iterations = 1) ?(balanced = false) ?noise ?perturb ?trace ?obs
+    ?metrics (machine : Machine.t) (app : App_params.t) =
   if iterations < 1 then invalid_arg "Wavefront_sim.run: iterations >= 1";
   (match noise with
   | Some n when n.amplitude < 0.0 || n.amplitude >= 1.0 ->
@@ -279,12 +318,20 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?trace ?obs ?metrics
   | _ -> ());
   let pg = machine.pgrid in
   let engine = Engine.create () in
-  let b = Backend.create ~balanced ?noise ?trace ?obs ?metrics engine machine app in
+  let b =
+    Backend.create ~balanced ?noise ?perturb ?trace ?obs ?metrics engine
+      machine app
+  in
   let cfg = Wrun.Program.of_app ~iterations pg app in
   let cores = Proc_grid.cores pg in
   for rank = 0 to cores - 1 do
+    (* A spec-killed rank ends its fiber quietly: its remaining sends never
+       happen, so downstream ranks stay suspended and are abandoned when
+       the event queue drains — exactly a crashed node as its neighbours
+       see it. *)
     Engine.spawn engine (fun () ->
-        Wrun.Program.run_rank (module Backend.Substrate) b cfg rank)
+        try Wrun.Program.run_rank (module Backend.Substrate) b cfg rank
+        with Perturb.Model.Killed { rank; _ } -> b.failed_flags.(rank) <- true)
   done;
   let elapsed = Engine.run engine in
   (* Cross-rank distributions of where time went, plus run totals, for the
@@ -309,6 +356,10 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?trace ?obs ?metrics
     per_iteration = elapsed /. float_of_int iterations;
     iterations;
     completed = Array.for_all Fun.id b.done_flags;
+    failed =
+      Array.to_list
+        (Array.mapi (fun r f -> if f then Some r else None) b.failed_flags)
+      |> List.filter_map Fun.id;
     events = Engine.events_executed engine;
     sends = Mpi_sim.sends b.mpi;
     stats =
@@ -320,5 +371,10 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?trace ?obs ?metrics
 let pp_outcome ppf o =
   Fmt.pf ppf "elapsed %a (%d iteration(s), %s), %d events, %d sends"
     Units.pp_time o.elapsed o.iterations
-    (if o.completed then "completed" else "DEADLOCKED")
+    (match (o.completed, o.failed) with
+    | true, _ -> "completed"
+    | false, [] -> "DEADLOCKED"
+    | false, failed ->
+        Fmt.str "DEGRADED: rank(s) %s killed"
+          (String.concat ", " (List.map string_of_int failed)))
     o.events o.sends

@@ -8,7 +8,15 @@
 
     Two effects the closed-form model ignores can be injected for
     robustness studies: integer-block load imbalance ([balanced]) and
-    per-tile compute jitter ([noise]). *)
+    per-tile compute jitter ([noise]).
+
+    A {!Perturb.Spec.t} plugs in via [perturb] for the richer resilience
+    studies: seeded per-rank compute noise, per-link injection delay,
+    permanent stragglers, and rank kills. Injected time appears as
+    [perturb.noise] / [perturb.straggler] / [perturb.link] spans in the
+    [obs] trace, so critical-path reports show where delay was absorbed
+    versus propagated. A zero spec injects nothing and leaves the event
+    stream bitwise-identical to running without one. *)
 
 type noise = { amplitude : float; seed : int }
 (** Multiplicative jitter: each tile's compute time is scaled by a value
@@ -29,7 +37,12 @@ type outcome = {
   elapsed : float;  (** simulated time for the whole run, us *)
   per_iteration : float;
   iterations : int;
-  completed : bool;  (** all ranks finished; [false] indicates deadlock *)
+  completed : bool;
+      (** all ranks finished; [false] indicates deadlock, or — when
+          [failed] is non-empty — ranks starved by a killed neighbour *)
+  failed : int list;
+      (** ranks killed by the perturbation spec, ascending; [[]] without
+          one *)
   events : int;
   sends : int;
   stats : rank_stats array;  (** indexed by rank *)
@@ -59,6 +72,7 @@ module Backend : sig
   val create :
     ?balanced:bool ->
     ?noise:noise ->
+    ?perturb:Perturb.Spec.t ->
     ?trace:Trace.t ->
     ?obs:Obs.Tracer.t ->
     ?metrics:Obs.Metrics.t ->
@@ -79,6 +93,7 @@ val run :
   ?iterations:int ->
   ?balanced:bool ->
   ?noise:noise ->
+  ?perturb:Perturb.Spec.t ->
   ?trace:Trace.t ->
   ?obs:Obs.Tracer.t ->
   ?metrics:Obs.Metrics.t ->

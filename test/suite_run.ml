@@ -29,9 +29,9 @@ let sim_events pg app =
   ignore (Xtsim.Engine.run engine);
   Array.init cores (Wrun.Record.events recs)
 
-let dataflow_events pg app =
+let dataflow_events ?perturb pg app =
   let cores = Proc_grid.cores pg in
-  let t = Wrun.Dataflow.of_app pg app in
+  let t = Wrun.Dataflow.of_app ?perturb pg app in
   let cfg = Wrun.Program.of_app pg app in
   let recs = Wrun.Record.create ~ranks:cores in
   Wrun.Dataflow.exec t (fun rank ->
@@ -161,7 +161,7 @@ let test_dataflow_detects_skewed_schedule () =
 (* The recv-side oracle: a sender shipping the wrong face description is
    reported, not absorbed. *)
 let test_dataflow_reports_mismatch () =
-  let t = Wrun.Dataflow.create ~ranks:2 ~msg_ew:8 ~msg_ns:8 in
+  let t = Wrun.Dataflow.create ~ranks:2 ~msg_ew:8 ~msg_ns:8 () in
   Wrun.Dataflow.exec t (fun rank ->
       if rank = 0 then
         Wrun.Dataflow.Substrate.send t ~rank:0 ~dst:1 ~axis:X ~tile:0
@@ -173,6 +173,58 @@ let test_dataflow_reports_mismatch () =
   let o = Wrun.Dataflow.outcome t in
   Alcotest.(check bool) "completed" true o.completed;
   Alcotest.(check int) "one mismatch" 1 (List.length o.mismatches)
+
+(* --- Perturbation on the clockless backend --- *)
+
+(* A spec-killed rank must leave a decodable crime scene: the outcome names
+   it, lists who is stuck waiting on it, and counts the messages its peers
+   sent that nobody will ever receive. *)
+let test_dataflow_flags_orphans () =
+  let pg = Proc_grid.v ~cols:2 ~rows:2 in
+  let app = Apps.Sweep3d.params (Data_grid.v ~nx:8 ~ny:8 ~nz:4) in
+  let spec = Perturb.Spec.v ~failures:[ { rank = 1; after_tiles = 2 } ] () in
+  let o = Wrun.Dataflow.run ~perturb:spec pg app in
+  Alcotest.(check bool) "not completed" false o.completed;
+  Alcotest.(check (list int)) "killed rank reported" [ 1 ] o.failed;
+  Alcotest.(check bool) "peers stuck on the dead rank" true (o.blocked <> []);
+  Alcotest.(check bool) "orphaned sends flagged" true (o.orphaned > 0)
+
+(* Straggler ordering is a scheduling perturbation, not a semantic one:
+   with every straggler's tasks deferred to last, the precedence graph must
+   still complete, with no orphans and the exact same per-rank message
+   sequences. *)
+let test_dataflow_straggler_completes () =
+  let pg = Proc_grid.v ~cols:2 ~rows:2 in
+  let app = Apps.Sweep3d.params (Data_grid.v ~nx:8 ~ny:8 ~nz:4) in
+  let spec =
+    Perturb.Spec.v
+      ~stragglers:[ { rank = 0; delay = 10.0 }; { rank = 3; delay = 5.0 } ]
+      ()
+  in
+  let o = Wrun.Dataflow.run ~perturb:spec pg app in
+  Alcotest.(check bool) "completed" true o.completed;
+  Alcotest.(check int) "no orphans" 0 o.orphaned;
+  Alcotest.(check bool) "identical sequences" true
+    (dataflow_events pg app = dataflow_events ~perturb:spec pg app)
+
+let straggler_spec_of_bits ~cores bits =
+  let stragglers =
+    List.filteri (fun r _ -> r < cores && (bits lsr r) land 1 = 1)
+      (List.init 16 (fun r -> { Perturb.Spec.rank = r; delay = 1.0 }))
+  in
+  Perturb.Spec.v ~stragglers ()
+
+let prop_dataflow_straggler_sequences =
+  QCheck.Test.make
+    ~name:"dataflow under straggler ordering emits identical sequences"
+    ~count:25
+    (QCheck.make
+       ~print:(fun (c, bits) -> Fmt.str "%s stragglers=%#x" (pp_app_case c) bits)
+       QCheck.Gen.(pair app_gen (int_bound 0xFFFF)))
+    (fun (((cols, rows), app), bits) ->
+      let pg = Proc_grid.v ~cols ~rows in
+      let spec = straggler_spec_of_bits ~cores:(cols * rows) bits in
+      dataflow_events pg app = dataflow_events ~perturb:spec pg app)
 
 (* --- Program tiling --- *)
 
@@ -258,7 +310,11 @@ let prop_real_backend_random_nonwavefront =
 
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_sim_vs_dataflow_sequences; prop_real_backend_random_nonwavefront ]
+    [
+      prop_sim_vs_dataflow_sequences;
+      prop_real_backend_random_nonwavefront;
+      prop_dataflow_straggler_sequences;
+    ]
 
 let suite =
   [
@@ -276,6 +332,10 @@ let suite =
           test_dataflow_detects_skewed_schedule;
         Alcotest.test_case "reports face mismatches" `Quick
           test_dataflow_reports_mismatch;
+        Alcotest.test_case "flags orphaned sends on a killed rank" `Quick
+          test_dataflow_flags_orphans;
+        Alcotest.test_case "completes under straggler ordering" `Quick
+          test_dataflow_straggler_completes;
       ] );
     ( "run.program",
       [

@@ -106,6 +106,92 @@ let test_rank_failure_multiple () =
       Alcotest.(check int) "lowest failing rank" 0 rank;
       Alcotest.(check (list int)) "every failure" [ 0; 2 ] failed
 
+let test_recv_timeout () =
+  (* A receive starved by a dead sender must raise Timeout with routing
+     context, not deadlock the join. *)
+  match
+    Shmpi.Runtime.run ~ranks:2 ~timeout_us:20_000.0 (fun comm rank ->
+        if rank = 0 then ignore (Shmpi.Comm.recv comm ~dst:0 ~src:1))
+  with
+  | _ -> Alcotest.fail "expected Rank_failure"
+  | exception Shmpi.Runtime.Rank_failure { rank; failed; exn; _ } ->
+      Alcotest.(check int) "starved rank" 0 rank;
+      Alcotest.(check (list int)) "only the starved rank" [ 0 ] failed;
+      (match exn with
+      | Shmpi.Comm.Timeout { rank; src; op; waited_us } ->
+          Alcotest.(check int) "timeout rank" 0 rank;
+          Alcotest.(check int) "awaited source" 1 src;
+          Alcotest.(check string) "operation" "recv" op;
+          Alcotest.(check bool) "waited at least the deadline" true
+            (waited_us >= 20_000.0)
+      | e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e))
+
+let test_barrier_timeout () =
+  (* A rank that never reaches the barrier must not strand the others. *)
+  match
+    Shmpi.Runtime.run ~ranks:3 ~timeout_us:20_000.0 (fun comm rank ->
+        if rank <> 2 then Shmpi.Comm.barrier_r comm ~rank)
+  with
+  | _ -> Alcotest.fail "expected Rank_failure"
+  | exception Shmpi.Runtime.Rank_failure { failed; exn; _ } ->
+      Alcotest.(check (list int)) "both waiters time out" [ 0; 1 ] failed;
+      (match exn with
+      | Shmpi.Comm.Timeout { op; src; _ } ->
+          Alcotest.(check string) "operation" "barrier" op;
+          Alcotest.(check int) "barrier has no source" (-1) src
+      | e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e))
+
+let epilogues : (string * Wavefront_core.App_params.nonwavefront) list =
+  [
+    ("no_op", No_op);
+    ("fixed", Fixed 3.0);
+    ("allreduce", Allreduce { count = 2; msg_size = 16 });
+    ("stencil", Stencil { wg_stencil = 0.01; halo_bytes_per_cell = 24.0 });
+  ]
+
+let killed_plan nonwavefront =
+  let grid = Wgrid.Data_grid.v ~nx:6 ~ny:4 ~nz:4 in
+  let pg = Wgrid.Proc_grid.v ~cols:2 ~rows:2 in
+  let spec = Perturb.Spec.v ~failures:[ { rank = 1; after_tiles = 2 } ] () in
+  Kernels.Sweep_exec.plan ~htile:2 ~nonwavefront ~perturb:spec grid pg
+
+let test_killed_rank_raises () =
+  (* Through the plain entry point, a spec-killed rank surfaces as a
+     Rank_failure naming it, whatever the epilogue; the peers it starves
+     time out instead of hanging. *)
+  List.iter
+    (fun (name, nwf) ->
+      match Kernels.Sweep_exec.run ~timeout_us:50_000.0 (killed_plan nwf) with
+      | _ -> Alcotest.failf "%s: expected Rank_failure" name
+      | exception Shmpi.Runtime.Rank_failure { failed; _ } ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: killed rank reported" name)
+            true (List.mem 1 failed))
+    epilogues
+
+let test_killed_rank_degrades () =
+  (* Through run_resilient the same failure degrades gracefully: the
+     outcome names the killed rank and reports the partial frontier — the
+     victim completed exactly after_tiles tiles, some peer got further. *)
+  List.iter
+    (fun (name, nwf) ->
+      match
+        Kernels.Sweep_exec.run_resilient ~timeout_us:50_000.0 (killed_plan nwf)
+      with
+      | Completed _ -> Alcotest.failf "%s: expected Degraded" name
+      | Degraded { failed; frontier; _ } ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: killed rank reported" name)
+            true (List.mem 1 failed);
+          Alcotest.(check int)
+            (Fmt.str "%s: victim frontier" name)
+            2 frontier.(1);
+          Alcotest.(check bool)
+            (Fmt.str "%s: a peer got further" name)
+            true
+            (frontier.(0) > 2 || frontier.(2) > 2 || frontier.(3) > 2))
+    epilogues
+
 let test_span_collection () =
   (* Per-rank tracers on a real run: a program span per rank, send/recv
      spans with routing args, and message edges recoverable from them. *)
@@ -188,6 +274,16 @@ let suite =
         Alcotest.test_case "multiple failures collected" `Quick
           test_rank_failure_multiple;
         Alcotest.test_case "span collection" `Quick test_span_collection;
+      ] );
+    ( "shmpi.resilience",
+      [
+        Alcotest.test_case "recv timeout instead of deadlock" `Quick
+          test_recv_timeout;
+        Alcotest.test_case "barrier timeout" `Quick test_barrier_timeout;
+        Alcotest.test_case "killed rank raises (every epilogue)" `Quick
+          test_killed_rank_raises;
+        Alcotest.test_case "killed rank degrades (every epilogue)" `Quick
+          test_killed_rank_degrades;
       ] );
     ( "shmpi.pingpong",
       [
