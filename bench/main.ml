@@ -9,7 +9,13 @@
 
    Usage: dune exec bench/main.exe [-- --full] [-- --skip-figures]
      --full          also run the large (slow) simulation points
-     --skip-figures  only run the Bechamel timings *)
+     --skip-figures  only run the timings
+
+   Besides the printed Bechamel table, the run writes the shared
+   continuous-benchmarking suite's statistically summarized results
+   (median / MAD / bootstrap CIs) to BENCH_wavefront.json — the same
+   schema-versioned document `wavefront bench` emits and CI diffs against
+   the committed baseline. *)
 
 open Bechamel
 open Toolkit
@@ -178,6 +184,26 @@ let run_bechamel () =
       | _ -> Fmt.pr "  %-45s (no estimate)@." name)
     rows
 
+(* --- Part 3: the machine-readable continuous-benchmarking report --- *)
+
+let emit_bench_json () =
+  Fmt.pr "##### Continuous-benchmarking report #####@.";
+  let cases =
+    Harness.Bench_suite.cases ~quick:(not (List.mem "--full" args)) ()
+  in
+  let results =
+    List.map
+      (fun (c : Harness.Bench_suite.case) ->
+        let s = Bench_stats.Runner.measure ~name:c.name c.f in
+        Fmt.pr "  %a@." Bench_stats.Runner.pp s;
+        s)
+      cases
+  in
+  let report = Bench_stats.Report.v ~label:"bench/main" results in
+  Bench_stats.Report.write "BENCH_wavefront.json" report;
+  Fmt.pr "wrote BENCH_wavefront.json (schema %s)@." Bench_stats.Report.schema
+
 let () =
   if not (List.mem "--skip-figures" args) then regenerate ();
-  run_bechamel ()
+  run_bechamel ();
+  emit_bench_json ()

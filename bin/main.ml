@@ -421,6 +421,192 @@ let perturb_cmd =
           $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ pspec $ real
           $ capacity)
 
+(* --- timeline --- *)
+
+let timeline spec app_name grid cores cpn htile wg iterations platform real
+    no_bus metric capacity json_out csv_out =
+  (match capacity with
+  | Some c when c < 1 ->
+      Fmt.epr "wavefront: --capacity must be at least 1@.";
+      exit 2
+  | _ -> ());
+  let metric =
+    match Obs.Timeline.metric_of_string metric with
+    | Some m -> m
+    | None ->
+        Fmt.epr
+          "wavefront: unknown --metric %S (compute, send, recv, wait, idle, \
+           busy, total)@."
+          metric;
+        exit 2
+  in
+  let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
+  let cfg = make_cfg platform ~cores ~cpn in
+  Fmt.pr "timeline of %s on %d cores (%d/node, %s)...@." app.App_params.name
+    cores cpn platform.Loggp.Params.name;
+  let t =
+    Harness.Timeline_report.run ~real ~model_bus:(not no_bus) ?capacity cfg
+      app
+  in
+  Fmt.pr "%a@." (Harness.Timeline_report.pp ~metric) t;
+  let write path content what =
+    match open_out path with
+    | exception Sys_error m ->
+        Fmt.epr "wavefront: cannot write %s: %s@." what m;
+        exit 1
+    | oc ->
+        output_string oc content;
+        close_out oc;
+        Fmt.pr "%s written to %s@." what path
+  in
+  Option.iter
+    (fun p -> write p (Harness.Timeline_report.to_json t) "timeline JSON")
+    json_out;
+  Option.iter
+    (fun p -> write p (Harness.Timeline_report.to_csv t) "timeline CSV")
+    csv_out
+
+let timeline_cmd =
+  let doc =
+    "Reconstruct per-rank x per-wave timelines (simulated, analytic term \
+     schedule, optionally real), render them as heatmaps, and attribute \
+     the model's error wave by wave"
+  in
+  let real =
+    Arg.(value & flag
+         & info [ "real" ]
+             ~doc:
+               "Also execute the transport kernel on one OCaml domain per \
+                rank and reconstruct its timeline (use small core counts).")
+  in
+  let no_bus =
+    Arg.(value & flag
+         & info [ "no-bus" ]
+             ~doc:
+               "Switch off the simulator's shared-bus contention; with \
+                single-core nodes the observed and model timelines then \
+                coincide.")
+  in
+  let metric =
+    Arg.(value & opt string "wait"
+         & info [ "metric" ] ~docv:"M"
+             ~doc:
+               "Heatmap metric: compute, send, recv, wait, idle, busy or \
+                total.")
+  in
+  let capacity =
+    Arg.(value & opt (some int) None
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Per-tracer span capacity (drops are reported).")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the wavefront-timeline-report/v1 JSON document.")
+  in
+  let csv_out =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Write the per-cell decompositions as CSV.")
+  in
+  Cmd.v (Cmd.info "timeline" ~doc)
+    Term.(const timeline $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
+          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ real $ no_bus
+          $ metric $ capacity $ json_out $ csv_out)
+
+(* --- bench --- *)
+
+let bench quick out against fail_on_regression label repeats min_delta =
+  let cases = Harness.Bench_suite.cases ~quick () in
+  Fmt.pr "running %d benchmark case(s)%s...@." (List.length cases)
+    (if quick then " (quick subset)" else "");
+  let results =
+    List.map
+      (fun (c : Harness.Bench_suite.case) ->
+        let s = Bench_stats.Runner.measure ?repeats ~name:c.name c.f in
+        Fmt.pr "  %a@." Bench_stats.Runner.pp s;
+        s)
+      cases
+  in
+  let report = Bench_stats.Report.v ~label results in
+  (match out with
+  | None -> ()
+  | Some path ->
+      Bench_stats.Report.write path report;
+      Fmt.pr "report written to %s (schema %s)@." path Bench_stats.Report.schema);
+  match against with
+  | None -> ()
+  | Some path ->
+      let baseline =
+        try Bench_stats.Report.read path
+        with
+        | Sys_error m ->
+            Fmt.epr "wavefront: cannot read baseline: %s@." m;
+            exit 2
+        | Bench_stats.Json.Parse_error m ->
+            Fmt.epr "wavefront: bad baseline %s: %s@." path m;
+            exit 2
+      in
+      let cmp =
+        Bench_stats.Compare.compare ?min_delta_pct:min_delta ~baseline
+          ~current:report ()
+      in
+      Fmt.pr "@.against %s (%s):@.%a" path baseline.Bench_stats.Report.label
+        Bench_stats.Compare.pp cmp;
+      if fail_on_regression && Bench_stats.Compare.regressions cmp <> [] then
+        exit 1
+
+let bench_cmd =
+  let doc =
+    "Run the continuous-benchmarking suite with statistical rigor (warmup, \
+     repetitions, bootstrap confidence intervals), emit a \
+     machine-readable report, and optionally compare against a baseline"
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"Run only the fast CI subset of cases.")
+  in
+  let out =
+    Arg.(value & opt (some string) (Some "BENCH_wavefront.json")
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the wavefront-bench/v1 JSON report (default \
+                   BENCH_wavefront.json).")
+  in
+  let against =
+    Arg.(value & opt (some file) None
+         & info [ "against" ] ~docv:"OLD.json"
+             ~doc:
+               "Compare against a previous report; regressions are cases \
+                whose confidence intervals are disjoint from the \
+                baseline's and whose median moved beyond the noise \
+                threshold.")
+  in
+  let fail_on_regression =
+    Arg.(value & flag
+         & info [ "fail-on-regression" ]
+             ~doc:
+               "Exit 1 when --against finds regressions (default: report \
+                and exit 0, the soft CI gate).")
+  in
+  let label =
+    Arg.(value & opt string "local"
+         & info [ "label" ] ~docv:"LABEL"
+             ~doc:"Label recorded in the report, e.g. a git ref.")
+  in
+  let repeats =
+    Arg.(value & opt (some int) None
+         & info [ "repeats" ] ~docv:"N"
+             ~doc:"Timed repetitions per case (default 20).")
+  in
+  let min_delta =
+    Arg.(value & opt (some float) None
+         & info [ "min-delta-pct" ] ~docv:"PCT"
+             ~doc:"Noise threshold for --against (default 5%).")
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const bench $ quick $ out $ against $ fail_on_regression $ label
+          $ repeats $ min_delta)
+
 (* --- fit --- *)
 
 (* Both transports expose the one MICROBENCH signature, so the simulated
@@ -498,5 +684,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ predict_cmd; explain_cmd; simulate_cmd; validate_cmd; report_cmd;
-            profile_cmd; perturb_cmd; figure_cmd; scale_cmd; fit_cmd;
-            measure_cmd ]))
+            profile_cmd; perturb_cmd; timeline_cmd; bench_cmd; figure_cmd;
+            scale_cmd; fit_cmd; measure_cmd ]))

@@ -1,0 +1,110 @@
+(* Baseline comparison with a statistical gate: a case only counts as a
+   regression (or improvement) when the two runs' confidence intervals
+   are disjoint AND the median moved by more than a noise threshold —
+   overlapping CIs are exactly the "could be the same distribution"
+   verdict the bootstrap buys us, and the percentage floor keeps
+   micro-jitter on sub-microsecond cases from tripping gates. *)
+
+type verdict =
+  | Regression
+  | Improvement
+  | Unchanged
+  | Added  (** in the current run only *)
+  | Removed  (** in the baseline only *)
+
+type entry = {
+  name : string;
+  verdict : verdict;
+  baseline : Runner.summary option;
+  current : Runner.summary option;
+  delta_pct : float;  (** (current - baseline) / baseline; nan if either absent *)
+}
+
+type t = { min_delta_pct : float; entries : entry list }
+
+let default_min_delta_pct = 5.0
+
+let judge ~min_delta_pct (b : Runner.summary) (c : Runner.summary) =
+  let delta_pct =
+    if b.median > 0.0 then (c.median -. b.median) /. b.median *. 100.0
+    else nan
+  in
+  let disjoint = c.ci_low > b.ci_high || c.ci_high < b.ci_low in
+  let verdict =
+    if not disjoint then Unchanged
+    else if Float.is_nan delta_pct || Float.abs delta_pct < min_delta_pct then
+      Unchanged
+    else if delta_pct > 0.0 then Regression
+    else Improvement
+  in
+  (verdict, delta_pct)
+
+let compare ?(min_delta_pct = default_min_delta_pct) ~baseline ~current () =
+  let base_results = baseline.Report.results in
+  let cur_results = current.Report.results in
+  let find name l =
+    List.find_opt (fun (s : Runner.summary) -> s.name = name) l
+  in
+  let of_current (c : Runner.summary) =
+    match find c.name base_results with
+    | None ->
+        {
+          name = c.name;
+          verdict = Added;
+          baseline = None;
+          current = Some c;
+          delta_pct = nan;
+        }
+    | Some b ->
+        let verdict, delta_pct = judge ~min_delta_pct b c in
+        { name = c.name; verdict; baseline = Some b; current = Some c;
+          delta_pct }
+  in
+  let removed =
+    List.filter_map
+      (fun (b : Runner.summary) ->
+        match find b.name cur_results with
+        | Some _ -> None
+        | None ->
+            Some
+              {
+                name = b.name;
+                verdict = Removed;
+                baseline = Some b;
+                current = None;
+                delta_pct = nan;
+              })
+      base_results
+  in
+  { min_delta_pct; entries = List.map of_current cur_results @ removed }
+
+let regressions t =
+  List.filter (fun e -> e.verdict = Regression) t.entries
+
+let verdict_name = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+  | Unchanged -> "unchanged"
+  | Added -> "added"
+  | Removed -> "removed"
+
+let pp_entry ppf e =
+  let med = function
+    | Some (s : Runner.summary) -> Printf.sprintf "%.3f" s.median
+    | None -> "-"
+  in
+  Format.fprintf ppf "%-32s %-11s %10s -> %10s us%s" e.name
+    (verdict_name e.verdict) (med e.baseline) (med e.current)
+    (if Float.is_nan e.delta_pct then ""
+     else Printf.sprintf "  (%+.1f%%)" e.delta_pct)
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) t.entries;
+  let n = List.length (regressions t) in
+  if n > 0 then
+    Format.fprintf ppf
+      "%d regression(s): CI-disjoint and |median delta| >= %.1f%%@." n
+      t.min_delta_pct
+  else
+    Format.fprintf ppf "no regressions (gate: CI-disjoint and >= %.1f%%)@."
+      t.min_delta_pct

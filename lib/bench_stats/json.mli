@@ -1,0 +1,24 @@
+(** A minimal JSON value, printer and parser — just enough to round-trip
+    the benchmark report schema without a JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises {!Parse_error} on malformed input. *)
+
+val member : string -> t -> t option
+
+val get_str : string -> t option -> string
+val get_num : string -> t option -> float
+val get_list : string -> t option -> t list
+(** Raise {!Parse_error} when absent or of the wrong type; [name] labels
+    the error. *)

@@ -1,0 +1,64 @@
+(* A statistically honest micro-benchmark runner: warmup runs first (JIT
+   the allocator / caches into steady state), then N timed repetitions of
+   an auto-calibrated batch (so one sample is long enough for the clock
+   to resolve), summarized as median / MAD / bootstrap CI of the per-call
+   time. Timing uses the monotonic Obs.Clock.wall, in microseconds. *)
+
+type summary = {
+  name : string;
+  n : int;  (** timed repetitions *)
+  batch : int;  (** calls per repetition *)
+  median : float;  (** us per call *)
+  mad : float;
+  mean : float;
+  ci_low : float;  (** bootstrap CI of the median, us per call *)
+  ci_high : float;
+}
+
+let now = Obs.Clock.wall
+
+let time_batch f batch =
+  let t0 = now () in
+  for _ = 1 to batch do
+    f ()
+  done;
+  (now () -. t0) /. float_of_int batch
+
+(* Grow the batch until one repetition spans at least [min_batch_us], so
+   the sample is well above clock resolution; a single call that already
+   does is its own batch. *)
+let calibrate f ~min_batch_us =
+  let rec go batch =
+    let t0 = now () in
+    for _ = 1 to batch do
+      f ()
+    done;
+    let d = now () -. t0 in
+    if d >= min_batch_us || batch >= 1 lsl 20 then batch else go (batch * 2)
+  in
+  go 1
+
+let measure ?(warmup = 3) ?(repeats = 20) ?(min_batch_us = 500.0)
+    ?(confidence = 0.95) ~name f =
+  if repeats < 3 then invalid_arg "Runner.measure: repeats >= 3";
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let batch = calibrate f ~min_batch_us in
+  let samples = Array.init repeats (fun _ -> time_batch f batch) in
+  let ci_low, ci_high = Stats.bootstrap_ci ~confidence samples in
+  {
+    name;
+    n = repeats;
+    batch;
+    median = Stats.median samples;
+    mad = Stats.mad samples;
+    mean = Stats.mean samples;
+    ci_low;
+    ci_high;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "%-32s %10.3f us  (CI95 [%.3f, %.3f], MAD %.3f, n=%d x %d)" s.name
+    s.median s.ci_low s.ci_high s.mad s.n s.batch

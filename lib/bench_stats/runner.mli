@@ -1,0 +1,27 @@
+(** A statistically honest micro-benchmark runner: warmup, auto-calibrated
+    batches, N repetitions, median / MAD / bootstrap-CI summary. Times are
+    microseconds per call, from the monotonic {!Obs.Clock.wall}. *)
+
+type summary = {
+  name : string;
+  n : int;  (** timed repetitions *)
+  batch : int;  (** calls per repetition *)
+  median : float;  (** us per call *)
+  mad : float;
+  mean : float;
+  ci_low : float;  (** bootstrap CI of the median, us per call *)
+  ci_high : float;
+}
+
+val measure :
+  ?warmup:int ->
+  ?repeats:int ->
+  ?min_batch_us:float ->
+  ?confidence:float ->
+  name:string ->
+  (unit -> unit) ->
+  summary
+(** Defaults: 3 warmup runs, 20 repetitions, batches grown until one
+    repetition spans 500 us, 95% CI. *)
+
+val pp : Format.formatter -> summary -> unit

@@ -1,0 +1,82 @@
+(* Robust summary statistics for benchmark samples: median / MAD rather
+   than mean / stddev (timing distributions are skewed and spiky), and
+   bootstrap percentile confidence intervals so comparisons across runs
+   can ask "do the intervals overlap?" instead of eyeballing noise. The
+   resampling RNG is a local splitmix64 — seeded, so reports are
+   reproducible bit-for-bit. *)
+
+let sorted xs =
+  let a = Array.copy xs in
+  Array.sort compare a;
+  a
+
+(* Linear-interpolation quantile of an already-sorted array. *)
+let quantile_sorted a q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q in [0, 1]";
+  if n = 1 then a.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let quantile xs q = quantile_sorted (sorted xs) q
+let median xs = quantile xs 0.5
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+(* Median absolute deviation — the robust spread companion of the
+   median. *)
+let mad xs =
+  let m = median xs in
+  median (Array.map (fun x -> Float.abs (x -. m)) xs)
+
+(* splitmix64, kept local so the library needs no RNG dependency and the
+   bootstrap stream is stable across OCaml versions. *)
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int seed }
+
+let next_int64 r =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound), bound <= 2^30 (sample counts are small). *)
+let next_int r ~bound =
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 r) 2)
+                  (Int64.of_int bound))
+
+(* Percentile-bootstrap confidence interval of [estimator] (default the
+   median): resample with replacement, estimate each resample, take the
+   (alpha/2, 1 - alpha/2) quantiles of the estimates. *)
+let bootstrap_ci ?(seed = 0x5EED) ?(resamples = 1000) ?(confidence = 0.95)
+    ?(estimator = median) xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.bootstrap_ci: empty";
+  if resamples < 1 then invalid_arg "Stats.bootstrap_ci: resamples >= 1";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Stats.bootstrap_ci: confidence in (0, 1)";
+  let r = rng seed in
+  let resample = Array.make n 0.0 in
+  let estimates =
+    Array.init resamples (fun _ ->
+        for i = 0 to n - 1 do
+          resample.(i) <- xs.(next_int r ~bound:n)
+        done;
+        estimator resample)
+  in
+  let s = sorted estimates in
+  let alpha = 1.0 -. confidence in
+  (quantile_sorted s (alpha /. 2.0), quantile_sorted s (1.0 -. (alpha /. 2.0)))

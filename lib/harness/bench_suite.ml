@@ -1,0 +1,99 @@
+(* The shared continuous-benchmarking suite: one list of named thunks
+   covering every layer (closed-form model, simulator, dataflow
+   validator, real kernels, observability), consumed both by `wavefront
+   bench` and by bench/main.exe so the committed baseline and local runs
+   measure the same work. Case names are stable identifiers — the
+   baseline comparison matches on them — so renaming one is a deliberate
+   baseline-breaking change. *)
+
+open Wavefront_core
+
+type case = {
+  name : string;
+  quick : bool;  (** part of the fast CI subset *)
+  f : unit -> unit;
+}
+
+let xt4 = Loggp.Params.xt4
+
+let all () =
+  let chimaera = Apps.Chimaera.p240 () in
+  let sweep_app = Apps.Sweep3d.params (Wgrid.Data_grid.cube 32) in
+  let sim_machine = Xtsim.Machine.v xt4 (Wgrid.Proc_grid.of_cores 64) in
+  let phi = Array.make (16 * 16 * 16) 0.0 in
+  let lu = Kernels.Lu_kernel.init_block ~nx:16 ~ny:16 ~nz:16 in
+  (* A realistic trace to reconstruct: the analytic term schedule of a
+     small Sweep3D, produced once outside the timed region. *)
+  let timeline_spans =
+    let pg = Wgrid.Proc_grid.of_cores 16 in
+    let app = Apps.Sweep3d.params (Wgrid.Data_grid.cube 16) in
+    let costs = Wrun.Costs.loggp ~cmp:Wgrid.Cmp.single_core xt4 pg app in
+    let tr = Obs.Tracer.create () in
+    ignore (Wrun.Dataflow.run ~costs ~obs:tr pg app);
+    Obs.Tracer.spans tr
+  in
+  let record_tr = Obs.Tracer.create ~capacity:1024 () in
+  [
+    {
+      name = "model/iteration-P1024";
+      quick = true;
+      f =
+        (let cfg = Plugplay.config xt4 ~cores:1024 in
+         fun () -> ignore (Plugplay.iteration chimaera cfg));
+    };
+    {
+      name = "model/iteration-P16384";
+      quick = false;
+      f =
+        (let cfg = Plugplay.config xt4 ~cores:16384 in
+         fun () -> ignore (Plugplay.iteration chimaera cfg));
+    };
+    {
+      name = "model/allreduce-eq9";
+      quick = true;
+      f = (fun () -> ignore (Loggp.Allreduce.time xt4 ~cores:8192));
+    };
+    {
+      name = "sim/wavefront-64c-32^3";
+      quick = true;
+      f = (fun () -> ignore (Xtsim.Wavefront_sim.run sim_machine sweep_app));
+    };
+    {
+      name = "dataflow/validate-P1024";
+      quick = true;
+      f =
+        (let pg = Wgrid.Proc_grid.of_cores 1024 in
+         fun () ->
+           let o = Wrun.Dataflow.run pg sweep_app in
+           assert o.completed);
+    };
+    {
+      name = "kernels/transport-16^3";
+      quick = true;
+      f =
+        (fun () ->
+          Array.fill phi 0 (Array.length phi) 0.0;
+          Kernels.Transport.sweep_sequential Kernels.Transport.default
+            ~nx:16 ~ny:16 ~nz:16 ~dir:(1, 1, 1) ~htile:4 ~phi);
+    };
+    {
+      name = "kernels/lu-16^3";
+      quick = false;
+      f = (fun () -> Kernels.Lu_kernel.sweep_block lu ~nx:16 ~ny:16 ~nz:16);
+    };
+    {
+      name = "obs/timeline-reconstruct";
+      quick = true;
+      f = (fun () -> ignore (Obs.Timeline.of_spans timeline_spans));
+    };
+    {
+      name = "obs/tracer-record";
+      quick = true;
+      f =
+        (fun () ->
+          Obs.Tracer.record record_tr ~rank:0 ~start:0.0 ~dur:1.0 "x");
+    };
+  ]
+
+let cases ?(quick = false) () =
+  List.filter (fun c -> (not quick) || c.quick) (all ())

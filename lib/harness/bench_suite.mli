@@ -1,0 +1,15 @@
+(** The shared continuous-benchmarking suite: named thunks covering the
+    model, simulator, dataflow validator, kernels and observability
+    layers. Case names are stable identifiers the baseline comparison
+    matches on. *)
+
+type case = {
+  name : string;
+  quick : bool;  (** part of the fast CI subset *)
+  f : unit -> unit;
+}
+
+val all : unit -> case list
+
+val cases : ?quick:bool -> unit -> case list
+(** [quick] (default false) keeps only the fast CI subset. *)

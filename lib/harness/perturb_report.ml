@@ -20,6 +20,10 @@ type t = {
   sim : Xtsim.Wavefront_sim.outcome;
   dataflow : Wrun.Dataflow.outcome;
   real : (Kernels.Sweep_exec.outcome * Kernels.Sweep_exec.resilient_outcome) option;
+  timeline_base : Obs.Timeline.t;
+  timeline : Obs.Timeline.t;
+      (** perturbed run; compared against [timeline_base] the heatmaps show
+          where injected delay was absorbed vs propagated *)
 }
 
 (* Count and total duration of the spans with this name. *)
@@ -35,10 +39,20 @@ let run ?(real = false) ?(capacity = Obs.Tracer.default_capacity)
     (cfg : Plugplay.config) (app : App_params.t) (spec : Perturb.Spec.t) =
   let machine = Xtsim.Machine.v ~cmp:cfg.cmp cfg.platform cfg.pgrid in
   let estimate = Perturb.Estimate.iteration app cfg spec in
-  let sim_base = Xtsim.Wavefront_sim.run machine app in
+  let obs_base = Obs.Tracer.create ~capacity () in
+  let sim_base = Xtsim.Wavefront_sim.run ~obs:obs_base machine app in
   let obs = Obs.Tracer.create ~capacity () in
   let sim = Xtsim.Wavefront_sim.run ~perturb:spec ~obs machine app in
   let spans = Obs.Tracer.spans obs in
+  let waves =
+    Sweeps.Schedule.nsweeps app.schedule
+    * Wgrid.Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile
+  in
+  let timeline_of tr sp =
+    Obs.Timeline.of_spans ~dropped:(Obs.Tracer.dropped tr) ~waves sp
+  in
+  let timeline_base = timeline_of obs_base (Obs.Tracer.spans obs_base) in
+  let timeline = timeline_of obs spans in
   let dataflow = Wrun.Dataflow.run ~perturb:spec cfg.pgrid app in
   let real_result =
     if not real then None
@@ -135,9 +149,27 @@ let run ?(real = false) ?(capacity = Obs.Tracer.default_capacity)
           dash ];
       ]
   in
-  { estimate; compare; injection; sim_base; sim; dataflow; real = real_result }
+  {
+    estimate;
+    compare;
+    injection;
+    sim_base;
+    sim;
+    dataflow;
+    real = real_result;
+    timeline_base;
+    timeline;
+  }
 
 let pp ppf t =
   Table.render ppf t.compare;
   Format.pp_print_newline ppf ();
-  Table.render ppf t.injection
+  Table.render ppf t.injection;
+  Format.pp_print_newline ppf ();
+  (* Side-by-side wait heatmaps: columns that darken only on the perturbed
+     side show where injected delay propagated down the pipeline; columns
+     that stay unchanged absorbed it in slack. *)
+  Format.fprintf ppf "unperturbed wait by rank x wave:@.";
+  Obs.Timeline.render ~metric:Obs.Timeline.Wait ppf t.timeline_base;
+  Format.fprintf ppf "@.perturbed wait by rank x wave:@.";
+  Obs.Timeline.render ~metric:Obs.Timeline.Wait ppf t.timeline

@@ -19,6 +19,10 @@ type t = {
   real :
     (Kernels.Sweep_exec.outcome * Kernels.Sweep_exec.resilient_outcome) option;
       (** baseline and perturbed real runs, when requested *)
+  timeline_base : Obs.Timeline.t;  (** unperturbed simulator run *)
+  timeline : Obs.Timeline.t;
+      (** perturbed run; against [timeline_base] the wait heatmaps show
+          where injected delay was absorbed vs propagated *)
 }
 
 val run :

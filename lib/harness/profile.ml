@@ -18,6 +18,10 @@ type t = {
   sim : Xtsim.Wavefront_sim.outcome;
   sim_dropped : int;
   real_dropped : int;
+  timeline : Obs.Timeline.t;  (** of the simulated run *)
+  divergence : Divergence.t;
+      (** model error attributed wave-by-wave against the analytic term
+          schedule *)
 }
 
 let count m name =
@@ -173,21 +177,26 @@ let run ?(real = false) ?(capacity = Obs.Tracer.default_capacity)
       (List.map row [ "eager"; "rendezvous"; "copy"; "dma" ])
   in
   (* Critical path through the simulated run: exact message edges from the
-     simulator's transfer trace, program order within each rank. *)
+     simulator's transfer trace, program order within each rank. The
+     report form carries the tracer's loss count, so a partial path is
+     flagged instead of presented as complete. *)
   let path =
-    let steps =
-      Obs.Critical_path.walk ~spans:sim_spans ~edges:(Xtsim.Trace.edges trace)
+    let report =
+      Obs.Critical_path.report
+        ~dropped:(Obs.Tracer.dropped obs)
+        ~spans:sim_spans
+        ~edges:(Xtsim.Trace.edges trace)
+        ()
     in
-    let segs = Obs.Critical_path.summarize steps in
+    let segs = Obs.Critical_path.summarize report.steps in
     let total = List.fold_left (fun a (s : Obs.Critical_path.segment) -> a +. s.total) 0.0 segs in
     let notes =
-      (Printf.sprintf "%d steps on the path; span capacity %d%s"
-         (List.length steps) capacity
-         (if Obs.Tracer.dropped obs > 0 then
-            Printf.sprintf ", %d spans dropped (path may be truncated)"
-              (Obs.Tracer.dropped obs)
-          else ""))
-      :: []
+      Printf.sprintf "%d steps on the path; span capacity %d"
+        (List.length report.steps) capacity
+      ::
+      (match Obs.Critical_path.truncation_note report with
+      | Some note -> [ note ]
+      | None -> [])
     in
     Table.v ~id:"PROFILE-PATH"
       ~title:"Critical path of the simulated run, by span kind"
@@ -197,6 +206,26 @@ let run ?(real = false) ?(capacity = Obs.Tracer.default_capacity)
            [ s.name; Table.icell s.count; Table.fcell s.total;
              (if total > 0.0 then share (s.total /. total) else dash) ])
          segs)
+  in
+  (* Wave-resolved view of the same run, and the model's error attributed
+     against the analytic term schedule (the timed dataflow backend). *)
+  let waves =
+    Sweeps.Schedule.nsweeps app.schedule
+    * Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile
+  in
+  let timeline =
+    Obs.Timeline.of_spans ~dropped:(Obs.Tracer.dropped obs) ~waves sim_spans
+  in
+  let divergence =
+    let costs = Wrun.Costs.loggp ~cmp:cfg.cmp cfg.platform cfg.pgrid app in
+    let model_tr = Obs.Tracer.create ~capacity () in
+    ignore (Wrun.Dataflow.run ~costs ~obs:model_tr cfg.pgrid app);
+    let model =
+      Obs.Timeline.of_spans ~dropped:(Obs.Tracer.dropped model_tr) ~waves
+        (Obs.Tracer.spans model_tr)
+    in
+    Divergence.analyze ~model ~observed:timeline ~t_iteration:r.t_iteration
+      ~elapsed:sim.elapsed
   in
   let processes =
     { Obs.Chrome_trace.pid = 0; name = "simulated"; spans = sim_spans }
@@ -215,6 +244,8 @@ let run ?(real = false) ?(capacity = Obs.Tracer.default_capacity)
     sim;
     sim_dropped = Obs.Tracer.dropped obs;
     real_dropped;
+    timeline;
+    divergence;
   }
 
 let trace_json t = Obs.Chrome_trace.to_json t.processes
@@ -225,5 +256,10 @@ let pp ppf t =
   Table.render ppf t.protocols;
   Format.pp_print_newline ppf ();
   Table.render ppf t.path;
+  Format.pp_print_newline ppf ();
+  Format.fprintf ppf "simulated wait by rank x wave:@.";
+  Obs.Timeline.render ~metric:Obs.Timeline.Wait ppf t.timeline;
+  Format.pp_print_newline ppf ();
+  Divergence.pp ppf t.divergence;
   Format.pp_print_newline ppf ();
   Format.fprintf ppf "metrics:@.%a" Obs.Metrics.pp t.metrics

@@ -19,6 +19,11 @@ type t = {
   sim : Xtsim.Wavefront_sim.outcome;
   sim_dropped : int;  (** spans lost to the bounded tracer, 0 when none *)
   real_dropped : int;
+  timeline : Obs.Timeline.t;
+      (** per-rank x per-wave decomposition of the simulated run *)
+  divergence : Divergence.t;
+      (** the model's error attributed wave-by-wave against the analytic
+          term schedule *)
 }
 
 val run : ?real:bool -> ?capacity:int -> Plugplay.config -> App_params.t -> t
@@ -35,4 +40,5 @@ val trace_json : t -> string
     Perfetto / [chrome://tracing]. *)
 
 val pp : Format.formatter -> t -> unit
-(** The three tables followed by the metrics summary. *)
+(** The tables, the wait heatmap and the divergence attribution, followed
+    by the metrics summary. *)

@@ -1,0 +1,37 @@
+(** The workflow behind [wavefront timeline]: reconstruct per-rank x
+    per-wave timelines of the same configuration from the event-level
+    simulator, the timed dataflow backend (the analytic term schedule) and
+    optionally the real shared-memory kernel, and attribute the closed
+    form's error wave by wave. *)
+
+open Wavefront_core
+
+type t = {
+  observed : Obs.Timeline.t;  (** event-level simulator *)
+  model : Obs.Timeline.t;  (** timed dataflow: the analytic term schedule *)
+  real : Obs.Timeline.t option;  (** shared-memory Domains run *)
+  divergence : Divergence.t;
+  sim : Xtsim.Wavefront_sim.outcome;
+  t_iteration : float;
+}
+
+val run :
+  ?real:bool ->
+  ?model_bus:bool ->
+  ?capacity:int ->
+  Plugplay.config ->
+  App_params.t ->
+  t
+(** One iteration. [model_bus] (default [true]) keeps the simulator's
+    shared-bus contention on; switch it off (with single-core nodes and an
+    eager-sized configuration) and the observed and model timelines
+    coincide to float precision — the cross-substrate identity the tests
+    assert. *)
+
+val pp : ?metric:Obs.Timeline.metric -> Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** Schema ["wavefront-timeline-report/v1"], embedding the timelines'
+    own documents. *)
+
+val to_csv : t -> string

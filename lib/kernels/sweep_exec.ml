@@ -97,6 +97,11 @@ module Backend = struct
     model : Perturb.Model.t option;
     tracer : Obs.Tracer.t option;
     progress : int array option;
+    (* Wave tagging for the timeline: the tile loop's compute spans carry
+       [wave = sweep * ntiles + tile]; the untagged Comm spans around them
+       are assigned by Obs.Timeline's anchor heuristic. *)
+    ntiles : int;
+    mutable sweep : int;
   }
 
   let create ?model ?tracer ?progress plan comm rank =
@@ -115,6 +120,8 @@ module Backend = struct
       model;
       tracer;
       progress;
+      ntiles = (plan.grid.nz + plan.htile - 1) / plan.htile;
+      sweep = 0;
     }
 
   let phi t = t.phi
@@ -153,13 +160,29 @@ module Backend = struct
             (Perturb.Model.link_extra m ~src:rank));
       Shmpi.Comm.send t.comm ~src:rank ~dst face
 
-    let sweep_begin t ~rank:_ ~sweep:_ ~dir =
+    let sweep_begin t ~rank:_ ~sweep ~dir =
+      t.sweep <- sweep;
       t.st <-
         Some
           (Transport.sweep_start t.plan.config ~nx:t.nx ~ny:t.ny
              ~nz:t.plan.grid.nz ~dir ~phi:t.phi)
 
     let precompute _ ~rank:_ ~tile:_ = ()
+
+    (* The kernel call itself, as a wave-tagged compute span (injected
+       perturbation delays stay outside it, under their own names). *)
+    let tile_kernel t ~rank ~tile st ~h ~x ~y =
+      match t.tracer with
+      | None -> Transport.sweep_tile st ~h ~xface:x ~yface:y
+      | Some tr ->
+          Obs.Tracer.span tr ~cat:"compute"
+            ~args:
+              [
+                ( Obs.Timeline.wave_arg,
+                  Obs.Span.Int ((t.sweep * t.ntiles) + tile) );
+              ]
+            ~rank "compute"
+            (fun () -> Transport.sweep_tile st ~h ~xface:x ~yface:y)
 
     let compute t ~rank ~dir:_ ~tile ~h ~x ~y =
       (match t.model with
@@ -169,13 +192,13 @@ module Backend = struct
       let faces =
         match (t.st, t.model) with
         | None, _ -> assert false (* sweep_begin precedes every tile *)
-        | Some st, None -> Transport.sweep_tile st ~h ~xface:x ~yface:y
+        | Some st, None -> tile_kernel t ~rank ~tile st ~h ~x ~y
         | Some st, Some m ->
             (* Noise scales with the tile's measured duration — the real
                analogue of the simulator scaling the model's tile work.
                The draws line up one per tile either way. *)
             let t0 = Unix.gettimeofday () in
-            let faces = Transport.sweep_tile st ~h ~xface:x ~yface:y in
+            let faces = tile_kernel t ~rank ~tile st ~h ~x ~y in
             let dt = (Unix.gettimeofday () -. t0) *. 1e6 in
             inject t ~rank ~name:"perturb.noise"
               (Perturb.Model.noise_extra m ~rank ~work:dt);

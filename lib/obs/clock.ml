@@ -3,7 +3,18 @@
 
 type t = unit -> float
 
-let wall () = Unix.gettimeofday () *. 1e6
+external monotonic_us : unit -> float = "obs_clock_monotonic_us"
+
+let monotonic () = monotonic_us ()
+
+(* The default span clock. Historically this was gettimeofday, which meant
+   an NTP step during a run could stamp a span's end before its start;
+   spans only ever subtract timestamps, so the monotonic source keeps the
+   same µs convention while making negative durations impossible from the
+   clock itself. *)
+let wall = monotonic
+
+let realtime () = Unix.gettimeofday () *. 1e6
 
 let manual ?(start = 0.0) () =
   let now = ref start in

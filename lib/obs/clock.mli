@@ -6,8 +6,19 @@
 
 type t = unit -> float
 
+val monotonic : t
+(** Monotonic microseconds since an arbitrary fixed origin
+    (CLOCK_MONOTONIC). Never steps backwards; the origin is meaningless,
+    only differences are. *)
+
 val wall : t
-(** Wall-clock microseconds since the Unix epoch. *)
+(** The default span clock: an alias of {!monotonic}. Wall-of-day time
+    (which NTP can step backwards, producing negative span durations) is
+    still available as {!realtime} for callers that need an epoch. *)
+
+val realtime : t
+(** Wall-clock microseconds since the Unix epoch ([gettimeofday]). Subject
+    to NTP steps; do not stamp spans with it. *)
 
 val manual : ?start:float -> unit -> t * (float -> unit)
 (** A deterministic clock for tests: [(now, advance)]. [advance d] moves

@@ -1,0 +1,35 @@
+/* Monotonic time for the instrumentation layer.
+
+   OCaml 5.1's Unix library exposes no clock_gettime, so this one-liner
+   bridges to CLOCK_MONOTONIC directly. The value is microseconds since an
+   arbitrary but fixed origin: span math only ever subtracts timestamps, so
+   the origin does not matter, and unlike gettimeofday an NTP step can
+   never run this clock backwards. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value obs_clock_monotonic_us(value unit)
+{
+  (void)unit;
+  LARGE_INTEGER freq, count;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return caml_copy_double((double)count.QuadPart * 1e6 / (double)freq.QuadPart);
+}
+
+#else
+#include <time.h>
+
+CAMLprim value obs_clock_monotonic_us(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec * 1e6 + (double)ts.tv_nsec / 1e3);
+}
+
+#endif

@@ -162,6 +162,24 @@ let walk ~spans ~edges =
       Hashtbl.add visited (key last) ();
       go [ { span = last; via_message = None } ] last
 
+(* The walk with its honesty attached: whether the trace it ran on was
+   complete. A bounded tracer that dropped spans may have lost the true
+   head of the chain, so the path must not be presented as the full story —
+   reports render the truncation note, not just the steps. *)
+type report = { steps : step list; dropped : int; complete : bool }
+
+let report ?(dropped = 0) ~spans ~edges () =
+  { steps = walk ~spans ~edges; dropped; complete = dropped = 0 }
+
+let truncation_note r =
+  if r.complete then None
+  else
+    Some
+      (Printf.sprintf
+         "TRUNCATED: %d spans were dropped by the bounded tracer; the path \
+          ends where the record does and its head may be missing"
+         r.dropped)
+
 type segment = { name : string; count : int; total : float }
 
 let summarize steps =

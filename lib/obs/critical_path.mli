@@ -22,6 +22,19 @@ val walk : spans:Span.t list -> edges:edge list -> step list
     bounded trace that dropped spans the walk ends where the record
     does. *)
 
+type report = { steps : step list; dropped : int; complete : bool }
+(** A walk plus the record's integrity: [complete] is false when the trace
+    behind it dropped spans, in which case the path's head may be
+    missing. *)
+
+val report : ?dropped:int -> spans:Span.t list -> edges:edge list -> unit -> report
+(** {!walk} with drop accounting attached; pass the producing tracer's
+    [Tracer.dropped]. *)
+
+val truncation_note : report -> string option
+(** The explicit truncation warning to render with the path, [None] when
+    the record was complete. *)
+
 type segment = { name : string; count : int; total : float }
 
 val summarize : step list -> segment list

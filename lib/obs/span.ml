@@ -14,9 +14,20 @@ type t = {
   args : (string * arg) list;
 }
 
+(* A negative duration can only come from a broken clock (the classic case:
+   an NTP step under gettimeofday). Such a span is still evidence that the
+   operation happened, so instead of refusing it the duration is clamped to
+   zero and the raw value kept as an arg, where exporters and reports can
+   surface it. *)
+let clamped_key = "clamped_neg_dur"
+
 let v ?(cat = "") ?(args = []) ~rank ~start ~dur name =
-  if dur < 0.0 then invalid_arg "Span.v: negative duration";
-  { name; cat; rank; t_start = start; dur; args }
+  if dur >= 0.0 then { name; cat; rank; t_start = start; dur; args }
+  else
+    { name; cat; rank; t_start = start; dur = 0.0;
+      args = (clamped_key, Float dur) :: args }
+
+let clamped s = List.mem_assoc clamped_key s.args
 
 let end_time s = s.t_start +. s.dur
 

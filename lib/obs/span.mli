@@ -21,7 +21,12 @@ val v :
   dur:float ->
   string ->
   t
-(** Raises [Invalid_argument] on a negative duration. *)
+(** A negative duration (a stepped clock) is clamped to zero and flagged:
+    the raw value is kept under the [clamped_neg_dur] arg and {!clamped}
+    answers true for the span. *)
+
+val clamped : t -> bool
+(** The span was built with a negative duration (see {!v}). *)
 
 val end_time : t -> float
 val compare_start : t -> t -> int

@@ -1,0 +1,90 @@
+(* LogGP operation costs for the timed dataflow backend.
+
+   The dataflow scheduler executes the program's precedence graph with no
+   machine at all; giving each rank a virtual clock advanced by these costs
+   turns a run into the analytic (r1a)-(r5) term schedule evaluated at wave
+   resolution: every tile-step is charged exactly the model's W / Wg_pre
+   work and the protocol-mechanics communication terms the closed forms are
+   built from (eager: sender busy o, payload in flight L + size*G behind
+   it, receiver overhead o; on-chip copy: o_copy / size*g_copy / o_copy;
+   and the rendezvous/DMA analogues). With single-core nodes, eager-sized
+   messages and bus contention off, the event-level simulator follows the
+   identical arithmetic, so the two substrates produce the same per-rank x
+   per-wave timeline to float precision — the cross-substrate identity the
+   timeline tests assert. The rendezvous charge assumes the receive is
+   pre-posted (the handshake reply is immediate), which is the model's own
+   (r4) assumption; the simulator can stall longer, and that difference is
+   precisely the wait the divergence report attributes. *)
+
+open Wgrid
+open Wavefront_core
+
+type t = {
+  platform : Loggp.Params.t;
+  cmp : Cmp.t;
+  pg : Proc_grid.t;
+  w : float;  (** tile compute W = Wg * cells-per-tile, us *)
+  w_pre : float;  (** tile pre-compute, us *)
+  cells_x : float;
+  cells_y : float;
+  nz : float;
+}
+
+let loggp ~cmp (platform : Loggp.Params.t) pg (app : App_params.t) =
+  let cells = Decomp.cells_per_tile app.grid pg ~htile:app.htile in
+  {
+    platform;
+    cmp;
+    pg;
+    w = app.wg *. cells;
+    w_pre = app.wg_pre *. cells;
+    cells_x = Decomp.cells_x app.grid pg;
+    cells_y = Decomp.cells_y app.grid pg;
+    nz = float_of_int app.grid.Data_grid.nz;
+  }
+
+(* Same node iff same Cmp rectangle — the mapping Machine uses. *)
+let locality t ~src ~dst : Loggp.Comm_model.locality =
+  let node r = Cmp.node_of t.cmp (Proc_grid.coords t.pg r) in
+  if node src = node dst then On_chip else Off_node
+
+(* Mirror of Mpi_sim's uncontended protocol mechanics (bus off):
+   [send_busy] is how long the sender's clock advances inside the send,
+   [in_flight] how far behind the sender's return the payload is
+   delivered, [recv_overhead] the receiver's software cost after
+   delivery. *)
+let send_busy t ~src ~dst size =
+  match locality t ~src ~dst with
+  | On_chip ->
+      let oc = t.platform.onchip in
+      if size <= oc.eager_limit then oc.o_copy else oc.o_copy +. oc.o_dma
+  | Off_node ->
+      let off = t.platform.offnode in
+      if size <= off.eager_limit then off.o
+      else (* request + (pre-posted) handshake reply + injection *)
+        off.o +. (2.0 *. (off.l +. off.o_h)) +. off.o
+
+let in_flight t ~src ~dst size =
+  let fsize = float_of_int size in
+  match locality t ~src ~dst with
+  | On_chip ->
+      let oc = t.platform.onchip in
+      if size <= oc.eager_limit then fsize *. oc.g_copy else fsize *. oc.g_dma
+  | Off_node ->
+      let off = t.platform.offnode in
+      off.l +. (fsize *. off.g)
+
+let recv_overhead t ~src ~dst =
+  match locality t ~src ~dst with
+  | On_chip -> t.platform.onchip.o_copy
+  | Off_node -> t.platform.offnode.o
+
+let compute t = t.w
+let precompute t = t.w_pre
+let stencil t ~wg_stencil = wg_stencil *. t.cells_x *. t.cells_y *. t.nz
+
+let allreduce t ~count ~msg_size =
+  float_of_int count
+  *. Loggp.Allreduce.time ~msg_size t.platform ~cores:(Proc_grid.cores t.pg)
+
+let barrier t = Loggp.Allreduce.time ~msg_size:8 t.platform ~cores:(Proc_grid.cores t.pg)

@@ -1,0 +1,42 @@
+(** LogGP operation costs for the timed dataflow backend: the analytic
+    model's per-operation terms (uniform tile work W / Wg_pre, the
+    uncontended protocol mechanics of eager / rendezvous / copy / DMA
+    transfers, the eq-9 all-reduce), packaged so {!Dataflow} can advance
+    per-rank virtual clocks and emit a wave-resolved analytic term
+    schedule. With single-core nodes, eager-sized messages and bus
+    contention off this arithmetic is the event-level simulator's exactly;
+    the rendezvous charge assumes a pre-posted receive. *)
+
+open Wgrid
+open Wavefront_core
+
+type t = {
+  platform : Loggp.Params.t;
+  cmp : Cmp.t;
+  pg : Proc_grid.t;
+  w : float;  (** tile compute W, us *)
+  w_pre : float;  (** tile pre-compute, us *)
+  cells_x : float;
+  cells_y : float;
+  nz : float;
+}
+
+val loggp : cmp:Cmp.t -> Loggp.Params.t -> Proc_grid.t -> App_params.t -> t
+(** The model's uniform view of [app] on [pg]: W = Wg * cells-per-tile. *)
+
+val locality : t -> src:int -> dst:int -> Loggp.Comm_model.locality
+
+val send_busy : t -> src:int -> dst:int -> int -> float
+(** Time the sender's clock advances inside a send of this many bytes. *)
+
+val in_flight : t -> src:int -> dst:int -> int -> float
+(** How far behind the sender's return the payload is delivered. *)
+
+val recv_overhead : t -> src:int -> dst:int -> float
+(** The receiver's software cost after delivery. *)
+
+val compute : t -> float
+val precompute : t -> float
+val stencil : t -> wg_stencil:float -> float
+val allreduce : t -> count:int -> msg_size:int -> float
+val barrier : t -> float

@@ -66,12 +66,44 @@ end
 type t
 
 val create :
-  ?perturb:Perturb.Spec.t -> ranks:int -> msg_ew:int -> msg_ns:int -> unit -> t
+  ?perturb:Perturb.Spec.t ->
+  ?costs:Costs.t ->
+  ?obs:Obs.Tracer.t ->
+  ?ntiles:int ->
+  ranks:int ->
+  msg_ew:int ->
+  msg_ns:int ->
+  unit ->
+  t
 (** [perturb] marks the spec's stragglers for deferred scheduling and arms
     its failures; the spec's timed clauses (noise, link delay) are no-ops
-    on this clockless backend. *)
+    on this clockless backend.
 
-val of_app : ?perturb:Perturb.Spec.t -> Proc_grid.t -> Wavefront_core.App_params.t -> t
+    [costs] switches on timed mode: each rank carries a virtual clock
+    advanced by the analytic model's per-operation costs, every message a
+    modeled delivery time, and collectives synchronize the clocks — the
+    scheduler's interleaving stays the clockless one; time is an
+    annotation on the precedence graph. [obs] (requires [costs]) records a
+    wave-tagged span per operation, stamped in virtual time, from which
+    {!Obs.Timeline.of_spans} reconstructs the analytic per-rank x per-wave
+    term schedule. [ntiles] (default 1) is the tiles-per-sweep factor of
+    the wave numbering [wave = sweep * ntiles + tile]. *)
+
+val of_app :
+  ?perturb:Perturb.Spec.t ->
+  ?costs:Costs.t ->
+  ?obs:Obs.Tracer.t ->
+  Proc_grid.t ->
+  Wavefront_core.App_params.t ->
+  t
+(** [ntiles] is derived from the app's default tiling. *)
+
+val finish_times : t -> float array option
+(** Timed mode only: each rank's virtual clock at its {!Substrate.finish},
+    after {!exec}. *)
+
+val elapsed : t -> float option
+(** Timed mode only: the modeled makespan [max_r finish_times.(r)]. *)
 
 module Substrate : Substrate.S with type t = t and type payload = msg
 
@@ -86,6 +118,8 @@ val run :
   ?iterations:int ->
   ?tiling:Program.tiling ->
   ?perturb:Perturb.Spec.t ->
+  ?costs:Costs.t ->
+  ?obs:Obs.Tracer.t ->
   Proc_grid.t ->
   Wavefront_core.App_params.t ->
   outcome

@@ -92,6 +92,8 @@ module Backend = struct
     msg_ns : int;
     work : (float * float) array;  (* per-rank (w, w_pre) *)
     jitter : (unit -> float) array;
+    ntiles : int;
+    sweep : int array;  (* per-rank current sweep, for wave tagging *)
     perturb : Perturb.Model.t option;
     compute : float array;
     comm : float array;
@@ -142,6 +144,8 @@ module Backend = struct
       msg_ns = App_params.message_size_ns app pg;
       work = Array.init cores work_of;
       jitter = Array.init cores jitter_of;
+      ntiles = Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile;
+      sweep = Array.make cores 0;
       perturb = Option.map (Perturb.Model.create ~ranks:cores) perturb;
       compute = Array.make cores 0.0;
       comm = Array.make cores 0.0;
@@ -195,13 +199,24 @@ module Backend = struct
   let pure_recv t rank src size =
     Loggp.Comm_model.receive t.machine.platform (locality_for t rank src) size
 
-  let timed_compute ?(name = "compute") t rank d =
+  let timed_compute ?(name = "compute") ?(args = no_args) t rank d =
     if d > 0.0 then begin
       let t0 = Engine.now t.engine in
       Engine.wait d;
       t.compute.(rank) <- t.compute.(rank) +. d;
-      emit t name "compute" rank ~start:t0 ~args:no_args
+      emit t name "compute" rank ~start:t0 ~args
     end
+
+  (* Wave tagging for the timeline: spans inside the tile loop carry
+     [wave = sweep * ntiles + tile]; everything outside it (collectives,
+     halos, fixed work) is tagged epilogue. *)
+  let wave_of t rank tile =
+    (Obs.Timeline.wave_arg, Obs.Span.Int ((t.sweep.(rank) * t.ntiles) + tile))
+
+  let epilogue_tag =
+    (Obs.Timeline.wave_arg, Obs.Span.Int Obs.Timeline.epilogue_wave)
+
+  let epilogue_args () = [ epilogue_tag ]
 
   (* The substrate: payloads are byte sizes, the messages' contents being
      the model's business rather than the simulator's. The per-tile [recv]
@@ -213,13 +228,14 @@ module Backend = struct
 
     let boundary _ ~rank:_ ~axis:_ ~h:_ = 0
 
-    let recv t ~rank ~src ~axis ~tile:_ ~h:_ ~bytes =
+    let recv t ~rank ~src ~axis ~tile ~h:_ ~bytes =
       timed_comm
         ~pure:(pure_recv t rank src bytes)
         ~name:"recv"
         ~args:(fun () ->
           [ ("src", Obs.Span.Int src); ("size", Int bytes);
             ("dir", Str (match axis with Wrun.Substrate.X -> "W" | Y -> "N"));
+            wave_of t rank tile;
           ])
         t rank
         (fun () -> Mpi_sim.recv t.mpi ~dst:rank ~src ~size:bytes);
@@ -228,23 +244,26 @@ module Backend = struct
     (* The spec's link contention: a seeded injection delay spent before
        the send enters the network, so downstream receivers see the
        message later — tagged as its own comm span. *)
-    let inject_link_delay t rank =
+    let inject_link_delay t rank ~tile =
       match t.perturb with
       | None -> ()
       | Some m ->
           let extra = Perturb.Model.link_extra m ~src:rank in
           if extra > 0.0 then
-            timed_comm ~name:"perturb.link" t rank (fun () ->
-                Engine.wait extra)
+            timed_comm ~name:"perturb.link"
+              ~args:(fun () -> [ wave_of t rank tile ])
+              t rank
+              (fun () -> Engine.wait extra)
 
-    let send t ~rank ~dst ~axis ~tile:_ bytes =
-      inject_link_delay t rank;
+    let send t ~rank ~dst ~axis ~tile bytes =
+      inject_link_delay t rank ~tile;
       timed_comm
         ~pure:(pure_send t rank dst bytes)
         ~name:"send"
         ~args:(fun () ->
           [ ("dst", Obs.Span.Int dst); ("size", Int bytes);
             ("dir", Str (match axis with Wrun.Substrate.X -> "E" | Y -> "S"));
+            wave_of t rank tile;
           ])
         t rank
         (fun () -> Mpi_sim.send t.mpi ~src:rank ~dst ~size:bytes)
@@ -252,38 +271,45 @@ module Backend = struct
     (* Figure 4: LU pre-computes part of the domain before the receives;
        Sweep3D and Chimaera have Wg_pre = 0 (the jitter stream is still
        consumed so noise draws stay aligned per tile). *)
-    let precompute t ~rank ~tile:_ =
+    let precompute t ~rank ~tile =
       let _, w_pre = t.work.(rank) in
-      timed_compute ~name:"precompute" t rank (w_pre *. t.jitter.(rank) ())
+      timed_compute ~name:"precompute"
+        ~args:(fun () -> [ wave_of t rank tile ])
+        t rank
+        (w_pre *. t.jitter.(rank) ())
 
     let compute t ~rank ~dir:_ ~tile ~h:_ ~x:_ ~y:_ =
       (match t.perturb with
       | Some m when Perturb.Model.fails_now m ~rank ->
           raise (Perturb.Model.Killed { rank; tile })
       | _ -> ());
+      let args () = [ wave_of t rank tile ] in
       let w, _ = t.work.(rank) in
-      timed_compute t rank (w *. t.jitter.(rank) ());
+      timed_compute ~args t rank (w *. t.jitter.(rank) ());
       (match t.perturb with
       | None -> ()
       | Some m ->
           let extra = Perturb.Model.noise_extra m ~rank ~work:w in
-          if extra > 0.0 then timed_compute ~name:"perturb.noise" t rank extra;
+          if extra > 0.0 then
+            timed_compute ~name:"perturb.noise" ~args t rank extra;
           let d = Perturb.Model.straggler_delay m ~rank in
-          if d > 0.0 then timed_compute ~name:"perturb.straggler" t rank d);
+          if d > 0.0 then
+            timed_compute ~name:"perturb.straggler" ~args t rank d);
       (t.msg_ew, t.msg_ns)
 
-    let sweep_begin _ ~rank:_ ~sweep:_ ~dir:_ = ()
-    let fixed_work t ~rank d = timed_compute t rank d
+    let sweep_begin t ~rank ~sweep ~dir:_ = t.sweep.(rank) <- sweep
+    let fixed_work t ~rank d = timed_compute ~args:epilogue_args t rank d
 
     let stencil_compute t ~rank ~wg_stencil =
       let pg = t.machine.pgrid in
       let cells_x = Decomp.cells_x t.grid pg in
       let cells_y = Decomp.cells_y t.grid pg in
       let nz = float_of_int t.grid.nz in
-      timed_compute t rank (wg_stencil *. cells_x *. cells_y *. nz)
+      timed_compute ~args:epilogue_args t rank
+        (wg_stencil *. cells_x *. cells_y *. nz)
 
     let halo t ~rank ~dst ~src ~bytes =
-      timed_comm ~name:"halo" t rank (fun () ->
+      timed_comm ~name:"halo" ~args:epilogue_args t rank (fun () ->
           (match dst with
           | Some d -> Mpi_sim.send t.mpi ~src:rank ~dst:d ~size:bytes
           | None -> ());
@@ -292,7 +318,7 @@ module Backend = struct
           | None -> ())
 
     let allreduce t ~rank ~count ~msg_size =
-      timed_comm ~name:"allreduce" t rank (fun () ->
+      timed_comm ~name:"allreduce" ~args:epilogue_args t rank (fun () ->
           for _ = 1 to count do
             Collective.allreduce t.coll t.mpi ~rank ~msg_size
           done)
@@ -300,7 +326,7 @@ module Backend = struct
     (* The simulated machine has no dedicated barrier network; synchronize
        with a minimal all-reduce, as the real codes do. *)
     let barrier t ~rank =
-      timed_comm ~name:"barrier" t rank (fun () ->
+      timed_comm ~name:"barrier" ~args:epilogue_args t rank (fun () ->
           Collective.allreduce t.coll t.mpi ~rank ~msg_size:8)
 
     let finish t ~rank =

@@ -361,6 +361,72 @@ let test_profile_stable () =
   | Some (List (_ :: _)) -> ()
   | _ -> Alcotest.fail "empty traceEvents"
 
+(* --- Clocks and stepped-clock resilience --- *)
+
+let test_clock_monotonic () =
+  let t0 = Obs.Clock.monotonic () in
+  let t1 = Obs.Clock.monotonic () in
+  Alcotest.(check bool) "never steps backwards" true (t1 >= t0);
+  Alcotest.(check bool) "wall is the monotonic clock" true
+    (Obs.Clock.wall () >= t1);
+  let now, advance = Obs.Clock.manual ~start:5.0 () in
+  Alcotest.(check (float 0.0)) "manual start" 5.0 (now ());
+  advance 2.5;
+  Alcotest.(check (float 0.0)) "manual advance" 7.5 (now ());
+  Alcotest.check_raises "negative advance rejected"
+    (Invalid_argument "Clock.manual: cannot advance backwards") (fun () ->
+      advance (-1.0))
+
+let test_span_clamps_negative_duration () =
+  let s = Obs.Span.v ~rank:0 ~start:10.0 ~dur:(-3.0) "stepped" in
+  Alcotest.(check (float 0.0)) "duration clamped to zero" 0.0 s.dur;
+  Alcotest.(check bool) "flagged" true (Obs.Span.clamped s);
+  Alcotest.(check (option (float 0.0))) "raw value kept" (Some (-3.0))
+    (Obs.Span.arg_float s "clamped_neg_dur");
+  let ok = Obs.Span.v ~rank:0 ~start:10.0 ~dur:3.0 "fine" in
+  Alcotest.(check bool) "normal spans unflagged" false (Obs.Span.clamped ok)
+
+(* --- Overwrite_oldest wrap-around x tracer drop accounting --- *)
+
+let test_tracer_overwrite_oldest () =
+  let tr = Obs.Tracer.create ~capacity:4 ~policy:Obs.Ring.Overwrite_oldest () in
+  for i = 0 to 9 do
+    Obs.Tracer.record tr ~rank:0 ~start:(float_of_int i) ~dur:1.0
+      (Printf.sprintf "s%d" i)
+  done;
+  Alcotest.(check int) "total counts every push" 10 (Obs.Tracer.total tr);
+  Alcotest.(check int) "retained = capacity" 4 (Obs.Tracer.recorded tr);
+  Alcotest.(check int) "dropped = evicted" 6 (Obs.Tracer.dropped tr);
+  Alcotest.(check (list string)) "keeps the newest spans, in order"
+    [ "s6"; "s7"; "s8"; "s9" ]
+    (List.map (fun (s : Obs.Span.t) -> s.name) (Obs.Tracer.spans tr))
+
+(* --- Critical-path truncation reporting --- *)
+
+let test_critical_path_report () =
+  let spans =
+    [
+      Obs.Span.v ~cat:"compute" ~rank:0 ~start:0.0 ~dur:4.0 "compute";
+      Obs.Span.v ~cat:"compute" ~rank:0 ~start:4.0 ~dur:2.0 "compute";
+    ]
+  in
+  let edges = Obs.Critical_path.edges_of_spans spans in
+  let ok = Obs.Critical_path.report ~spans ~edges () in
+  Alcotest.(check bool) "complete without drops" true ok.complete;
+  Alcotest.(check bool) "no note" true
+    (Obs.Critical_path.truncation_note ok = None);
+  let cut = Obs.Critical_path.report ~dropped:5 ~spans ~edges () in
+  Alcotest.(check bool) "incomplete when spans dropped" false cut.complete;
+  Alcotest.(check int) "drop count carried" 5 cut.dropped;
+  (match Obs.Critical_path.truncation_note cut with
+  | Some note ->
+      Alcotest.(check bool) "note mentions the count" true
+        (String.length note > 0
+        && String.exists (fun c -> c = '5') note)
+  | None -> Alcotest.fail "expected a truncation note");
+  Alcotest.(check int) "walk itself unchanged" (List.length ok.steps)
+    (List.length cut.steps)
+
 let suite =
   [
     ( "obs.ring",
@@ -381,6 +447,14 @@ let suite =
         Alcotest.test_case "merge" `Quick test_tracer_merge;
         Alcotest.test_case "span with manual clock" `Quick
           test_tracer_span_clock;
+        Alcotest.test_case "overwrite-oldest drop accounting" `Quick
+          test_tracer_overwrite_oldest;
+      ] );
+    ( "obs.clock",
+      [
+        Alcotest.test_case "monotonic and manual" `Quick test_clock_monotonic;
+        Alcotest.test_case "negative duration clamped" `Quick
+          test_span_clamps_negative_duration;
       ] );
     ( "obs.chrome_trace",
       [
@@ -388,7 +462,10 @@ let suite =
           test_chrome_trace_roundtrip;
       ] );
     ( "obs.critical_path",
-      [ Alcotest.test_case "walk" `Quick test_critical_path_walk ] );
+      [
+        Alcotest.test_case "walk" `Quick test_critical_path_walk;
+        Alcotest.test_case "truncation report" `Quick test_critical_path_report;
+      ] );
     ( "obs.profile",
       [ Alcotest.test_case "report stability" `Quick test_profile_stable ] );
   ]

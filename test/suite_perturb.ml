@@ -299,7 +299,8 @@ let test_estimate_golden () =
 
 (* One full `wavefront perturb` report, frozen verbatim: the simulator is
    deterministic in simulated time and the PRNG is version-stable, so the
-   rendered tables are reproducible to the byte (real runs excluded). *)
+   rendered tables and rank x wave wait heatmaps are reproducible to the
+   byte (real runs excluded). *)
 let report_golden =
   {golden|
 == [PERTURB-COMPARE] Perturbed iteration time: model estimate vs simulated vs real (us) ==
@@ -327,6 +328,44 @@ let report_golden =
 +-----------------------------+-------+---------------+------------+
   note: model column: the estimate's critical-path charge for the term
   note: absorbed = injected - elapsed growth; negative means the perturbation cost more than the injected time (lost overlap)
+
+unperturbed wait by rank x wave:
+wait per (rank, wave) cell, us; scale ' ' = 0 .. '@' = 751.99; last column = epilogue
+r0      |        =       +       =        |
+r1      |.       :       *       -        |
+r2      |.       .       #       .        |
+r3      |:               @                |
+r4      |.       =       -       =        |
+r5      |.       -       =       -        |
+r6      |:       .       +       .        |
+r7      |-               #                |
+r8      |.       =       .       =        |
+r9      |:       -       :       -        |
+r10     |-       .       =       .        |
+r11     |-               +                |
+r12     |:       =               =        |
+r13     |-       -       .       :        |
+r14     |-       .       :       .        |
+r15     |=               =                |
+
+perturbed wait by rank x wave:
+wait per (rank, wave) cell, us; scale ' ' = 0 .. '@' = 1103.03; last column = epilogue
+r0      |        *       -       *        |
+r1      |        :       =       :        |
+r2      |.       .       %       .        |
+r3      |:               @                |
+r4      |.       +       :       -        |
+r5      |.       :       -       :        |
+r6      |:       .       *       .        |
+r7      |:               #                |
+r8      |.       +       .       -        |
+r9      |:       :       :       :        |
+r10     |:       .       +       .        |
+r11     |-               *                |
+r12     |:       +               -        |
+r13     |:       :       .       :        |
+r14     |-       .       =       .        |
+r15     |-               +                |
 |golden}
 
 let test_report_golden () =
