@@ -386,7 +386,9 @@ let perturb spec app_name grid cores cpn htile wg iterations platform pspec
     Fmt.pr "(zero spec: control run, expect no deltas)@.";
   let r = Harness.Perturb_report.run ~real ?capacity cfg app pspec in
   Fmt.pr "%a@." Harness.Perturb_report.pp r;
-  if not r.dataflow.completed then exit 1
+  (* 0 clean, 3 degraded, 4 unrecovered failure — see
+     Perturb_report.exit_status. *)
+  match Harness.Perturb_report.exit_status r with 0 -> () | s -> exit s
 
 let perturb_cmd =
   let doc =
@@ -420,6 +422,160 @@ let perturb_cmd =
     Term.(const perturb $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
           $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ pspec $ real
           $ capacity)
+
+(* --- recover --- *)
+
+let recover spec app_name grid cores cpn htile wg iterations platform pspec
+    interval ckpt_cost restart_cost tolerance real fail_on_mismatch capacity
+    out =
+  (match capacity with
+  | Some c when c < 1 ->
+      Fmt.epr "wavefront: --capacity must be at least 1@.";
+      exit 2
+  | _ -> ());
+  (match interval with
+  | Some k when k < 0 ->
+      Fmt.epr "wavefront: --interval must be >= 0@.";
+      exit 2
+  | _ -> ());
+  if ckpt_cost < 0.0 || restart_cost < 0.0 then begin
+    Fmt.epr "wavefront: checkpoint and restart costs must be >= 0@.";
+    exit 2
+  end;
+  let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
+  let pspec =
+    match pspec with
+    | Some s -> (
+        match Perturb.Spec.of_string s with
+        | Ok p -> p
+        | Error (`Msg m) ->
+            Fmt.epr "wavefront: --perturb: %s@." m;
+            exit 2)
+    | None -> (
+        match spec with
+        | None -> Perturb.Spec.zero
+        | Some path -> (
+            match Apps.Spec.full_of_file path with
+            | Ok { perturb = Some p; _ } -> p
+            | Ok { perturb = None; _ } -> Perturb.Spec.zero
+            | Error (`Msg m) -> Fmt.failwith "%s: %s" path m))
+  in
+  let cfg = make_cfg platform ~cores ~cpn in
+  (* --interval omitted: take the Daly-style optimum for this run. *)
+  let interval =
+    match interval with
+    | Some k -> k
+    | None ->
+        let r = Plugplay.iteration app cfg in
+        let waves =
+          Sweeps.Schedule.nsweeps app.schedule
+          * Wgrid.Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile
+        in
+        Perturb.Recover.optimal_interval ~waves ~wave_cost:(r.w +. r.w_pre)
+          ~failures:(List.length pspec.failures) ~ckpt_cost
+  in
+  let policy = Perturb.Recover.v ~ckpt_cost ~restart_cost interval in
+  Fmt.pr "recovering %s on %d cores (%d/node, %s) with [%a] under %a...@."
+    app.App_params.name cores cpn platform.Loggp.Params.name Perturb.Spec.pp
+    pspec Perturb.Recover.pp policy;
+  let r =
+    Harness.Recover_report.run ~real ?tolerance ?capacity ~policy cfg app
+      pspec
+  in
+  Fmt.pr "%a@." Harness.Recover_report.pp r;
+  (match out with
+  | None -> ()
+  | Some path -> (
+      match open_out path with
+      | exception Sys_error m ->
+          Fmt.epr "wavefront: cannot write report: %s@." m;
+          exit 1
+      | oc ->
+          output_string oc (Fmt.str "%a@." Harness.Recover_report.pp r);
+          close_out oc;
+          Fmt.pr "report written to %s@." path));
+  (* 0 clean, 3 degraded, 4 unrecovered — see Recover_report.exit_status.
+     Without --fail-on-mismatch a model-vs-simulated tolerance miss (or a
+     real-run grid mismatch) is reported but tolerated. *)
+  let status =
+    let s = Harness.Recover_report.exit_status r in
+    if
+      s = 3 && (not fail_on_mismatch)
+      && r.dataflow.mismatches = []
+      && r.dataflow.orphaned = 0
+    then 0
+    else s
+  in
+  if status <> 0 then exit status
+
+let recover_cmd =
+  let doc =
+    "Evaluate a failure spec under checkpoint/rollback recovery on every \
+     substrate: closed-form overhead term vs simulated recovery cost (vs \
+     the real runtime restoring a killed rank from its snapshot), plus \
+     the Daly-style optimal checkpoint interval"
+  in
+  let pspec =
+    Arg.(value & opt (some string) None
+         & info [ "perturb" ] ~docv:"SPEC"
+             ~doc:
+               "Perturbation clauses, e.g. 'seed=42 fail=1:10'; overrides \
+                the spec file's perturb stanza.")
+  in
+  let interval =
+    Arg.(value & opt (some int) None
+         & info [ "interval" ] ~docv:"K"
+             ~doc:
+               "Checkpoint every K waves (0 disables recovery; default: \
+                the Daly-style optimum for this run).")
+  in
+  let ckpt_cost =
+    Arg.(value & opt float 50.0
+         & info [ "ckpt-cost" ] ~docv:"US"
+             ~doc:"Modelled cost of taking one checkpoint (us).")
+  in
+  let restart_cost =
+    Arg.(value & opt float 500.0
+         & info [ "restart-cost" ] ~docv:"US"
+             ~doc:"Modelled cost of respawning a rank from a snapshot (us).")
+  in
+  let tolerance =
+    Arg.(value & opt (some float) None
+         & info [ "tolerance" ] ~docv:"FRAC"
+             ~doc:
+               "Accepted relative gap between simulated and closed-form \
+                overhead (default 0.05).")
+  in
+  let real =
+    Arg.(value & flag
+         & info [ "real" ]
+             ~doc:
+               "Also execute the transport kernel under genuine \
+                checkpoint/rollback, one OCaml domain per rank (use small \
+                core counts).")
+  in
+  let fail_on_mismatch =
+    Arg.(value & flag
+         & info [ "fail-on-mismatch" ]
+             ~doc:
+               "Exit 3 when the simulated overhead misses the closed form \
+                beyond --tolerance (or a recovered real run's grid differs \
+                from the reference).")
+  in
+  let capacity =
+    Arg.(value & opt (some int) None
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Per-tracer span capacity (drops are reported).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Also write the report to FILE.")
+  in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(const recover $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
+          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ pspec
+          $ interval $ ckpt_cost $ restart_cost $ tolerance $ real
+          $ fail_on_mismatch $ capacity $ out)
 
 (* --- timeline --- *)
 
@@ -684,5 +840,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ predict_cmd; explain_cmd; simulate_cmd; validate_cmd; report_cmd;
-            profile_cmd; perturb_cmd; timeline_cmd; bench_cmd; figure_cmd;
-            scale_cmd; fit_cmd; measure_cmd ]))
+            profile_cmd; perturb_cmd; recover_cmd; timeline_cmd; bench_cmd;
+            figure_cmd; scale_cmd; fit_cmd; measure_cmd ]))

@@ -46,6 +46,8 @@ let parse_line lineno line =
           err "line %d: empty key or value" lineno
         else Ok (Some (String.lowercase_ascii key, value))
 
+(* Bindings keep the line each came from, so value errors can point at
+   the offending line rather than just naming the key. *)
 let parse_bindings text =
   let lines = String.split_on_char '\n' text in
   let rec go acc lineno = function
@@ -54,7 +56,7 @@ let parse_bindings text =
         match parse_line lineno line with
         | Error e -> Error e
         | Ok None -> go acc (lineno + 1) rest
-        | Ok (Some kv) -> go (kv :: acc) (lineno + 1) rest)
+        | Ok (Some (k, v)) -> go ((k, (v, lineno)) :: acc) (lineno + 1) rest)
   in
   go [] 1 lines
 
@@ -75,25 +77,29 @@ let full_of_string text =
       match
         List.find_opt (fun (k, _) -> not (List.mem k known_keys)) bindings
       with
-      | Some (k, _) ->
-          err "unknown key %S (known: %s)" k (String.concat ", " known_keys)
+      | Some (k, (_, lineno)) ->
+          err "line %d: unknown key %S (known: %s)" lineno k
+            (String.concat ", " known_keys)
       | None -> (
-          let get k = List.assoc_opt k bindings in
+          let get_loc k = List.assoc_opt k bindings in
+          let get k = Option.map fst (get_loc k) in
           let get_int k =
-            match get k with
+            match get_loc k with
             | None -> Ok None
-            | Some v -> (
+            | Some (v, lineno) -> (
                 match int_of_string_opt v with
                 | Some i -> Ok (Some i)
-                | None -> err "%s: expected an integer, got %S" k v)
+                | None ->
+                    err "line %d: %s: expected an integer, got %S" lineno k v)
           in
           let get_float k =
-            match get k with
+            match get_loc k with
             | None -> Ok None
-            | Some v -> (
+            | Some (v, lineno) -> (
                 match float_of_string_opt v with
                 | Some f -> Ok (Some f)
-                | None -> err "%s: expected a number, got %S" k v)
+                | None ->
+                    err "line %d: %s: expected a number, got %S" lineno k v)
           in
           let ( let* ) = Result.bind in
           let require k = function
@@ -177,12 +183,19 @@ let full_of_string text =
                       v)
           in
           let* perturb =
-            match get "perturb" with
+            match get_loc "perturb" with
             | None -> Ok None
-            | Some v -> (
-                match Perturb.Spec.of_string v with
+            | Some (v, lineno) -> (
+                (* Keep the structured clause/offset context so the error
+                   points into the stanza's value, with the line it sits
+                   on. *)
+                match Perturb.Spec.of_string_loc v with
                 | Ok p -> Ok (Some p)
-                | Error (`Msg m) -> err "%s" m)
+                | Error e ->
+                    err
+                      "line %d: perturb: bad clause %S at offset %d of the \
+                       stanza: %s"
+                      lineno e.Perturb.Spec.clause e.position e.reason)
           in
           try
             Ok

@@ -98,18 +98,22 @@ let run ?(real = false) ?(capacity = Obs.Tracer.default_capacity)
           | l ->
               [ Fmt.str "simulated run degraded: rank(s) %s killed"
                   (String.concat ", " (List.map string_of_int l)) ])
+        @ (match real_result with
+          | Some (_, Degraded { failed; reason; frontier; wall_time }) ->
+              [ Fmt.str
+                  "real run degraded after %.0f us: rank(s) %s failed (%s); \
+                   frontier %s tiles"
+                  wall_time
+                  (String.concat ", " (List.map string_of_int failed))
+                  (Printexc.to_string reason)
+                  (String.concat "/"
+                     (Array.to_list (Array.map string_of_int frontier))) ]
+          | _ -> [])
         @
-        match real_result with
-        | Some (_, Degraded { failed; reason; frontier; wall_time }) ->
-            [ Fmt.str
-                "real run degraded after %.0f us: rank(s) %s failed (%s); \
-                 frontier %s tiles"
-                wall_time
-                (String.concat ", " (List.map string_of_int failed))
-                (Printexc.to_string reason)
-                (String.concat "/"
-                   (Array.to_list (Array.map string_of_int frontier))) ]
-        | _ -> [])
+        if spec.failures = [] then []
+        else
+          [ "hint: `wavefront recover` evaluates this spec under \
+             checkpoint/rollback recovery" ])
       ~headers:[ "quantity"; "model"; "simulated"; "real" ]
       [
         [ "unperturbed T_iter"; Table.fcell estimate.base;
@@ -160,6 +164,23 @@ let run ?(real = false) ?(capacity = Obs.Tracer.default_capacity)
     timeline_base;
     timeline;
   }
+
+(* Exit discipline shared with `wavefront recover`: 0 clean, 3 degraded
+   (completed, but mismatching or leaking messages), 4 when ranks died —
+   this command has no recovery, so every spec'd failure is unrecovered. *)
+let exit_status t =
+  let real_failed =
+    match t.real with
+    | Some (_, Kernels.Sweep_exec.Degraded _) -> true
+    | _ -> false
+  in
+  if t.sim.failed <> [] || t.dataflow.failed <> [] || real_failed then 4
+  else if
+    (not t.dataflow.completed)
+    || t.dataflow.mismatches <> []
+    || t.dataflow.orphaned > 0
+  then 3
+  else 0
 
 let pp ppf t =
   Table.render ppf t.compare;

@@ -38,4 +38,10 @@ val run :
     on one domain per rank; use small core counts. With [real] off the
     report is fully deterministic (simulated time only). *)
 
+val exit_status : t -> int
+(** 0 clean; 3 degraded (dataflow incomplete, mismatching or leaking
+    messages); 4 when ranks were killed — this workflow has no recovery,
+    so every spec'd failure counts as unrecovered. See
+    {!Recover_report.exit_status} for the recovering counterpart. *)
+
 val pp : Format.formatter -> t -> unit

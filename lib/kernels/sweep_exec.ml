@@ -79,6 +79,20 @@ let busy_wait us =
   end
 
 module Backend = struct
+  (* This rank's view of the recovery protocol. [version] numbers its
+     snapshots; [pending] is a restored tile-to-tile sweep mark the next
+     [sweep_begin] must re-apply (the resumed sweep's carried z-face);
+     [wave]/[last_wave] track the current and last-checkpointed global
+     wave, so the retry loop can report the rollback depth. *)
+  type recovering = {
+    policy : Perturb.Recover.policy;
+    store : Wrun.Checkpoint.store;
+    mutable version : int;
+    mutable pending : Transport.sweep_mark option;
+    mutable wave : int;
+    mutable last_wave : int;
+  }
+
   type t = {
     plan : plan;
     comm : Shmpi.Comm.t;
@@ -97,6 +111,7 @@ module Backend = struct
     model : Perturb.Model.t option;
     tracer : Obs.Tracer.t option;
     progress : int array option;
+    recover : recovering option;
     (* Wave tagging for the timeline: the tile loop's compute spans carry
        [wave = sweep * ntiles + tile]; the untagged Comm spans around them
        are assigned by Obs.Timeline's anchor heuristic. *)
@@ -104,7 +119,7 @@ module Backend = struct
     mutable sweep : int;
   }
 
-  let create ?model ?tracer ?progress plan comm rank =
+  let create ?model ?tracer ?progress ?recover plan comm rank =
     let i, j = Proc_grid.coords plan.pg rank in
     let nx = block_x plan i and ny = block_y plan j in
     let a_n = plan.config.Transport.angles in
@@ -120,6 +135,18 @@ module Backend = struct
       model;
       tracer;
       progress;
+      recover =
+        Option.map
+          (fun (policy, store) ->
+            {
+              policy;
+              store;
+              version = 0;
+              pending = None;
+              wave = 0;
+              last_wave = 0;
+            })
+          recover;
       ntiles = (plan.grid.nz + plan.htile - 1) / plan.htile;
       sweep = 0;
     }
@@ -162,10 +189,61 @@ module Backend = struct
 
     let sweep_begin t ~rank:_ ~sweep ~dir =
       t.sweep <- sweep;
-      t.st <-
-        Some
-          (Transport.sweep_start t.plan.config ~nx:t.nx ~ny:t.ny
-             ~nz:t.plan.grid.nz ~dir ~phi:t.phi)
+      let st =
+        Transport.sweep_start t.plan.config ~nx:t.nx ~ny:t.ny
+          ~nz:t.plan.grid.nz ~dir ~phi:t.phi
+      in
+      t.st <- Some st;
+      (* A rank resuming from a checkpoint re-enters mid-sweep: the fresh
+         sweep state starts from the inflow boundary, so re-apply the
+         snapshot's carried z-face before any tile runs. Only the first
+         sweep_begin after a restore has a pending mark. *)
+      match t.recover with
+      | Some ({ pending = Some mark; _ } as rc) ->
+          Transport.sweep_restore st mark;
+          rc.pending <- None
+      | _ -> ()
+
+    (* The checkpoint anchor. When the policy says wave [wave] is due,
+       snapshot everything the tile loop carries — accumulated phi, the
+       sweep's tile-to-tile state (z-face + plane cursor), and the channel
+       marks — then release the senders' logs the snapshot covers. *)
+    let tile_begin t ~rank ~pos ~wave =
+      match t.recover with
+      | None -> ()
+      | Some rc ->
+          rc.wave <- wave;
+          if Perturb.Recover.due ~interval:rc.policy.interval ~wave then begin
+            let save () =
+              let mark =
+                match t.st with
+                | Some st -> Transport.sweep_capture st
+                | None -> assert false (* sweep_begin precedes tile_begin *)
+              in
+              let m = Shmpi.Supervisor.marks t.comm ~rank in
+              rc.version <- rc.version + 1;
+              rc.last_wave <- wave;
+              Wrun.Checkpoint.save rc.store
+                {
+                  rank;
+                  version = rc.version;
+                  wave;
+                  position = pos;
+                  phi = Array.copy t.phi;
+                  zbuf = Transport.mark_zbuf mark;
+                  zpos = Transport.mark_pos mark;
+                  sent = m.Shmpi.Supervisor.sent;
+                  recvd = m.Shmpi.Supervisor.recvd;
+                };
+              Shmpi.Supervisor.release t.comm ~rank m
+            in
+            match t.tracer with
+            | None -> save ()
+            | Some tr ->
+                Obs.Tracer.span tr ~cat:"recover"
+                  ~args:[ (Obs.Timeline.wave_arg, Obs.Span.Int wave) ]
+                  ~rank "recover.checkpoint" save
+          end
 
     let precompute _ ~rank:_ ~tile:_ = ()
 
@@ -299,6 +377,137 @@ let run_resilient ?obs ?(timeout_us = 1e6) plan =
           frontier = progress;
           wall_time = Shmpi.Runtime.now_us () -. start;
         }
+
+type recovery_stats = {
+  restarts : int;
+  checkpoints : int;
+  replayed_waves : int;
+}
+
+type recoverable_outcome =
+  | Recovered of outcome * recovery_stats
+  | Unrecovered of {
+      failed : int list;
+      reason : exn;
+      frontier : int array;
+      wall_time : float;
+    }
+
+(* Restarts per rank are capped so a model that keeps killing a rank (or a
+   bug in the rollback) surfaces as Unrecovered rather than looping. One
+   restart per originally-failing rank suffices in practice: [revive]
+   lifts the fail-stop sentence on respawn. *)
+let max_restarts = 4
+
+(* One rank's program under supervision: run the shared core; on a
+   fail-stop, revive the rank, rewind its channels to its last
+   checkpoint's marks (redelivering consumed-but-uncovered messages from
+   the senders' logs), restore its snapshot, and resume from the
+   snapshot's position. Only this rank rolls back — see Shmpi.Supervisor.
+   [restarts]/[replayed] are shared per-rank counters, each slot written
+   only by its owner. *)
+let recoverable_rank_program ?model ?obs ?progress ~policy ~store ~restarts
+    ~replayed plan =
+  let cfg = program_config plan in
+  fun comm rank ->
+    let tracer = Option.map (fun trs -> trs.(rank)) obs in
+    let b =
+      Backend.create ?model ?tracer ?progress ~recover:(policy, store) plan
+        comm rank
+    in
+    let rc =
+      match b.Backend.recover with Some rc -> rc | None -> assert false
+    in
+    let rec attempt from =
+      match
+        Wrun.Program.run_rank ?from (module Backend.Substrate) b cfg rank
+      with
+      | () -> b.Backend.phi
+      | exception Perturb.Model.Killed _ when restarts.(rank) < max_restarts
+        ->
+          restarts.(rank) <- restarts.(rank) + 1;
+          (match model with
+          | Some m -> Perturb.Model.revive m ~rank
+          | None -> ());
+          let restore () =
+            match Wrun.Checkpoint.latest store ~rank with
+            | Some (snap : Wrun.Checkpoint.snapshot) ->
+                Array.blit snap.phi 0 b.Backend.phi 0
+                  (Array.length b.Backend.phi);
+                rc.Backend.pending <-
+                  Some (Transport.mark_of ~zbuf:snap.zbuf ~pos:snap.zpos);
+                Shmpi.Supervisor.rollback comm ~rank
+                  { Shmpi.Supervisor.sent = snap.sent; recvd = snap.recvd };
+                replayed.(rank) <-
+                  replayed.(rank) + (rc.Backend.wave - snap.wave);
+                Some snap.position
+            | None ->
+                (* Died before its first checkpoint: respawn from scratch.
+                   This rank never released anything, so the full logs
+                   replay from message zero. *)
+                Array.fill b.Backend.phi 0 (Array.length b.Backend.phi) 0.0;
+                rc.Backend.pending <- None;
+                Shmpi.Supervisor.rollback comm ~rank
+                  {
+                    Shmpi.Supervisor.sent =
+                      Array.make (Shmpi.Comm.ranks comm) 0;
+                    recvd = Array.make (Shmpi.Comm.ranks comm) 0;
+                  };
+                replayed.(rank) <- replayed.(rank) + rc.Backend.wave;
+                None
+          in
+          let from =
+            match tracer with
+            | None -> restore ()
+            | Some tr ->
+                Obs.Tracer.span tr ~cat:"recover" ~rank "recover.restart"
+                  restore
+          in
+          attempt from
+    in
+    attempt None
+
+let run_recoverable ?obs ?(timeout_us = 1e6) ?store ~policy plan =
+  if not (Perturb.Recover.enabled policy) then
+    (* A disabled policy is bitwise invisible: the plain resilient path,
+       no message logging, no hooks armed. *)
+    match run_resilient ?obs ~timeout_us plan with
+    | Completed o ->
+        Recovered (o, { restarts = 0; checkpoints = 0; replayed_waves = 0 })
+    | Degraded { failed; reason; frontier; wall_time } ->
+        Unrecovered { failed; reason; frontier; wall_time }
+  else begin
+    let ranks = Proc_grid.cores plan.pg in
+    let store =
+      match store with Some s -> s | None -> Wrun.Checkpoint.memory_store ()
+    in
+    let progress = Array.make ranks 0 in
+    let restarts = Array.make ranks 0 in
+    let replayed = Array.make ranks 0 in
+    let start = Shmpi.Runtime.now_us () in
+    match
+      Shmpi.Runtime.run ?obs ~log:true ~timeout_us ~ranks
+        (recoverable_rank_program
+           ?model:(model_of plan ~ranks)
+           ?obs ~progress ~policy ~store ~restarts ~replayed plan)
+    with
+    | r ->
+        Recovered
+          ( { blocks = r.values; wall_time = r.wall_time },
+            {
+              restarts = Array.fold_left ( + ) 0 restarts;
+              checkpoints = Wrun.Checkpoint.saves store;
+              replayed_waves = Array.fold_left ( + ) 0 replayed;
+            } )
+    | exception Shmpi.Runtime.Rank_failure { failed; exn; _ } ->
+        Unrecovered
+          {
+            failed;
+            reason = exn;
+            frontier = progress;
+            wall_time = Shmpi.Runtime.now_us () -. start;
+          }
+  end
 
 (* Assemble per-rank blocks into a global grid for comparison. *)
 let gather plan blocks =

@@ -59,6 +59,7 @@ module Backend : sig
     ?model:Perturb.Model.t ->
     ?tracer:Obs.Tracer.t ->
     ?progress:int array ->
+    ?recover:Perturb.Recover.policy * Wrun.Checkpoint.store ->
     plan ->
     Shmpi.Comm.t ->
     int ->
@@ -67,7 +68,10 @@ module Backend : sig
       buffers. [model] is the (shared) instantiated perturbation spec;
       [tracer] tags injected delay as [perturb.*] spans; [progress] is a
       shared per-rank tiles-completed array (slot [rank] is only written
-      by this rank). *)
+      by this rank). [recover] arms the checkpoint hook: at every wave the
+      policy's interval selects, the substrate snapshots the rank's state
+      (phi, the sweep's carried z-face, channel marks) into the store and
+      releases the covered message logs — see {!run_recoverable}. *)
 
   val phi : t -> float array
 
@@ -105,6 +109,42 @@ val run_resilient :
     blocking wait carries a deadline ([timeout_us], default 1 s) so ranks
     starved by a dead neighbour time out rather than hang the join, and
     the outcome reports who failed and the partial wavefront frontier. *)
+
+type recovery_stats = {
+  restarts : int;  (** rank respawns performed *)
+  checkpoints : int;  (** snapshots saved, all ranks *)
+  replayed_waves : int;  (** waves re-executed after rollbacks *)
+}
+
+type recoverable_outcome =
+  | Recovered of outcome * recovery_stats
+      (** completed — possibly after rolling failed ranks back *)
+  | Unrecovered of {
+      failed : int list;
+      reason : exn;
+      frontier : int array;
+      wall_time : float;
+    }  (** a rank exhausted its restarts or failed outside the protocol *)
+
+val run_recoverable :
+  ?obs:Obs.Tracer.t array ->
+  ?timeout_us:float ->
+  ?store:Wrun.Checkpoint.store ->
+  policy:Perturb.Recover.policy ->
+  plan ->
+  recoverable_outcome
+(** As {!run_resilient}, but with checkpoint/rollback recovery: every
+    [policy.interval] waves each rank snapshots its state into [store]
+    (default an in-memory store; pass [Wrun.Checkpoint.file_store] to
+    survive the process), and a spec-killed rank is revived in place —
+    its channels rewound to the last checkpoint's marks, in-flight
+    messages replayed from the senders' bounded logs, and the shared core
+    resumed from the checkpoint's position. Only the failed rank rolls
+    back (uncoordinated rollback with message logging; the wavefront DAG
+    rules out any domino effect). A recovered run's gathered grid is
+    bitwise-equal to the unfailed run's. A disabled policy
+    ([interval = 0]) takes the plain {!run_resilient} path — no logging,
+    no hooks, bitwise invisible. *)
 
 val gather : plan -> float array array -> float array
 (** Assemble per-rank blocks into a global [nx*ny*nz] grid. *)

@@ -173,6 +173,25 @@ let sweep c ~nx ~ny ~nz ~dir ~htile ~recv_x ~recv_y ~send_x ~send_y ~phi =
     send_y ~tile out_y
   done
 
+(* Checkpoint support: the only sweep state that travels tile to tile is
+   the incoming z-face and the plane cursor ([ybuf]/[xrow] are per-plane
+   scratch, dead between tiles), so capturing and restoring those around a
+   rollback makes [sweep_tile] resumable at any tile boundary. *)
+type sweep_mark = { m_zbuf : float array; m_pos : int }
+
+let sweep_capture st = { m_zbuf = Array.copy st.zbuf; m_pos = st.pos }
+
+let sweep_restore st m =
+  if Array.length m.m_zbuf <> Array.length st.zbuf then
+    invalid_arg "Transport.sweep_restore: mark from a different sweep shape";
+  Array.blit m.m_zbuf 0 st.zbuf 0 (Array.length st.zbuf);
+  st.pos <- m.m_pos
+
+let mark_zbuf m = m.m_zbuf
+let mark_pos m = m.m_pos
+
+let mark_of ~zbuf ~pos = { m_zbuf = Array.copy zbuf; m_pos = pos }
+
 (* Boundary faces for sweeps entering at the domain edge. *)
 let boundary_x c ~ny ~h = Array.make (c.angles * ny * h) c.boundary
 let boundary_y c ~nx ~h = Array.make (c.angles * nx * h) c.boundary

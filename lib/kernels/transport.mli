@@ -68,6 +68,25 @@ val sweep :
     downstream ones — the communication pattern of the paper's Figure 4 in
     one call. *)
 
+type sweep_mark
+(** The tile-to-tile state of a sweep (carried z-face and plane cursor),
+    captured at a tile boundary — everything a checkpoint needs beyond
+    [phi] to resume the sweep mid-stack. *)
+
+val sweep_capture : sweep_state -> sweep_mark
+(** Snapshot the sweep's carried state (the z-face is copied). *)
+
+val sweep_restore : sweep_state -> sweep_mark -> unit
+(** Rewind the sweep to a captured mark. Raises [Invalid_argument] if
+    the mark comes from a sweep of a different shape. *)
+
+val mark_zbuf : sweep_mark -> float array
+val mark_pos : sweep_mark -> int
+
+val mark_of : zbuf:float array -> pos:int -> sweep_mark
+(** Rebuild a mark from serialized checkpoint fields (the z-face is
+    copied). *)
+
 val boundary_x : config -> ny:int -> h:int -> float array
 val boundary_y : config -> nx:int -> h:int -> float array
 

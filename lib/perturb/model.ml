@@ -93,6 +93,11 @@ let fails_now t ~rank =
   t.tiles.(rank) <- n + 1;
   n >= t.fail_after.(rank)
 
+(* Recovery's replacement semantics: the spec's failure is fail-stop, so
+   a respawned rank never dies again. The tile counter keeps advancing
+   (draw alignment is untouched); only the death sentence is lifted. *)
+let revive t ~rank = t.fail_after.(rank) <- max_int
+
 let tiles_started t ~rank = t.tiles.(rank)
 let fails t ~rank = t.fail_after.(rank) < max_int
 let is_straggler t ~rank = t.straggle.(rank) > 0.0

@@ -37,6 +37,11 @@ val fails_now : t -> rank:int -> bool
 (** Advance the rank's tile counter; true when the spec kills the rank at
     this tile. Call exactly once at the start of every tile compute. *)
 
+val revive : t -> rank:int -> unit
+(** Lift the rank's death sentence after a recovery respawn: failures
+    are fail-stop with replacement, so a revived rank never dies again.
+    Draw streams and the tile counter are untouched. *)
+
 val tiles_started : t -> rank:int -> int
 val fails : t -> rank:int -> bool
 val is_straggler : t -> rank:int -> bool

@@ -94,22 +94,29 @@ let max_rank t =
 
 (* --- Parsing --- *)
 
-let err fmt = Fmt.kstr (fun m -> Error (`Msg m)) fmt
+type parse_error = { clause : string; position : int; reason : string }
+
+let pp_parse_error ppf e =
+  Fmt.pf ppf "perturb: bad clause %S at offset %d: %s" e.clause e.position
+    e.reason
+
+(* Clause-local parsing reports only a reason; of_string attaches the
+   clause text and its byte offset in the input. *)
+let err fmt = Fmt.kstr (fun m -> Error m) fmt
 
 let parse_clause spec clause =
-  let fail () = err "perturb: bad clause %S" clause in
   let float_of s = float_of_string_opt s in
   let int_of s = int_of_string_opt s in
-  let two v of_a of_b k =
+  let two v of_a of_b ~shape k =
     match String.split_on_char ':' v with
     | [ a; b ] -> (
         match (of_a a, of_b b) with
         | Some a, Some b -> k a b
-        | _ -> fail ())
-    | _ -> fail ()
+        | _ -> err "expected %s" shape)
+    | _ -> err "expected %s" shape
   in
   match String.index_opt clause '=' with
-  | None -> fail ()
+  | None -> err "expected KEY=VALUE"
   | Some i -> (
       let key = String.sub clause 0 i in
       let v = String.sub clause (i + 1) (String.length clause - i - 1) in
@@ -117,25 +124,33 @@ let parse_clause spec clause =
       | "seed" -> (
           match int_of v with
           | Some seed -> Ok { spec with seed }
-          | None -> fail ())
+          | None -> err "seed wants an integer, got %S" v)
       | "noise" -> (
           match String.split_on_char ':' v with
           | [ "uniform"; a ] | [ a ] -> (
               match float_of a with
               | Some a when a >= 0.0 -> Ok { spec with noise = Uniform a }
-              | _ -> fail ())
+              | _ -> err "noise amplitude must be a float >= 0, got %S" a)
           | [ "exp"; m ] -> (
               match float_of m with
               | Some m when m >= 0.0 -> Ok { spec with noise = Exponential m }
-              | _ -> fail ())
-          | _ -> fail ())
+              | _ -> err "noise mean must be a float >= 0, got %S" m)
+          | _ -> err "expected noise=uniform:FRAC, noise=exp:FRAC or \
+                      noise=FRAC")
       | "link" ->
-          two v float_of float_of (fun prob delay ->
-              if prob < 0.0 || prob > 1.0 || delay < 0.0 then fail ()
+          two v float_of float_of ~shape:"link=PROB:DELAY_US"
+            (fun prob delay ->
+              if prob < 0.0 || prob > 1.0 then
+                err "link probability must be in [0, 1], got %g" prob
+              else if delay < 0.0 then
+                err "link delay must be >= 0, got %g" delay
               else Ok { spec with link = Some { prob; delay } })
       | "straggler" ->
-          two v int_of float_of (fun rank delay ->
-              if rank < 0 || delay < 0.0 then fail ()
+          two v int_of float_of ~shape:"straggler=RANK:DELAY_US"
+            (fun rank delay ->
+              if rank < 0 then err "straggler rank must be >= 0, got %d" rank
+              else if delay < 0.0 then
+                err "straggler delay must be >= 0, got %g" delay
               else
                 Ok
                   {
@@ -143,8 +158,11 @@ let parse_clause spec clause =
                     stragglers = spec.stragglers @ [ { rank; delay } ];
                   })
       | "fail" ->
-          two v int_of int_of (fun rank after_tiles ->
-              if rank < 0 || after_tiles < 0 then fail ()
+          two v int_of int_of ~shape:"fail=RANK:AFTER_TILES"
+            (fun rank after_tiles ->
+              if rank < 0 then err "fail rank must be >= 0, got %d" rank
+              else if after_tiles < 0 then
+                err "fail tile count must be >= 0, got %d" after_tiles
               else
                 Ok
                   {
@@ -152,21 +170,40 @@ let parse_clause spec clause =
                     failures = spec.failures @ [ { rank; after_tiles } ];
                   })
       | _ ->
-          err
-            "perturb: unknown clause %S (known: seed, noise, link, \
-             straggler, fail)"
+          err "unknown clause %S (known: seed, noise, link, straggler, fail)"
             key)
 
-let of_string text =
-  let clauses =
-    String.split_on_char ' ' text
-    |> List.concat_map (String.split_on_char '\t')
-    |> List.concat_map (String.split_on_char ';')
-    |> List.filter (( <> ) "")
+(* Clauses with the byte offset each starts at, so errors can point into
+   the user's input. Separators: space, tab, semicolon. *)
+let tokenize text =
+  let n = String.length text in
+  let sep c = c = ' ' || c = '\t' || c = ';' in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if sep text.[i] then go (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < n && not (sep text.[!j]) do
+        incr j
+      done;
+      go !j ((String.sub text i (!j - i), i) :: acc)
+    end
   in
+  go 0 []
+
+let of_string_loc text =
   List.fold_left
-    (fun acc clause -> Result.bind acc (fun spec -> parse_clause spec clause))
-    (Ok zero) clauses
+    (fun acc (clause, position) ->
+      Result.bind acc (fun spec ->
+          match parse_clause spec clause with
+          | Ok spec -> Ok spec
+          | Error reason -> Error { clause; position; reason }))
+    (Ok zero) (tokenize text)
+
+let of_string text =
+  Result.map_error
+    (fun e -> `Msg (Fmt.str "%a" pp_parse_error e))
+    (of_string_loc text)
 
 let pp_noise ppf = function
   | No_noise -> ()

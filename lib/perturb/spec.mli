@@ -61,6 +61,21 @@ val mean_noise_frac : t -> float
 val max_rank : t -> int
 (** Highest rank named by a straggler or failure clause; [-1] if none. *)
 
+type parse_error = {
+  clause : string;  (** the offending clause, verbatim *)
+  position : int;  (** byte offset of the clause in the input *)
+  reason : string;  (** what is wrong with it *)
+}
+
+val pp_parse_error : parse_error Fmt.t
+
+val of_string_loc : string -> (t, parse_error) result
+(** As {!of_string}, but a failure carries the offending clause, its
+    position in the input and the reason, for callers that want to point
+    at the user's text. *)
+
 val of_string : string -> (t, [ `Msg of string ]) result
+(** Errors render {!parse_error} via {!pp_parse_error}. *)
+
 val to_string : t -> string
 val pp : t Fmt.t

@@ -29,6 +29,9 @@ type outcome = {
   blocked : (int * string) list;
       (** stuck ranks and what each was waiting on (empty iff completed) *)
   failed : int list;  (** ranks killed by the perturbation spec, ascending *)
+  recovered : int list;
+      (** ranks that died but were revived by the checkpoint policy,
+          ascending (empty unless a recovery policy is active) *)
   messages : int;
   orphaned : int;
       (** sent messages never received — non-zero flags a sender whose
@@ -38,7 +41,9 @@ type outcome = {
 
 let pp_outcome ppf o =
   if o.completed then
-    Fmt.pf ppf "%d ranks completed, %d messages%s%s" o.ranks o.messages
+    Fmt.pf ppf "%d ranks completed, %d messages%s%s%s" o.ranks o.messages
+      (if o.recovered = [] then ""
+       else Fmt.str ", %d recovered" (List.length o.recovered))
       (if o.orphaned = 0 then "" else Fmt.str ", %d ORPHANED" o.orphaned)
       (match o.mismatches with
       | [] -> ""
@@ -260,6 +265,7 @@ module Raw = struct
       completed = t.finished = t.ranks;
       blocked = blocked t;
       failed = failed_ranks t;
+      recovered = [];
       messages = t.messages;
       orphaned = t.messages - t.received;
       mismatches = [];
@@ -293,11 +299,24 @@ type timed = {
   mutable coll_release : float;
 }
 
+(* Recovery bookkeeping: the simulated counterpart of the real
+   supervisor. [last_ckpt] holds each rank's last snapshot wave (global
+   index, via tile_begin); [cur_wave] the wave currently computing, so
+   the rollback depth at a kill is [cur_wave - last_ckpt]. *)
+type recovery = {
+  policy : Perturb.Recover.policy;
+  last_ckpt : int array;
+  cur_wave : int array;
+  revived : bool array;
+  mutable ckpts : int;  (* snapshots taken, all ranks *)
+}
+
 type t = {
   sched : Raw.sched;
   msg_ew : int;
   msg_ns : int;
   model : Perturb.Model.t option;
+  recover : recovery option;
   timed : timed option;
   mutable mismatches : string list;  (* reversed; capped *)
   mutable n_mismatch : int;
@@ -305,9 +324,23 @@ type t = {
 
 let mismatch_cap = 16
 
-let create ?perturb ?costs ?obs ?(ntiles = 1) ~ranks ~msg_ew ~msg_ns () =
+let create ?perturb ?recover ?costs ?obs ?(ntiles = 1) ~ranks ~msg_ew ~msg_ns
+    () =
   let sched = Raw.create ~ranks in
   let model = Option.map (Perturb.Model.create ~ranks) perturb in
+  let recover =
+    match recover with
+    | Some p when Perturb.Recover.enabled p ->
+        Some
+          {
+            policy = p;
+            last_ckpt = Array.make ranks 0;
+            cur_wave = Array.make ranks 0;
+            revived = Array.make ranks false;
+            ckpts = 0;
+          }
+    | _ -> None
+  in
   (match model with
   | None -> ()
   | Some m ->
@@ -332,10 +365,19 @@ let create ?perturb ?costs ?obs ?(ntiles = 1) ~ranks ~msg_ew ~msg_ns () =
         })
       costs
   in
-  { sched; msg_ew; msg_ns; model; timed; mismatches = []; n_mismatch = 0 }
+  {
+    sched;
+    msg_ew;
+    msg_ns;
+    model;
+    recover;
+    timed;
+    mismatches = [];
+    n_mismatch = 0;
+  }
 
-let of_app ?perturb ?costs ?obs pg app =
-  create ?perturb ?costs ?obs
+let of_app ?perturb ?recover ?costs ?obs pg app =
+  create ?perturb ?recover ?costs ?obs
     ~ntiles:
       (Tile.ntiles_int ~nz:app.Wavefront_core.App_params.grid.Data_grid.nz
          ~htile:app.Wavefront_core.App_params.htile)
@@ -457,10 +499,41 @@ module Substrate = struct
           ]);
     Raw.send t.sched ~src:rank ~dst m
 
+  (* A revived rank re-executes its lost waves from the snapshot before
+     rejoining the schedule. The precedence graph is untouched (the
+     wavefront DAG makes rollback local by construction), so in the
+     clockless reading recovery is pure bookkeeping; timed mode charges
+     restart plus the replayed compute. *)
+  let recover_in_place t ~rank ~tile r =
+    (match t.model with
+    | Some m -> Perturb.Model.revive m ~rank
+    | None -> ());
+    r.revived.(rank) <- true;
+    match t.timed with
+    | None -> ()
+    | Some tm ->
+        let args =
+          [ (Obs.Timeline.wave_arg, Obs.Span.Int (wave tm ~rank ~tile)) ]
+        in
+        let charge name d =
+          if d > 0.0 then begin
+            let t0 = tm.clock.(rank) in
+            tm.clock.(rank) <- t0 +. d;
+            emit tm ~rank ~name ~cat:"recover" ~start:t0 args
+          end
+        in
+        let lost = r.cur_wave.(rank) - r.last_ckpt.(rank) in
+        charge "recover.restart" r.policy.restart_cost;
+        charge "recover.replay"
+          (float_of_int lost
+          *. (Costs.compute tm.costs +. Costs.precompute tm.costs))
+
   let compute t ~rank ~dir:_ ~tile ~h:_ ~x:_ ~y:_ =
     (match t.model with
-    | Some m when Perturb.Model.fails_now m ~rank ->
-        raise (Perturb.Model.Killed { rank; tile })
+    | Some m when Perturb.Model.fails_now m ~rank -> (
+        match t.recover with
+        | Some r -> recover_in_place t ~rank ~tile r
+        | None -> raise (Perturb.Model.Killed { rank; tile }))
     | _ -> ());
     (match t.timed with
     | None -> ()
@@ -488,6 +561,33 @@ module Substrate = struct
     match t.timed with
     | None -> ()
     | Some tm -> tm.sweep.(rank) <- sweep
+
+  (* The checkpoint anchor: snapshot bookkeeping on due waves, charged
+     at the modeled per-checkpoint cost in timed mode. Without a policy
+     this is a strict no-op, so the zero config is invisible. *)
+  let tile_begin t ~rank ~pos ~wave:gwave =
+    match t.recover with
+    | None -> ()
+    | Some r ->
+        r.cur_wave.(rank) <- gwave;
+        if Perturb.Recover.due ~interval:r.policy.interval ~wave:gwave then begin
+          r.ckpts <- r.ckpts + 1;
+          r.last_ckpt.(rank) <- gwave;
+          match t.timed with
+          | None -> ()
+          | Some tm ->
+              let d = r.policy.ckpt_cost in
+              if d > 0.0 then begin
+                let t0 = tm.clock.(rank) in
+                tm.clock.(rank) <- t0 +. d;
+                emit tm ~rank ~name:"recover.checkpoint" ~cat:"recover"
+                  ~start:t0
+                  [
+                    ( Obs.Timeline.wave_arg,
+                      Obs.Span.Int (wave tm ~rank ~tile:pos.Substrate.tile) );
+                  ]
+              end
+        end
 
   let epilogue_args =
     [ (Obs.Timeline.wave_arg, Obs.Span.Int Obs.Timeline.epilogue_wave) ]
@@ -576,14 +676,26 @@ end
 
 let exec t program = Raw.exec t.sched program
 
-let outcome t =
-  { (Raw.outcome t.sched) with mismatches = List.rev t.mismatches }
+let checkpoints t = match t.recover with None -> 0 | Some r -> r.ckpts
 
-let run ?iterations ?tiling ?perturb ?costs ?obs pg app =
+let outcome t =
+  let recovered =
+    match t.recover with
+    | None -> []
+    | Some r ->
+        let acc = ref [] in
+        for rank = Array.length r.revived - 1 downto 0 do
+          if r.revived.(rank) then acc := rank :: !acc
+        done;
+        !acc
+  in
+  { (Raw.outcome t.sched) with mismatches = List.rev t.mismatches; recovered }
+
+let run ?iterations ?tiling ?perturb ?recover ?costs ?obs pg app =
   let cfg = Program.of_app ?iterations ?tiling pg app in
   let t =
-    create ?perturb ?costs ?obs ~ntiles:cfg.Program.tiling.Program.ntiles
-      ~ranks:(Proc_grid.cores pg)
+    create ?perturb ?recover ?costs ?obs
+      ~ntiles:cfg.Program.tiling.Program.ntiles ~ranks:(Proc_grid.cores pg)
       ~msg_ew:(Wavefront_core.App_params.message_size_ew app pg)
       ~msg_ns:(Wavefront_core.App_params.message_size_ns app pg)
       ()

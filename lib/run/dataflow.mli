@@ -29,6 +29,9 @@ type outcome = {
   blocked : (int * string) list;
       (** stuck ranks and what each was waiting on (empty iff completed) *)
   failed : int list;  (** ranks killed by the perturbation spec, ascending *)
+  recovered : int list;
+      (** ranks that died but were revived by the checkpoint policy,
+          ascending (empty unless a recovery policy is active) *)
   messages : int;
   orphaned : int;
       (** sent messages never received — non-zero flags a sender whose
@@ -67,6 +70,7 @@ type t
 
 val create :
   ?perturb:Perturb.Spec.t ->
+  ?recover:Perturb.Recover.policy ->
   ?costs:Costs.t ->
   ?obs:Obs.Tracer.t ->
   ?ntiles:int ->
@@ -78,6 +82,14 @@ val create :
 (** [perturb] marks the spec's stragglers for deferred scheduling and arms
     its failures; the spec's timed clauses (noise, link delay) are no-ops
     on this clockless backend.
+
+    [recover] simulates the checkpoint/rollback protocol: snapshot
+    bookkeeping on due waves, and a spec'd failure revives the rank in
+    place instead of ending its fiber (the wavefront DAG makes rollback
+    local, so the precedence graph is unchanged). In timed mode the
+    checkpoint, restart and replayed-wave costs are charged on the
+    virtual clocks and tagged as [recover.*] spans. A disabled policy
+    (interval 0) or its absence is bitwise invisible.
 
     [costs] switches on timed mode: each rank carries a virtual clock
     advanced by the analytic model's per-operation costs, every message a
@@ -91,6 +103,7 @@ val create :
 
 val of_app :
   ?perturb:Perturb.Spec.t ->
+  ?recover:Perturb.Recover.policy ->
   ?costs:Costs.t ->
   ?obs:Obs.Tracer.t ->
   Proc_grid.t ->
@@ -114,10 +127,15 @@ val exec : t -> (int -> unit) -> unit
 
 val outcome : t -> outcome
 
+val checkpoints : t -> int
+(** Snapshots taken across all ranks under the recovery policy (0 when
+    recovery is off). *)
+
 val run :
   ?iterations:int ->
   ?tiling:Program.tiling ->
   ?perturb:Perturb.Spec.t ->
+  ?recover:Perturb.Recover.policy ->
   ?costs:Costs.t ->
   ?obs:Obs.Tracer.t ->
   Proc_grid.t ->

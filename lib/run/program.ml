@@ -106,21 +106,49 @@ let nonwavefront (type st p) ((module S) : (st, p) Substrate.s) (s : st) cfg
       exchange (0, 1) ns;
       exchange (0, -1) ns
 
-let run_rank (type st p) ((module S) : (st, p) Substrate.s) (s : st) cfg rank
-    =
+(* Global wave index of a tile step: one wave per tile compute, counted
+   across sweeps and iterations — the clock the checkpoint interval ticks
+   on, and the per-rank counter [Perturb.Model.fails_now] advances. *)
+let wave_of cfg (p : Substrate.position) =
+  let nsweeps = List.length (Sweeps.Schedule.sweeps cfg.schedule) in
+  ((((p.iteration - 1) * nsweeps) + p.sweep) * cfg.tiling.ntiles) + p.tile
+
+let waves cfg =
+  cfg.iterations
+  * List.length (Sweeps.Schedule.sweeps cfg.schedule)
+  * cfg.tiling.ntiles
+
+let run_rank (type st p) ?(from = Substrate.start_position)
+    ((module S) : (st, p) Substrate.s) (s : st) cfg rank =
   let pg = cfg.pg in
   let i, j = Proc_grid.coords pg rank in
   let has p = Proc_grid.contains pg p in
   let sweeps = Sweeps.Schedule.sweeps cfg.schedule in
-  for _iter = 1 to cfg.iterations do
+  if
+    from.iteration < 1
+    || from.sweep < 0
+    || from.sweep >= List.length sweeps
+    || from.tile < 0
+    || from.tile >= cfg.tiling.ntiles
+  then invalid_arg "Program.run_rank: resume position out of range";
+  for iter = from.iteration to cfg.iterations do
     List.iteri
       (fun sweep_idx sw ->
+        if iter > from.iteration || sweep_idx >= from.sweep then begin
         let (dx, dy, _) as dir = flow pg sw in
         let up_x = (i - dx, j) and up_y = (i, j - dy) in
         let down_x = (i + dx, j) and down_y = (i, j + dy) in
         S.sweep_begin s ~rank ~sweep:sweep_idx ~dir;
-        for tile = 0 to cfg.tiling.ntiles - 1 do
+        let tile0 =
+          if iter = from.iteration && sweep_idx = from.sweep then from.tile
+          else 0
+        in
+        for tile = tile0 to cfg.tiling.ntiles - 1 do
           let h = cfg.tiling.h_of tile in
+          let pos : Substrate.position =
+            { iteration = iter; sweep = sweep_idx; tile }
+          in
+          S.tile_begin s ~rank ~pos ~wave:(wave_of cfg pos);
           (* Figure 4: LU pre-computes part of the domain before the
              receives; Sweep3D and Chimaera have Wg_pre = 0. *)
           S.precompute s ~rank ~tile;
@@ -141,7 +169,8 @@ let run_rank (type st p) ((module S) : (st, p) Substrate.s) (s : st) cfg rank
             S.send s ~rank ~dst:(Proc_grid.rank pg down_x) ~axis:X ~tile out_x;
           if has down_y then
             S.send s ~rank ~dst:(Proc_grid.rank pg down_y) ~axis:Y ~tile out_y
-        done)
+        done
+        end)
       sweeps;
     nonwavefront (module S) s cfg rank (i, j)
   done;

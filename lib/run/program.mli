@@ -62,7 +62,26 @@ val of_app :
     wavefront iteration), matching the simulator's historical default, not
     the app's [iterations] field. *)
 
-val run_rank : ('t, 'p) Substrate.s -> 't -> config -> int -> unit
+val wave_of : config -> Substrate.position -> int
+(** Global wave index of a tile step:
+    [((iteration - 1) * nsweeps + sweep) * ntiles + tile] — one wave per
+    tile compute, the clock the checkpoint interval ticks on. *)
+
+val waves : config -> int
+(** Total tile steps per rank over the whole run
+    ([iterations * nsweeps * ntiles]); wave indices range over
+    [0 .. waves - 1]. *)
+
+val run_rank :
+  ?from:Substrate.position -> ('t, 'p) Substrate.s -> 't -> config -> int ->
+  unit
 (** Execute one rank's program on the given substrate. The caller provides
     the concurrency (simulator processes, domains, or dataflow fibers);
-    this function only performs the rank's own blocking sequence. *)
+    this function only performs the rank's own blocking sequence.
+
+    [from] (default {!Substrate.start_position}) resumes the program at a
+    later tile step after a rollback: earlier iterations, sweeps and tiles
+    are skipped outright — the substrate must already hold the state a
+    checkpoint restored (accumulated block, carried z-face, rewound
+    channels). [sweep_begin] still fires for the resumed sweep. Raises
+    [Invalid_argument] if the position is out of range. *)

@@ -62,6 +62,10 @@ module Wrap (S : Substrate.S) = struct
     S.compute s ~rank ~dir ~tile ~h ~x ~y
 
   let sweep_begin (_, s) ~rank ~sweep ~dir = S.sweep_begin s ~rank ~sweep ~dir
+
+  (* Not recorded: checkpointing is a substrate-local concern and must not
+     perturb the cross-backend sequence oracle. *)
+  let tile_begin (_, s) ~rank ~pos ~wave = S.tile_begin s ~rank ~pos ~wave
   let fixed_work (_, s) ~rank t = S.fixed_work s ~rank t
 
   let stencil_compute (_, s) ~rank ~wg_stencil =

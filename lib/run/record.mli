@@ -35,4 +35,4 @@ module Wrap (S : Substrate.S) :
 (** The recording substrate: pass [(recorder, backend)] where the
     original program passed [backend]. Communication hooks (send, recv,
     boundary, halo, allreduce, barrier, finish) are recorded; compute
-    hooks pass straight through. *)
+    and per-tile bookkeeping hooks pass straight through. *)

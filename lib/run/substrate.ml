@@ -29,6 +29,17 @@ type axis = X | Y
 
 let axis_name = function X -> "x" | Y -> "y"
 
+(* A resumable point in the program: the next tile step to execute.
+   [Program.run_rank ~from] restarts a rank here after a rollback, and
+   [Checkpoint] snapshots carry one. [iteration] is 1-based, matching the
+   program's iteration loop; [sweep] and [tile] are 0-based. *)
+type position = { iteration : int; sweep : int; tile : int }
+
+let start_position = { iteration = 1; sweep = 0; tile = 0 }
+
+let pp_position ppf p =
+  Fmt.pf ppf "iteration %d, sweep %d, tile %d" p.iteration p.sweep p.tile
+
 module type S = sig
   type t
   type payload
@@ -61,6 +72,15 @@ module type S = sig
   val sweep_begin : t -> rank:int -> sweep:int -> dir:int * int * int -> unit
   (** Called once per sweep before its first tile, with the sweep's index
       in the schedule and its (dx, dy, dz) flow direction. *)
+
+  val tile_begin : t -> rank:int -> pos:position -> wave:int -> unit
+  (** Called at the start of every tile step, before [precompute], with the
+      step's resumable position and its global wave index
+      [wave = ((iteration - 1) * nsweeps + sweep) * ntiles + tile]. This is
+      the checkpoint layer's anchor: a substrate honouring a checkpoint
+      policy snapshots its state here when the wave is due (Checkpoint.due),
+      and a simulated substrate charges the modeled checkpoint cost.
+      Substrates without recovery bookkeeping do nothing. *)
 
   (* Non-wavefront operations between iterations (Table 3's
      Tnonwavefront). *)

@@ -31,6 +31,47 @@ val recv_deadline : t -> timeout_us:float -> float array option * float
 
 val recv_into_deadline :
   t -> float array -> timeout_us:float -> float array option * float
-(** {!recv_into} with the deadline semantics of {!recv_deadline}. *)
+(** {!recv_into} with the deadline semantics of {!recv_deadline}. A
+    timed-out call pops nothing and pools nothing: the channel is left
+    exactly as found and stays usable afterwards. *)
 
 val try_recv : t -> float array option
+
+(** {1 Message logging (recovery support)}
+
+    With logging enabled, every enqueued payload is retained under
+    monotone sequence numbers until the receiver's checkpoint covers it;
+    after a rollback the logged tail is redelivered and a respawned
+    sender's replayed sends are suppressed. Logged payloads alias the
+    delivered arrays, so a logging channel never recycles buffers into
+    its send pool. *)
+
+val enable_log : t -> unit
+(** Switch the channel into logging mode (idempotent). Call before any
+    traffic. *)
+
+val logging : t -> bool
+
+val sent_mark : t -> int
+(** Sequence number the next {!send} will carry — the sender-side
+    checkpoint mark. *)
+
+val recvd_mark : t -> int
+(** Payloads the receiver has consumed — the receiver-side checkpoint
+    mark. *)
+
+val release : t -> upto:int -> unit
+(** Drop logged payloads with sequence below [upto]: the receiver's
+    latest checkpoint covers them, so no rollback can ask for them
+    again. No-op on a non-logging channel. *)
+
+val rewind_recv : t -> to_:int -> unit
+(** Rewind the receive side to checkpoint mark [to_]: payloads consumed
+    after it are redelivered from the log, in order. Raises
+    [Invalid_argument] if logging is off or the mark was released. *)
+
+val rewind_send : t -> to_:int -> unit
+(** Rewind the send side to checkpoint mark [to_]: the respawned
+    sender's replayed sends are suppressed while they duplicate logged
+    payloads. Raises [Invalid_argument] if logging is off or the mark is
+    out of range. *)

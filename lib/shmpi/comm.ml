@@ -27,7 +27,7 @@ let () =
              waited_us)
     | _ -> None)
 
-let create ?obs ?timeout_us ranks =
+let create ?obs ?(log = false) ?timeout_us ranks =
   if ranks < 1 then invalid_arg "Comm.create: ranks must be >= 1";
   (match timeout_us with
   | Some u when u <= 0.0 -> invalid_arg "Comm.create: timeout must be > 0"
@@ -40,9 +40,15 @@ let create ?obs ?timeout_us ranks =
           invalid_arg "Comm.create: need one tracer per rank";
         a
   in
+  let channels =
+    Array.init (ranks * ranks) (fun _ ->
+        let ch = Channel.create () in
+        if log then Channel.enable_log ch;
+        ch)
+  in
   {
     ranks;
-    channels = Array.init (ranks * ranks) (fun _ -> Channel.create ());
+    channels;
     obs;
     timeout_us;
     barrier_mutex = Mutex.create ();

@@ -9,7 +9,8 @@ exception Timeout of { rank : int; src : int; op : string; waited_us : float }
     waits on everyone), [op] the operation ("recv", "recv_into",
     "barrier"). Only raised when {!create} was given [timeout_us]. *)
 
-val create : ?obs:Obs.Tracer.t array -> ?timeout_us:float -> int -> t
+val create :
+  ?obs:Obs.Tracer.t array -> ?log:bool -> ?timeout_us:float -> int -> t
 (** [obs] attaches one tracer per rank (the array must have one entry per
     rank): {!send}, {!recv}, {!barrier_r} and {!allreduce} then record
     spans on the calling rank's tracer, each written only from that rank's
@@ -17,6 +18,11 @@ val create : ?obs:Obs.Tracer.t array -> ?timeout_us:float -> int -> t
     empty channel, and ["src"]/["dst"] args make the spans usable with
     [Obs.Critical_path.edges_of_spans]. Without [obs] every operation
     costs a single length check.
+
+    [log] (default false) enables message logging on every channel
+    ({!Channel.enable_log}) — required by the recovery supervisor, which
+    rewinds and replays channels from their logs. Logging disables the
+    channels' buffer pooling (logged payloads alias delivered arrays).
 
     [timeout_us] bounds every blocking wait — {!recv}, {!recv_into}, the
     barrier, and the collectives built on them — raising {!Timeout}
@@ -26,6 +32,10 @@ val create : ?obs:Obs.Tracer.t array -> ?timeout_us:float -> int -> t
     it only changes costs when a wait is already long. *)
 
 val ranks : t -> int
+
+val channel : t -> src:int -> dst:int -> Channel.t
+(** The directed channel carrying [src]'s messages to [dst], for the
+    recovery supervisor's mark/release/rewind bookkeeping. *)
 
 val send : t -> src:int -> dst:int -> float array -> unit
 (** Buffered (eager) send: copies the payload and returns. *)

@@ -25,13 +25,13 @@ let () =
 
 let now_us () = Unix.gettimeofday () *. 1e6
 
-let run ?obs ?timeout_us ~ranks f =
+let run ?obs ?log ?timeout_us ~ranks f =
   if ranks < 1 then invalid_arg "Runtime.run: ranks must be >= 1";
   (match obs with
   | Some a when Array.length a <> ranks ->
       invalid_arg "Runtime.run: need one tracer per rank"
   | _ -> ());
-  let comm = Comm.create ?obs ?timeout_us ranks in
+  let comm = Comm.create ?obs ?log ?timeout_us ranks in
   let body rank () =
     let wrapped () =
       match f comm rank with

@@ -16,11 +16,14 @@ exception
 
 val run :
   ?obs:Obs.Tracer.t array ->
+  ?log:bool ->
   ?timeout_us:float ->
   ranks:int ->
   (Comm.t -> int -> 'a) ->
   'a result
-(** Run [f comm rank] on [ranks] domains. Every domain is joined before
+(** Run [f comm rank] on [ranks] domains. [log] enables channel message
+    logging on the communicator ({!Comm.create}), as the recovery
+    supervisor requires. Every domain is joined before
     returning — a raising rank does not leak the others — and any failure
     is re-raised as {!Rank_failure}. Note that a raising rank can leave
     peers blocked in [Comm.recv] forever; structure programs so failures

@@ -1,0 +1,52 @@
+(* Channel-level supervision for uncoordinated rollback with message
+   logging (the communicator must have been created with [log:true]).
+
+   The protocol, per rank R:
+   - at every checkpoint, R records its [marks]: how many messages it has
+     sent on each outgoing channel and consumed on each incoming one, and
+     tells the senders their logs are covered up to those receive marks
+     ([release]) — which bounds every log to O(K) messages;
+   - when R dies and is respawned from its last checkpoint, [rollback]
+     rewinds R's channels to the checkpoint's marks: consumed-but-
+     uncovered messages are redelivered from the senders' logs, and R's
+     own replayed sends are suppressed while they duplicate logged ones.
+
+   No other rank rolls back: the wavefront DAG gives messages a single
+   consumer downstream of their send, so a sender's state never depends
+   on the restored rank's lost progress — uncoordinated rollback with no
+   domino effect, by construction. *)
+
+type marks = { sent : int array; recvd : int array }
+(* Indexed by peer rank: [sent.(p)] on channel rank->p, [recvd.(p)] on
+   channel p->rank. Self and non-neighbour entries just hold 0. *)
+
+let marks comm ~rank =
+  let ranks = Comm.ranks comm in
+  {
+    sent =
+      Array.init ranks (fun p ->
+          if p = rank then 0
+          else Channel.sent_mark (Comm.channel comm ~src:rank ~dst:p));
+    recvd =
+      Array.init ranks (fun p ->
+          if p = rank then 0
+          else Channel.recvd_mark (Comm.channel comm ~src:p ~dst:rank));
+  }
+
+let release comm ~rank (m : marks) =
+  let ranks = Comm.ranks comm in
+  for p = 0 to ranks - 1 do
+    if p <> rank then
+      Channel.release (Comm.channel comm ~src:p ~dst:rank) ~upto:m.recvd.(p)
+  done
+
+let rollback comm ~rank (m : marks) =
+  let ranks = Comm.ranks comm in
+  for p = 0 to ranks - 1 do
+    if p <> rank then begin
+      Channel.rewind_send (Comm.channel comm ~src:rank ~dst:p) ~to_:m.sent.(p);
+      Channel.rewind_recv
+        (Comm.channel comm ~src:p ~dst:rank)
+        ~to_:m.recvd.(p)
+    end
+  done

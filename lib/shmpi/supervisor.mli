@@ -1,0 +1,29 @@
+(** Channel-level supervision for uncoordinated rollback with message
+    logging. The communicator must have been created with [log:true].
+
+    At each checkpoint a rank records its {!marks} and {!release}s the
+    senders' logs its checkpoint covers (bounding every log to O(K)
+    messages); when it is respawned, {!rollback} rewinds its channels to
+    the checkpoint's marks — consumed-but-uncovered messages are
+    redelivered from the logs and replayed sends are suppressed. Only
+    the failed rank rolls back: the wavefront DAG gives each message a
+    single consumer downstream of its send, so there is no domino
+    effect, by construction. *)
+
+type marks = { sent : int array; recvd : int array }
+(** Indexed by peer rank [p]: [sent.(p)] is the mark on channel
+    rank->[p], [recvd.(p)] on channel [p]->rank (0 for self and
+    non-neighbours). *)
+
+val marks : Comm.t -> rank:int -> marks
+(** The rank's current channel marks, to store in its checkpoint. *)
+
+val release : Comm.t -> rank:int -> marks -> unit
+(** Tell every sender its log is covered up to the checkpoint's receive
+    marks. Call right after taking the checkpoint. *)
+
+val rollback : Comm.t -> rank:int -> marks -> unit
+(** Rewind the failed rank's channels to its checkpoint's marks, before
+    re-running its program from the checkpoint's position. Raises
+    [Invalid_argument] if a mark was already released (the store and the
+    release schedule disagree). *)

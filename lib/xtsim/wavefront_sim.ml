@@ -50,6 +50,10 @@ type outcome = {
   iterations : int;
   completed : bool;  (** all ranks finished (false indicates deadlock) *)
   failed : int list;  (** ranks killed by the perturbation spec, ascending *)
+  recovered : int list;
+      (** ranks that died but were restored from a checkpoint, ascending
+          (empty unless a recovery policy is active) *)
+  checkpoints : int;  (** snapshots taken across all ranks *)
   events : int;
   sends : int;
   stats : rank_stats array;
@@ -81,6 +85,17 @@ let estimated_events (machine : Machine.t) (app : App_params.t) ~iterations =
 
 let flow = Wrun.Program.flow_xy
 
+(* Recovery bookkeeping, the simulated counterpart of the real
+   supervisor: [last_ckpt]/[cur_wave] are global wave indices (from
+   tile_begin), so the rollback depth at a kill is their difference. *)
+type recovery = {
+  policy : Perturb.Recover.policy;
+  last_ckpt : int array;
+  cur_wave : int array;
+  revived : bool array;
+  mutable ckpts : int;
+}
+
 module Backend = struct
   type t = {
     engine : Engine.t;
@@ -95,6 +110,7 @@ module Backend = struct
     ntiles : int;
     sweep : int array;  (* per-rank current sweep, for wave tagging *)
     perturb : Perturb.Model.t option;
+    recover : recovery option;
     compute : float array;
     comm : float array;
     waits : float array;
@@ -104,8 +120,8 @@ module Backend = struct
     obs : Obs.Tracer.t option;
   }
 
-  let create ?(balanced = false) ?noise ?perturb ?trace ?obs ?metrics engine
-      (machine : Machine.t) (app : App_params.t) =
+  let create ?(balanced = false) ?noise ?perturb ?recover ?trace ?obs
+      ?metrics engine (machine : Machine.t) (app : App_params.t) =
     let pg = machine.pgrid in
     let cores = Proc_grid.cores pg in
     (* Per-rank tile work: uniform (the model's view) or from the integer
@@ -147,6 +163,18 @@ module Backend = struct
       ntiles = Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile;
       sweep = Array.make cores 0;
       perturb = Option.map (Perturb.Model.create ~ranks:cores) perturb;
+      recover =
+        (match recover with
+        | Some p when Perturb.Recover.enabled p ->
+            Some
+              {
+                policy = p;
+                last_ckpt = Array.make cores 0;
+                cur_wave = Array.make cores 0;
+                revived = Array.make cores false;
+                ckpts = 0;
+              }
+        | _ -> None);
       compute = Array.make cores 0.0;
       comm = Array.make cores 0.0;
       waits = Array.make cores 0.0;
@@ -205,6 +233,17 @@ module Backend = struct
       Engine.wait d;
       t.compute.(rank) <- t.compute.(rank) +. d;
       emit t name "compute" rank ~start:t0 ~args
+    end
+
+  (* Recovery-protocol time (checkpointing, restart, replayed waves):
+     advances the simulated clock and is tagged as a [recover.*] span,
+     but belongs to neither the compute nor the comm attribution — it is
+     the overhead the closed-form recovery term predicts. *)
+  let timed_recover ?(args = no_args) t rank name d =
+    if d > 0.0 then begin
+      let t0 = Engine.now t.engine in
+      Engine.wait d;
+      emit t name "recover" rank ~start:t0 ~args
     end
 
   (* Wave tagging for the timeline: spans inside the tile loop carry
@@ -280,8 +319,24 @@ module Backend = struct
 
     let compute t ~rank ~dir:_ ~tile ~h:_ ~x:_ ~y:_ =
       (match t.perturb with
-      | Some m when Perturb.Model.fails_now m ~rank ->
-          raise (Perturb.Model.Killed { rank; tile })
+      | Some m when Perturb.Model.fails_now m ~rank -> (
+          (* Under a recovery policy the kill is survived: the rank is
+             restored from its last snapshot and re-executes the lost
+             waves, all charged in simulated time, then carries on with
+             this very tile — fail-stop with replacement, so it never
+             dies again. *)
+          match t.recover with
+          | Some r ->
+              Perturb.Model.revive m ~rank;
+              r.revived.(rank) <- true;
+              let args () = [ wave_of t rank tile ] in
+              timed_recover ~args t rank "recover.restart"
+                r.policy.restart_cost;
+              let w, w_pre = t.work.(rank) in
+              let lost = r.cur_wave.(rank) - r.last_ckpt.(rank) in
+              timed_recover ~args t rank "recover.replay"
+                (float_of_int lost *. (w +. w_pre))
+          | None -> raise (Perturb.Model.Killed { rank; tile }))
       | _ -> ());
       let args () = [ wave_of t rank tile ] in
       let w, _ = t.work.(rank) in
@@ -298,6 +353,23 @@ module Backend = struct
       (t.msg_ew, t.msg_ns)
 
     let sweep_begin t ~rank ~sweep ~dir:_ = t.sweep.(rank) <- sweep
+
+    (* The checkpoint anchor: on due waves, charge the modeled snapshot
+       cost before the tile's work. A strict no-op without a policy, so
+       the zero config stays bitwise invisible. *)
+    let tile_begin t ~rank ~pos ~wave =
+      match t.recover with
+      | None -> ()
+      | Some r ->
+          r.cur_wave.(rank) <- wave;
+          if Perturb.Recover.due ~interval:r.policy.interval ~wave then begin
+            r.ckpts <- r.ckpts + 1;
+            r.last_ckpt.(rank) <- wave;
+            timed_recover
+              ~args:(fun () -> [ wave_of t rank pos.Wrun.Substrate.tile ])
+              t rank "recover.checkpoint" r.policy.ckpt_cost
+          end
+
     let fixed_work t ~rank d = timed_compute ~args:epilogue_args t rank d
 
     let stencil_compute t ~rank ~wg_stencil =
@@ -335,8 +407,8 @@ module Backend = struct
   end
 end
 
-let run ?(iterations = 1) ?(balanced = false) ?noise ?perturb ?trace ?obs
-    ?metrics (machine : Machine.t) (app : App_params.t) =
+let run ?(iterations = 1) ?(balanced = false) ?noise ?perturb ?recover ?trace
+    ?obs ?metrics (machine : Machine.t) (app : App_params.t) =
   if iterations < 1 then invalid_arg "Wavefront_sim.run: iterations >= 1";
   (match noise with
   | Some n when n.amplitude < 0.0 || n.amplitude >= 1.0 ->
@@ -345,8 +417,8 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?perturb ?trace ?obs
   let pg = machine.pgrid in
   let engine = Engine.create () in
   let b =
-    Backend.create ~balanced ?noise ?perturb ?trace ?obs ?metrics engine
-      machine app
+    Backend.create ~balanced ?noise ?perturb ?recover ?trace ?obs ?metrics
+      engine machine app
   in
   let cfg = Wrun.Program.of_app ~iterations pg app in
   let cores = Proc_grid.cores pg in
@@ -386,6 +458,14 @@ let run ?(iterations = 1) ?(balanced = false) ?noise ?perturb ?trace ?obs
       Array.to_list
         (Array.mapi (fun r f -> if f then Some r else None) b.failed_flags)
       |> List.filter_map Fun.id;
+    recovered =
+      (match b.recover with
+      | None -> []
+      | Some rc ->
+          Array.to_list
+            (Array.mapi (fun r f -> if f then Some r else None) rc.revived)
+          |> List.filter_map Fun.id);
+    checkpoints = (match b.recover with None -> 0 | Some rc -> rc.ckpts);
     events = Engine.events_executed engine;
     sends = Mpi_sim.sends b.mpi;
     stats =
@@ -398,7 +478,11 @@ let pp_outcome ppf o =
   Fmt.pf ppf "elapsed %a (%d iteration(s), %s), %d events, %d sends"
     Units.pp_time o.elapsed o.iterations
     (match (o.completed, o.failed) with
-    | true, _ -> "completed"
+    | true, _ ->
+        if o.recovered = [] then "completed"
+        else
+          Fmt.str "completed, rank(s) %s recovered"
+            (String.concat ", " (List.map string_of_int o.recovered))
     | false, [] -> "DEADLOCKED"
     | false, failed ->
         Fmt.str "DEGRADED: rank(s) %s killed"

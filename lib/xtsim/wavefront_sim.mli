@@ -43,6 +43,11 @@ type outcome = {
   failed : int list;
       (** ranks killed by the perturbation spec, ascending; [[]] without
           one *)
+  recovered : int list;
+      (** ranks that died but were restored from a checkpoint, ascending;
+          [[]] unless a recovery policy is active *)
+  checkpoints : int;
+      (** snapshots taken across all ranks under the recovery policy *)
   events : int;
   sends : int;
   stats : rank_stats array;  (** indexed by rank *)
@@ -73,6 +78,7 @@ module Backend : sig
     ?balanced:bool ->
     ?noise:noise ->
     ?perturb:Perturb.Spec.t ->
+    ?recover:Perturb.Recover.policy ->
     ?trace:Trace.t ->
     ?obs:Obs.Tracer.t ->
     ?metrics:Obs.Metrics.t ->
@@ -94,6 +100,7 @@ val run :
   ?balanced:bool ->
   ?noise:noise ->
   ?perturb:Perturb.Spec.t ->
+  ?recover:Perturb.Recover.policy ->
   ?trace:Trace.t ->
   ?obs:Obs.Tracer.t ->
   ?metrics:Obs.Metrics.t ->
@@ -103,6 +110,14 @@ val run :
 (** [balanced] derives each rank's tile work from the integer block
     decomposition instead of the model's uniform [Nx/n * Ny/m]. Raises
     [Invalid_argument] on a noise amplitude outside [0, 1).
+
+    [recover] simulates the checkpoint/rollback protocol: on due waves
+    the modeled snapshot cost is charged ([recover.checkpoint] spans); a
+    spec'd kill is survived — the rank pays the restart cost plus the
+    re-execution of the waves since its last snapshot ([recover.restart]
+    / [recover.replay] spans) and carries on. A disabled policy
+    (interval 0) or its absence leaves the event stream
+    bitwise-identical to running without one.
 
     [obs] collects per-rank spans ([precompute]/[compute]/[recv]/[send],
     plus [allreduce]/[halo] for the non-wavefront section) stamped in
