@@ -670,6 +670,162 @@ let timeline_cmd =
           $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ real $ no_bus
           $ metric $ capacity $ json_out $ csv_out)
 
+(* --- idlewave --- *)
+
+let idlewave spec app_name grid cores cpn htile wg iterations platform pgrid
+    pspec real no_bus fail_on_mismatch capacity out json_out csv_out =
+  (match capacity with
+  | Some c when c < 1 ->
+      Fmt.epr "wavefront: --capacity must be at least 1@.";
+      exit 2
+  | _ -> ());
+  let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
+  let pspec =
+    match pspec with
+    | Some s -> (
+        match Perturb.Spec.of_string s with
+        | Ok p -> p
+        | Error (`Msg m) ->
+            Fmt.epr "wavefront: --perturb: %s@." m;
+            exit 2)
+    | None -> (
+        match spec with
+        | None -> Perturb.Spec.zero
+        | Some path -> (
+            match Apps.Spec.full_of_file path with
+            | Ok { perturb = Some p; _ } -> p
+            | Ok { perturb = None; _ } -> Perturb.Spec.zero
+            | Error (`Msg m) -> Fmt.failwith "%s: %s" path m))
+  in
+  (* --pgrid overrides the near-square factorization of -p: idle-wave
+     studies are pipeline studies, and a COLSx1 chain is where the
+     analytic model is exact. *)
+  let cfg, cores =
+    match pgrid with
+    | None -> (make_cfg platform ~cores ~cpn, cores)
+    | Some s -> (
+        match String.split_on_char 'x' s |> List.map int_of_string_opt with
+        | [ Some c; Some r ] when c >= 1 && r >= 1 ->
+            let platform = Loggp.Params.with_cores_per_node platform cpn in
+            ( Plugplay.config ~cmp:(Wgrid.Cmp.of_cores_per_node cpn)
+                ~pgrid:(Wgrid.Proc_grid.v ~cols:c ~rows:r)
+                platform ~cores:(c * r),
+              c * r )
+        | _ ->
+            Fmt.epr "wavefront: --pgrid expects COLSxROWS, e.g. 16x1@.";
+            exit 2)
+  in
+  Fmt.pr "idle-wave study of %s on %d cores (%d/node, %s) with [%a]...@."
+    app.App_params.name cores cpn platform.Loggp.Params.name Perturb.Spec.pp
+    pspec;
+  if pspec.pulses = [] then
+    Fmt.pr "(no pulse clause: expect no idle wave; try --perturb \
+            'pulse=RANK:WAVE:DELAY_US')@.";
+  let r =
+    Harness.Idlewave_report.run ~real ~model_bus:(not no_bus) ?capacity cfg
+      app pspec
+  in
+  Fmt.pr "%a@." Harness.Idlewave_report.pp r;
+  let write path content what =
+    match open_out path with
+    | exception Sys_error m ->
+        Fmt.epr "wavefront: cannot write %s: %s@." what m;
+        exit 1
+    | oc ->
+        output_string oc content;
+        close_out oc;
+        Fmt.pr "%s written to %s@." what path
+  in
+  Option.iter
+    (fun p ->
+      write p (Fmt.str "%a@." Harness.Idlewave_report.pp r) "report")
+    out;
+  Option.iter
+    (fun p -> write p (Harness.Idlewave_report.to_json r) "idle-wave JSON")
+    json_out;
+  Option.iter
+    (fun p -> write p (Harness.Idlewave_report.to_csv r) "idle-wave CSV")
+    csv_out;
+  (* 0 clean, 3 when a spec'd pulse went undetected or (with
+     --fail-on-mismatch) the substrates disagree — see
+     Idlewave_report.exit_status. *)
+  match Harness.Idlewave_report.exit_status ~fail_on_mismatch r with
+  | 0 -> ()
+  | s -> exit s
+
+let idlewave_cmd =
+  let doc =
+    "Inject an idle-wave source and measure the wave: differential front \
+     detection on control/perturbed run pairs, propagation speed and \
+     decay fits, reconciled against the closed-form idle-wave model on \
+     every substrate"
+  in
+  let pgrid =
+    Arg.(value & opt (some string) None
+         & info [ "pgrid" ] ~docv:"CxR"
+             ~doc:
+               "Processor grid shape COLSxROWS, overriding the near-square \
+                factorization of -p (e.g. 16x1 for the 1-D chain where the \
+                analytic idle-wave model is exact).")
+  in
+  let pspec =
+    Arg.(value & opt (some string) None
+         & info [ "perturb" ] ~docv:"SPEC"
+             ~doc:
+               "Perturbation clauses; the idle-wave sources are \
+                'pulse=RANK:WAVE:DELAY_US' (repeatable), \
+                'periodic=PERIOD_WAVES:AMPLITUDE_US' and 'collnoise=US', \
+                composable with the noise/straggler/link clauses. \
+                Overrides the spec file's perturb stanza.")
+  in
+  let real =
+    Arg.(value & flag
+         & info [ "real" ]
+             ~doc:
+               "Also execute the transport kernel pair on one OCaml domain \
+                per rank and run the detector on its timelines (use small \
+                core counts).")
+  in
+  let no_bus =
+    Arg.(value & flag
+         & info [ "no-bus" ]
+             ~doc:
+               "Switch off the simulator's shared-bus contention; with \
+                single-core nodes the simulated and dataflow timelines \
+                then coincide cell for cell.")
+  in
+  let fail_on_mismatch =
+    Arg.(value & flag
+         & info [ "fail-on-mismatch" ]
+             ~doc:
+               "Exit 3 when the sim/dataflow timelines diverge or the \
+                fitted hop latency misses the analytic one beyond 5%.")
+  in
+  let capacity =
+    Arg.(value & opt (some int) None
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Per-tracer span capacity (drops are reported).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Also write the report to FILE.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the wavefront-idlewave/v1 JSON document.")
+  in
+  let csv_out =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Write the reconciliation table as CSV.")
+  in
+  Cmd.v (Cmd.info "idlewave" ~doc)
+    Term.(const idlewave $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
+          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ pgrid $ pspec
+          $ real $ no_bus $ fail_on_mismatch $ capacity $ out $ json_out
+          $ csv_out)
+
 (* --- bench --- *)
 
 let bench quick out against fail_on_regression label repeats min_delta =
@@ -840,5 +996,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ predict_cmd; explain_cmd; simulate_cmd; validate_cmd; report_cmd;
-            profile_cmd; perturb_cmd; recover_cmd; timeline_cmd; bench_cmd;
-            figure_cmd; scale_cmd; fit_cmd; measure_cmd ]))
+            profile_cmd; perturb_cmd; recover_cmd; timeline_cmd; idlewave_cmd;
+            bench_cmd; figure_cmd; scale_cmd; fit_cmd; measure_cmd ]))

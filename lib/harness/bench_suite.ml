@@ -33,6 +33,48 @@ let all () =
     Obs.Tracer.spans tr
   in
   let record_tr = Obs.Tracer.create ~capacity:1024 () in
+  (* A synthetic 8192-rank idle-wave trace: a tied pipeline with one pulse
+     mid-run and a decaying stall front on every downstream rank — large
+     enough that the detector's cell scans, front thresholding and fits
+     dominate, built once outside the timed region. *)
+  let idlewave_tl =
+    let ranks = 8192 and waves = 32 in
+    let period = 10.0 and hop = 12.0 in
+    let o_rank = ranks / 2 and o_wave = waves / 2 in
+    let cell r w : Obs.Timeline.cell =
+      let t_start =
+        (float_of_int r *. hop) +. (float_of_int w *. period)
+      in
+      let hit = w = o_wave && r > o_rank in
+      let wait =
+        if hit then 400.0 *. Float.exp (-0.0005 *. float_of_int (r - o_rank))
+        else 1.0
+      in
+      let compute = if r = o_rank && w = o_wave then 508.0 else 8.0 in
+      {
+        Obs.Timeline.t_start;
+        t_end = t_start +. compute +. wait +. 2.0;
+        compute;
+        send = 1.0;
+        recv = 1.0;
+        wait;
+        other = 0.0;
+        idle = 0.0;
+        spans = 4;
+      }
+    in
+    {
+      Obs.Timeline.ranks;
+      waves;
+      cells = Array.init ranks (fun r -> Array.init (waves + 1) (cell r));
+      t0 = 0.0;
+      start = Array.init ranks (fun r -> float_of_int r *. hop);
+      finish =
+        Array.init ranks (fun r ->
+            (float_of_int r *. hop) +. (float_of_int (waves + 1) *. period));
+      dropped = 0;
+    }
+  in
   [
     {
       name = "model/iteration-P1024";
@@ -85,6 +127,14 @@ let all () =
       name = "obs/timeline-reconstruct";
       quick = true;
       f = (fun () -> ignore (Obs.Timeline.of_spans timeline_spans));
+    };
+    {
+      name = "obs/idlewave-detect-8192r";
+      quick = true;
+      f =
+        (fun () ->
+          let d = Obs.Idle_wave.detect idlewave_tl in
+          assert (d.origin <> None));
     };
     {
       name = "obs/tracer-record";

@@ -282,6 +282,10 @@ module Backend = struct
               (Perturb.Model.noise_extra m ~rank ~work:dt);
             inject t ~rank ~name:"perturb.straggler"
               (Perturb.Model.straggler_delay m ~rank);
+            inject t ~rank ~name:"perturb.pulse"
+              (Perturb.Model.pulse_extra m ~rank);
+            inject t ~rank ~name:"perturb.periodic"
+              (Perturb.Model.periodic_extra m ~rank);
             faces
       in
       (match t.progress with
@@ -315,6 +319,14 @@ module Backend = struct
        payload real runtimes reduce between iterations); [msg_size] is the
        model's input, not this substrate's. *)
     let allreduce t ~rank ~count ~msg_size:_ =
+      (* Collective noise: a real stall before the rank enters the
+         reduction — one draw per allreduce substrate call, as the
+         simulator and the timed dataflow backend consume it. *)
+      (match t.model with
+      | None -> ()
+      | Some m ->
+          inject t ~rank ~name:"perturb.collnoise"
+            (Perturb.Model.coll_extra m ~rank));
       for _ = 1 to count do
         ignore
           (Shmpi.Comm.allreduce t.comm ~rank ~op:( +. )

@@ -58,6 +58,21 @@ let add_meta b ~pid ?tid ~name ~value () =
   add_string b value;
   Buffer.add_string b "}}"
 
+(* Injected-delay and recovery-protocol spans ("perturb.*" / "recover.*")
+   get a distinct leading category so Perfetto's category filter isolates
+   them in one click; the producer's own category (compute/comm/...) is
+   kept behind a comma, the trace_event multi-category convention. *)
+let cat_of (s : Span.t) =
+  let prefixed p = String.length s.name > String.length p
+    && String.sub s.name 0 (String.length p) = p
+  in
+  let tagged tag =
+    if s.cat = "" || s.cat = tag then tag else tag ^ "," ^ s.cat
+  in
+  if prefixed "perturb." then tagged "perturb"
+  else if prefixed "recover." then tagged "recover"
+  else s.cat
+
 let add_span b ~pid ~epoch (s : Span.t) =
   Buffer.add_string b "{\"ph\":\"X\",\"pid\":";
   Buffer.add_string b (string_of_int pid);
@@ -69,9 +84,10 @@ let add_span b ~pid ~epoch (s : Span.t) =
   add_float b s.dur;
   Buffer.add_string b ",\"name\":";
   add_string b s.name;
-  if s.cat <> "" then begin
+  let cat = cat_of s in
+  if cat <> "" then begin
     Buffer.add_string b ",\"cat\":";
-    add_string b s.cat
+    add_string b cat
   end;
   if s.args <> [] then begin
     Buffer.add_string b ",\"args\":{";

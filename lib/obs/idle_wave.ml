@@ -1,0 +1,284 @@
+(* Idle-wave front detection over a rank x wave timeline.
+
+   An injected stall shows up twice in the Timeline decomposition: the
+   source rank's cell gains *busy* time (the injected delay is spent
+   working or spinning — compute, or the "other" bucket for link-side
+   injections), while every downstream rank the wave reaches gains *stall*
+   time (blocking wait inside the receive, or uncovered idle). The
+   detector therefore:
+
+   1. forms per-cell excess-busy and excess-stall signals, preferably
+      against a control timeline of the same run without the perturbation
+      (differential mode — exact on deterministic substrates), falling
+      back to each rank's own median across waves;
+   2. locates the origin as the cell with maximal excess busy (the rank
+      that *spent* the delay), requiring at least [min_delta] us to call
+      anything a wave at all;
+   3. finds, per rank, the leading and trailing waves whose excess stall
+      crosses a threshold relative to the measured amplitude — the
+      idle-wave front;
+   4. fits, separately for ranks above and below the origin (the two
+      directions the wave can travel, including the reflected wave that
+      re-enters from the far edge when the next sweep reverses), the
+      wall-clock onset time against hop distance (least squares — the
+      propagation speed) and log-amplitude against hop distance (the
+      exponential decay rate).
+
+   On a silent (noiseless) system the onsets of a pinned pulse are spaced
+   exactly one LogGP hop cost apart and the amplitudes do not decay, so
+   the fitted speed matches Perturb.Idle_model to float precision — the
+   reconciliation the idlewave report and its tests pin down. *)
+
+type front = {
+  rank : int;
+  lead_wave : int;  (* first wave whose excess stall crosses the threshold *)
+  trail_wave : int;  (* last such wave *)
+  onset : float;  (* t_start of the leading cell, us *)
+  amplitude : float;  (* max excess stall across the crossing cells, us *)
+}
+
+type fit = {
+  points : int;
+  hop_latency : float;  (* us of wall-clock per rank hop (LSQ slope) *)
+  speed : float;  (* ranks per us; 1 / hop_latency *)
+  ranks_per_wave : float;  (* wave_period / hop_latency *)
+  decay : float;  (* per-hop exponential decay rate of the amplitude *)
+}
+
+type t = {
+  origin : (int * int) option;  (* (rank, wave) of the delay source *)
+  delta : float;  (* measured amplitude at the origin, us *)
+  wave_period : float;  (* median steady-state cell width, us *)
+  threshold : float;  (* absolute front threshold used, us *)
+  fronts : front list;  (* ascending rank; the origin rank is excluded *)
+  forward : fit option;  (* ranks above the origin *)
+  backward : fit option;  (* ranks below the origin *)
+}
+
+let none ~wave_period ~threshold =
+  {
+    origin = None;
+    delta = 0.0;
+    wave_period;
+    threshold;
+    fronts = [];
+    forward = None;
+    backward = None;
+  }
+
+(* Stall = what the wave deposits on a reached rank; busy = what the
+   source spends. The two are complementary within a cell, but keeping
+   them separate signals is what lets one detector find both ends. *)
+let stall_of (c : Timeline.cell) = c.wait +. c.idle
+
+let busy_of (c : Timeline.cell) =
+  c.compute +. c.send +. c.recv +. c.other
+
+(* Median of a float array; sorts its argument in place. *)
+let median a =
+  match Array.length a with
+  | 0 -> 0.0
+  | n ->
+      Array.sort Float.compare a;
+      if n mod 2 = 1 then a.(n / 2)
+      else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+(* Least-squares slope of ys against xs (n >= 2, xs not all equal). *)
+let slope xs ys =
+  let n = float_of_int (Array.length xs) in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. n in
+  let mx = mean xs and my = mean ys in
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      num := !num +. ((x -. mx) *. (ys.(i) -. my));
+      den := !den +. ((x -. mx) *. (x -. mx)))
+    xs;
+  if !den = 0.0 then None else Some (!num /. !den)
+
+let fit_of ~wave_period points =
+  (* points: (hop distance, onset us, amplitude us), distance >= 1 *)
+  if List.length points < 2 then None
+  else begin
+    let xs = Array.of_list (List.map (fun (d, _, _) -> float_of_int d) points) in
+    let onsets = Array.of_list (List.map (fun (_, o, _) -> o) points) in
+    match slope xs onsets with
+    | None -> None
+    | Some hop_latency ->
+        let speed = if hop_latency > 0.0 then 1.0 /. hop_latency else 0.0 in
+        let ranks_per_wave =
+          if hop_latency > 0.0 then wave_period /. hop_latency else 0.0
+        in
+        (* Exponential decay: log-linear regression of the amplitudes.
+           Equal amplitudes give slope 0 — no decay on a silent system. *)
+        let pos = List.filter (fun (_, _, a) -> a > 0.0) points in
+        let decay =
+          if List.length pos < 2 then 0.0
+          else
+            let xs =
+              Array.of_list (List.map (fun (d, _, _) -> float_of_int d) pos)
+            in
+            let ls =
+              Array.of_list (List.map (fun (_, _, a) -> Float.log a) pos)
+            in
+            match slope xs ls with None -> 0.0 | Some s -> Float.max 0.0 (-.s)
+        in
+        Some
+          { points = List.length points; hop_latency; speed; ranks_per_wave;
+            decay }
+  end
+
+let detect ?baseline ?distance ?(rel_threshold = 0.5) ?(min_delta = 0.5)
+    (tl : Timeline.t) =
+  (* Hop distance between ranks. Ranks are grid points: on a chain the
+     wave crosses one rank per hop, so the default is the rank
+     difference; on a 2-D grid the caller supplies the signed wavefront
+     (diagonal) distance instead. *)
+  let distance =
+    match distance with
+    | Some f -> f
+    | None -> fun ~src ~dst -> dst - src
+  in
+  let ranks = tl.ranks and waves = tl.waves in
+  let period_of (t : Timeline.t) =
+    let widths = Array.make (max 1 (t.ranks * t.waves)) 0.0 in
+    let n = ref 0 in
+    for r = 0 to t.ranks - 1 do
+      for w = 0 to t.waves - 1 do
+        let width = Timeline.cell_width t.cells.(r).(w) in
+        if width > 0.0 then begin
+          widths.(!n) <- width;
+          incr n
+        end
+      done
+    done;
+    median (Array.sub widths 0 !n)
+  in
+  if ranks = 0 || waves = 0 then none ~wave_period:0.0 ~threshold:min_delta
+  else begin
+    (* The reference signal each cell's excess is measured against:
+       the matching cell of a control run when one is given (exact),
+       otherwise the rank's own median across waves (robust to the
+       pipeline's ramp structure as long as most waves are steady). *)
+    let against =
+      match baseline with
+      | Some (b : Timeline.t) when b.ranks = ranks && b.waves = waves ->
+          fun signal r w -> signal b.cells.(r).(w)
+      | _ ->
+          let rank_median signal r =
+            median (Array.init waves (fun w -> signal tl.cells.(r).(w)))
+          in
+          let stall_med = Array.init ranks (rank_median stall_of) in
+          let busy_med = Array.init ranks (rank_median busy_of) in
+          fun signal r _ ->
+            if signal == stall_of then stall_med.(r) else busy_med.(r)
+    in
+    let excess signal r w =
+      Float.max 0.0 (signal tl.cells.(r).(w) -. against signal r w)
+    in
+    let wave_period =
+      period_of (match baseline with Some b when b.ranks = ranks -> b
+                                   | _ -> tl)
+    in
+    (* Origin: the cell where the delay was spent. *)
+    let o_rank = ref (-1) and o_wave = ref (-1) and o_amp = ref 0.0 in
+    for r = 0 to ranks - 1 do
+      for w = 0 to waves - 1 do
+        let e = excess busy_of r w in
+        if e > !o_amp then begin
+          o_amp := e;
+          o_rank := r;
+          o_wave := w
+        end
+      done
+    done;
+    if !o_amp < min_delta then
+      none ~wave_period ~threshold:min_delta
+    else begin
+      let delta = !o_amp in
+      let threshold = Float.max min_delta (rel_threshold *. delta) in
+      let fronts = ref [] in
+      for r = ranks - 1 downto 0 do
+        if r <> !o_rank then begin
+          let lead = ref (-1) and trail = ref (-1) and amp = ref 0.0 in
+          for w = 0 to waves - 1 do
+            let e = excess stall_of r w in
+            if e >= threshold then begin
+              if !lead < 0 then lead := w;
+              trail := w;
+              if e > !amp then amp := e
+            end
+          done;
+          if !lead >= 0 then
+            fronts :=
+              {
+                rank = r;
+                lead_wave = !lead;
+                trail_wave = !trail;
+                onset = tl.cells.(r).(!lead).Timeline.t_start;
+                amplitude = !amp;
+              }
+              :: !fronts
+        end
+      done;
+      let fronts = !fronts in
+      (* Boundary ranks carry a front but are excluded from the fits:
+         the first and last rank lack a neighbor on one side, so their
+         steady-state stagger differs from the interior hop cost (rank 0
+         never receives, the last rank never sends) and would skew the
+         regression. *)
+      let points dir =
+        List.filter_map
+          (fun f ->
+            let d = dir * distance ~src:!o_rank ~dst:f.rank in
+            if d > 0 && f.rank <> 0 && f.rank <> ranks - 1 then
+              Some (d, f.onset, f.amplitude)
+            else None)
+          fronts
+      in
+      {
+        origin = Some (!o_rank, !o_wave);
+        delta;
+        wave_period;
+        threshold;
+        fronts;
+        forward = fit_of ~wave_period (points 1);
+        backward = fit_of ~wave_period (points (-1));
+      }
+    end
+  end
+
+(* Overlay for Timeline.render: the origin cell and each front's leading
+   edge, kept sparse so the heatmap underneath stays readable. *)
+let mark t ~rank ~col =
+  match t.origin with
+  | Some (r, w) when r = rank && w = col -> Some 'O'
+  | _ ->
+      if
+        List.exists
+          (fun f -> f.rank = rank && f.lead_wave = col)
+          t.fronts
+      then Some '>'
+      else None
+
+let pp_fit ppf f =
+  Format.fprintf ppf
+    "%.4f us/hop (%.4f ranks/wave, decay %.4f/hop, %d point(s))"
+    f.hop_latency f.ranks_per_wave f.decay f.points
+
+let pp_fit_opt ppf = function
+  | None -> Format.pp_print_string ppf "not reached"
+  | Some f -> pp_fit ppf f
+
+let pp ppf t =
+  match t.origin with
+  | None ->
+      Format.fprintf ppf "no idle wave detected (threshold %.2f us)"
+        t.threshold
+  | Some (r, w) ->
+      Format.fprintf ppf
+        "@[<v>origin: rank %d, wave %d (amplitude %.2f us)@,\
+         wave period: %.2f us; front threshold: %.2f us; %d front(s)@,\
+         forward:  %a@,backward: %a@]"
+        r w t.delta t.wave_period t.threshold (List.length t.fronts)
+        pp_fit_opt t.forward pp_fit_opt t.backward

@@ -179,12 +179,21 @@ let decompose ~lo ~hi spans =
    runtime wraps each domain's program in a "rank" span). *)
 let structural (s : Span.t) = s.name = "rank" || s.cat = "rank"
 
+(* A trace with no operation spans at all (empty, or structural-only)
+   degrades to an empty report rather than an error, so the detector and
+   `wavefront timeline` handle unperturbed or partial traces gracefully. *)
+let empty ?(dropped = 0) ?waves () =
+  let waves = match waves with Some w -> max w 0 | None -> 0 in
+  { ranks = 0; waves; cells = [||]; t0 = 0.0; start = [||]; finish = [||];
+    dropped }
+
 let of_spans ?(dropped = 0) ?waves spans =
   let spans = List.filter (fun s -> not (structural s)) spans in
   let ranks =
     1 + List.fold_left (fun a (s : Span.t) -> max a s.Span.rank) (-1) spans
   in
-  if ranks < 1 then invalid_arg "Timeline.of_spans: no spans";
+  if ranks < 1 then empty ~dropped ?waves ()
+  else begin
   let by_rank = Array.make ranks [] in
   List.iter
     (fun (s : Span.t) -> by_rank.(s.rank) <- s :: by_rank.(s.rank))
@@ -263,6 +272,7 @@ let of_spans ?(dropped = 0) ?waves spans =
       start
   in
   { ranks; waves; cells; t0; start; finish; dropped }
+  end
 
 (* --- comparison (for cross-substrate identity tests) --- *)
 
@@ -341,10 +351,31 @@ let bucketize n m =
       let lo = b * n / m and hi = ((b + 1) * n / m) - 1 in
       (lo, max lo hi))
 
-let render ?(metric = Wait) ?(max_ranks = 32) ?(max_cols = 72) ppf t =
+let render ?(metric = Wait) ?(max_ranks = 32) ?(max_cols = 72) ?mark ppf t =
   let cols = columns t in
   let rbuckets = bucketize t.ranks max_ranks in
   let cbuckets = bucketize cols max_cols in
+  (* Overlay: a marked source cell claims its display bucket's character
+     (first mark in scan order wins), so detected features stay visible
+     after downsampling. *)
+  let mark_of rlo rhi clo chi =
+    match mark with
+    | None -> None
+    | Some f ->
+        let res = ref None in
+        (try
+           for r = rlo to rhi do
+             for c = clo to chi do
+               match f ~rank:r ~col:c with
+               | Some ch ->
+                   res := Some ch;
+                   raise Exit
+               | None -> ()
+             done
+           done
+         with Exit -> ());
+        !res
+  in
   let value rlo rhi clo chi =
     let acc = ref 0.0 and n = ref 0 in
     for r = rlo to rhi do
@@ -374,7 +405,13 @@ let render ?(metric = Wait) ?(max_ranks = 32) ?(max_cols = 72) ppf t =
         else Printf.sprintf "r%d-%d" rlo rhi
       in
       Format.fprintf ppf "%-8s|" label;
-      Array.iter (fun v -> Format.fprintf ppf "%c" (shade ~vmax v)) row;
+      Array.iteri
+        (fun ci v ->
+          let clo, chi = cbuckets.(ci) in
+          match mark_of rlo rhi clo chi with
+          | Some ch -> Format.fprintf ppf "%c" ch
+          | None -> Format.fprintf ppf "%c" (shade ~vmax v))
+        row;
       Format.fprintf ppf "|@,")
     grid;
   Format.fprintf ppf "@]"

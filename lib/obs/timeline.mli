@@ -37,9 +37,16 @@ type t = {
 val of_spans : ?dropped:int -> ?waves:int -> Span.t list -> t
 (** Reconstruct the timeline. [dropped] is the producing tracer's loss
     count, carried through so reports stay honest about truncated traces;
-    [waves] forces at least that many wavefront columns. Raises
-    [Invalid_argument] on an empty span list. Spans named ["rank"] (whole-
-    program wrappers) are excluded from the decomposition. *)
+    [waves] forces at least that many wavefront columns. A trace with no
+    operation spans at all (empty, or structural-only) yields the
+    {!empty} report — [ranks = 0], no cells — rather than an error, so
+    consumers degrade gracefully on unperturbed or partial traces. Spans
+    named ["rank"] (whole-program wrappers) are excluded from the
+    decomposition. *)
+
+val empty : ?dropped:int -> ?waves:int -> unit -> t
+(** The degenerate report of a trace with no operation spans: [ranks = 0],
+    [cells = [||]]. Rendering and export handle it without raising. *)
 
 val columns : t -> int
 (** [waves + 1]: the wavefront columns plus the epilogue. *)
@@ -68,9 +75,13 @@ val column_total : t -> metric -> int -> float
 
 val render :
   ?metric:metric -> ?max_ranks:int -> ?max_cols:int ->
+  ?mark:(rank:int -> col:int -> char option) ->
   Format.formatter -> t -> unit
 (** ASCII rank x wave heatmap of one metric; large grids are downsampled
-    (bucket means) to at most [max_ranks] rows and [max_cols] columns. *)
+    (bucket means) to at most [max_ranks] rows and [max_cols] columns.
+    [mark] overlays a character on any display bucket containing a marked
+    source cell (first mark in scan order wins) — how the idle-wave
+    report draws detected fronts on top of the heatmap. *)
 
 val schema : string
 (** The versioned JSON schema id: ["wavefront-timeline/v1"]. *)

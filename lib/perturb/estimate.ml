@@ -31,6 +31,7 @@ type breakdown = {
   noise : float;  (** expected compute inflation on the critical path *)
   link : float;  (** expected injection delay on the critical path *)
   straggler : float;  (** idle-wave bound for the slowest straggler *)
+  scenario : float;  (** pulse/periodic/collective scenario charges *)
   total : float;
 }
 
@@ -58,7 +59,32 @@ let iteration (app : App_params.t) (cfg : Plugplay.config) (spec : Spec.t) =
       0.0 spec.stragglers
   in
   let base = r.t_iteration in
-  { base; noise; link; straggler; total = base +. noise +. link +. straggler }
+  (* The wave-indexed scenarios: a pulse on the path is a non-decaying
+     idle wave, charged once at full weight; periodic noise charges its
+     per-wave mean on every path tile; collective noise pays its expected
+     stall per allreduce operation. *)
+  let scenario =
+    let pulses =
+      List.fold_left (fun acc (p : Spec.pulse) -> acc +. p.delay) 0.0
+        spec.pulses
+    in
+    let periodic = path_tiles *. Spec.periodic_mean_per_wave spec in
+    let coll =
+      match app.nonwavefront with
+      | App_params.Allreduce { count; _ } ->
+          float_of_int count *. spec.coll_noise /. 2.0
+      | _ -> 0.0
+    in
+    pulses +. periodic +. coll
+  in
+  {
+    base;
+    noise;
+    link;
+    straggler;
+    scenario;
+    total = base +. noise +. link +. straggler +. scenario;
+  }
 
 let time_per_iteration app cfg spec = (iteration app cfg spec).total
 
@@ -66,6 +92,7 @@ let pp_breakdown ppf b =
   Fmt.pf ppf
     "@[<v>base (r5):        %12.2f us@,noise inflation:  %12.2f us@,\
      link contention:  %12.2f us@,straggler bound:  %12.2f us@,\
+     scenario stalls:  %12.2f us@,\
      perturbed total:  %12.2f us (%+.2f%%)@]"
-    b.base b.noise b.link b.straggler b.total
+    b.base b.noise b.link b.straggler b.scenario b.total
     (100.0 *. (b.total -. b.base) /. b.base)

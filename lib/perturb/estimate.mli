@@ -16,6 +16,10 @@ type breakdown = {
   noise : float;
   link : float;
   straggler : float;
+  scenario : float;
+      (** pulse delays at full idle-wave weight, the periodic clause's
+          per-wave mean on every path tile, and the expected collective
+          stall per allreduce *)
   total : float;
 }
 

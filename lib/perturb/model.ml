@@ -26,9 +26,11 @@ type t = {
   spec : Spec.t;
   noise : Prng.t array;  (* one compute-noise stream per rank *)
   links : Prng.t array;  (* one link-delay stream per sending rank *)
+  colls : Prng.t array;  (* one collective-noise stream per rank *)
   straggle : float array;  (* per-rank per-tile extra, us *)
   fail_after : int array;  (* tile at which the rank dies; max_int = never *)
   tiles : int array;  (* tiles started per rank (failure counter) *)
+  pulses : (int * float) list array;  (* per-rank (wave, delay) stalls *)
 }
 
 let create spec ~ranks =
@@ -49,15 +51,24 @@ let create spec ~ranks =
     (fun (f : Spec.failure) ->
       fail_after.(f.rank) <- min fail_after.(f.rank) f.after_tiles)
     spec.failures;
+  let pulses = Array.make ranks [] in
+  List.iter
+    (fun (p : Spec.pulse) ->
+      pulses.(p.rank) <- pulses.(p.rank) @ [ (p.wave, p.delay) ])
+    spec.pulses;
   {
     spec;
     noise = Array.init ranks (fun r -> Prng.create ~seed:spec.seed ~stream:r);
     links =
       Array.init ranks (fun r ->
           Prng.create ~seed:spec.seed ~stream:(ranks + r));
+    colls =
+      Array.init ranks (fun r ->
+          Prng.create ~seed:spec.seed ~stream:((2 * ranks) + r));
     straggle;
     fail_after;
     tiles = Array.make ranks 0;
+    pulses;
   }
 
 let spec t = t.spec
@@ -97,6 +108,39 @@ let fails_now t ~rank =
    a respawned rank never dies again. The tile counter keeps advancing
    (draw alignment is untouched); only the death sentence is lifted. *)
 let revive t ~rank = t.fail_after.(rank) <- max_int
+
+(* The deterministic wave-indexed scenarios. The current global wave of a
+   rank is its tile counter minus one: [fails_now] advances the counter at
+   the start of every tile compute, so these are defined after [fails_now]
+   (and injected alongside [noise_extra] / [straggler_delay]) in the same
+   tile step. Draw-free, so they leave stream alignment untouched. *)
+let current_wave t ~rank = t.tiles.(rank) - 1
+
+let pulse_extra t ~rank =
+  match t.pulses.(rank) with
+  | [] -> 0.0
+  | ps ->
+      let w = current_wave t ~rank in
+      List.fold_left
+        (fun acc (wave, delay) -> if wave = w then acc +. delay else acc)
+        0.0 ps
+
+let periodic_extra t ~rank =
+  match t.spec.periodic with
+  | None -> 0.0
+  | Some { period; amplitude } ->
+      if amplitude = 0.0 then 0.0
+      else begin
+        let w = current_wave t ~rank in
+        if w >= 0 && w mod period = period - 1 then amplitude else 0.0
+      end
+
+(* Extra stall before one allreduce operation on [rank]; one draw per
+   allreduce substrate call (not per fan-in round) when the spec has a
+   collective-noise clause. *)
+let coll_extra t ~rank =
+  let a = t.spec.coll_noise in
+  if a = 0.0 then 0.0 else Prng.uniform t.colls.(rank) a
 
 let tiles_started t ~rank = t.tiles.(rank)
 let fails t ~rank = t.fail_after.(rank) < max_int

@@ -37,6 +37,21 @@ val fails_now : t -> rank:int -> bool
 (** Advance the rank's tile counter; true when the spec kills the rank at
     this tile. Call exactly once at the start of every tile compute. *)
 
+val pulse_extra : t -> rank:int -> float
+(** One-shot stall (us) the spec injects into the rank's current wave — the
+    idle-wave source. The current wave is read from the tile counter, so
+    call this after {!fails_now} within the same tile step. Draw-free. *)
+
+val periodic_extra : t -> rank:int -> float
+(** Stall (us) of the periodic scenario at the rank's current wave (every
+    [period]-th wave on every rank). Same calling contract as
+    {!pulse_extra}; draw-free. *)
+
+val coll_extra : t -> rank:int -> float
+(** Extra stall (us) before one allreduce operation on [rank]; consumes one
+    draw from the rank's collective stream per allreduce substrate call iff
+    the spec has a non-zero [collnoise] clause. *)
+
 val revive : t -> rank:int -> unit
 (** Lift the rank's death sentence after a recovery respawn: failures
     are fail-stop with replacement, so a revived rank never dies again.

@@ -13,6 +13,10 @@
      link=0.02:5.0            # each message delayed 5 us with prob 0.02
      straggler=3:250          # rank 3 loses 250 us on every tile (repeatable)
      fail=5:40                # rank 5 dies before its 41st tile (repeatable)
+     pulse=3:40:500           # rank 3 stalls 500 us in wave 40 (repeatable):
+                              # the idle-wave source scenario
+     periodic=16:120          # every rank stalls 120 us every 16th wave
+     collnoise=80             # extra us per allreduce, uniform in [0, 80)
 
    Noise and delays are one-sided: OS noise, contention and stragglers only
    ever steal time, never refund it, which is what makes predicted and
@@ -27,6 +31,8 @@ type noise =
 type link = { prob : float; delay : float }
 type straggler = { rank : int; delay : float }
 type failure = { rank : int; after_tiles : int }
+type pulse = { rank : int; wave : int; delay : float }
+type periodic = { period : int; amplitude : float }
 
 type t = {
   seed : int;
@@ -34,10 +40,22 @@ type t = {
   link : link option;
   stragglers : straggler list;
   failures : failure list;
+  pulses : pulse list;
+  periodic : periodic option;
+  coll_noise : float;
 }
 
 let zero =
-  { seed = 0; noise = No_noise; link = None; stragglers = []; failures = [] }
+  {
+    seed = 0;
+    noise = No_noise;
+    link = None;
+    stragglers = [];
+    failures = [];
+    pulses = [];
+    periodic = None;
+    coll_noise = 0.0;
+  }
 
 let is_zero t =
   (match t.noise with
@@ -46,13 +64,18 @@ let is_zero t =
   && (match t.link with
      | None -> true
      | Some { prob; delay } -> prob = 0.0 || delay = 0.0)
-  && List.for_all (fun s -> s.delay = 0.0) t.stragglers
+  && List.for_all (fun (s : straggler) -> s.delay = 0.0) t.stragglers
   && t.failures = []
+  && List.for_all (fun (p : pulse) -> p.delay = 0.0) t.pulses
+  && (match t.periodic with
+     | None -> true
+     | Some { amplitude; _ } -> amplitude = 0.0)
+  && t.coll_noise = 0.0
 
 let invalid fmt = Fmt.kstr invalid_arg fmt
 
 let v ?(seed = 0) ?(noise = No_noise) ?link ?(stragglers = [])
-    ?(failures = []) () =
+    ?(failures = []) ?(pulses = []) ?periodic ?(coll_noise = 0.0) () =
   (match noise with
   | No_noise -> ()
   | Uniform a | Exponential a ->
@@ -65,7 +88,7 @@ let v ?(seed = 0) ?(noise = No_noise) ?link ?(stragglers = [])
         invalid "Perturb.Spec.v: link probability %g outside [0, 1]" prob;
       if delay < 0.0 then invalid "Perturb.Spec.v: negative link delay");
   List.iter
-    (fun { rank; delay } ->
+    (fun ({ rank; delay } : straggler) ->
       if rank < 0 then invalid "Perturb.Spec.v: negative straggler rank";
       if delay < 0.0 then invalid "Perturb.Spec.v: negative straggler delay")
     stragglers;
@@ -75,7 +98,25 @@ let v ?(seed = 0) ?(noise = No_noise) ?link ?(stragglers = [])
       if after_tiles < 0 then
         invalid "Perturb.Spec.v: negative failure tile count")
     failures;
-  { seed; noise; link; stragglers; failures }
+  List.iter
+    (fun { rank; wave; delay } ->
+      if rank < 0 then invalid "Perturb.Spec.v: negative pulse rank";
+      if wave < 0 then invalid "Perturb.Spec.v: negative pulse wave";
+      if delay < 0.0 || not (Float.is_finite delay) then
+        invalid "Perturb.Spec.v: pulse delay %g must be finite and >= 0" delay)
+    pulses;
+  (match periodic with
+  | None -> ()
+  | Some { period; amplitude } ->
+      if period < 1 then
+        invalid "Perturb.Spec.v: periodic period %d must be >= 1" period;
+      if amplitude < 0.0 || not (Float.is_finite amplitude) then
+        invalid "Perturb.Spec.v: periodic amplitude %g must be finite and >= 0"
+          amplitude);
+  if coll_noise < 0.0 || not (Float.is_finite coll_noise) then
+    invalid "Perturb.Spec.v: collective noise %g must be finite and >= 0"
+      coll_noise;
+  { seed; noise; link; stragglers; failures; pulses; periodic; coll_noise }
 
 (* The expected extra compute fraction per tile, the analytic side's view
    of the noise distribution. *)
@@ -90,7 +131,16 @@ let max_rank t =
     (fun acc r -> max acc r)
     (-1)
     (List.map (fun (s : straggler) -> s.rank) t.stragglers
-    @ List.map (fun (f : failure) -> f.rank) t.failures)
+    @ List.map (fun (f : failure) -> f.rank) t.failures
+    @ List.map (fun (p : pulse) -> p.rank) t.pulses)
+
+(* Expected extra us per wave, per rank, from the deterministic scenario
+   clauses alone (pulses are localized and excluded): the idle-wave model's
+   background-noise level when the compute-noise clause is absent. *)
+let periodic_mean_per_wave t =
+  match t.periodic with
+  | None -> 0.0
+  | Some { period; amplitude } -> amplitude /. float_of_int period
 
 (* --- Parsing --- *)
 
@@ -112,6 +162,14 @@ let parse_clause spec clause =
     | [ a; b ] -> (
         match (of_a a, of_b b) with
         | Some a, Some b -> k a b
+        | _ -> err "expected %s" shape)
+    | _ -> err "expected %s" shape
+  in
+  let three v of_a of_b of_c ~shape k =
+    match String.split_on_char ':' v with
+    | [ a; b; c ] -> (
+        match (of_a a, of_b b, of_c c) with
+        | Some a, Some b, Some c -> k a b c
         | _ -> err "expected %s" shape)
     | _ -> err "expected %s" shape
   in
@@ -169,8 +227,31 @@ let parse_clause spec clause =
                     spec with
                     failures = spec.failures @ [ { rank; after_tiles } ];
                   })
+      | "pulse" ->
+          three v int_of int_of float_of ~shape:"pulse=RANK:WAVE:DELAY_US"
+            (fun rank wave delay ->
+              if rank < 0 then err "pulse rank must be >= 0, got %d" rank
+              else if wave < 0 then err "pulse wave must be >= 0, got %d" wave
+              else if delay < 0.0 then
+                err "pulse delay must be >= 0, got %g" delay
+              else
+                Ok { spec with pulses = spec.pulses @ [ { rank; wave; delay } ] })
+      | "periodic" ->
+          two v int_of float_of ~shape:"periodic=PERIOD_WAVES:AMPLITUDE_US"
+            (fun period amplitude ->
+              if period < 1 then
+                err "periodic period must be >= 1, got %d" period
+              else if amplitude < 0.0 then
+                err "periodic amplitude must be >= 0, got %g" amplitude
+              else Ok { spec with periodic = Some { period; amplitude } })
+      | "collnoise" -> (
+          match float_of v with
+          | Some a when a >= 0.0 -> Ok { spec with coll_noise = a }
+          | _ -> err "collnoise amplitude must be a float >= 0, got %S" v)
       | _ ->
-          err "unknown clause %S (known: seed, noise, link, straggler, fail)"
+          err
+            "unknown clause %S (known: seed, noise, link, straggler, fail, \
+             pulse, periodic, collnoise)"
             key)
 
 (* Clauses with the byte offset each starts at, so errors can point into
@@ -215,10 +296,20 @@ let pp ppf t =
   (match t.link with
   | None -> ()
   | Some { prob; delay } -> Fmt.pf ppf " link=%g:%g" prob delay);
-  List.iter (fun { rank; delay } -> Fmt.pf ppf " straggler=%d:%g" rank delay)
+  List.iter
+    (fun ({ rank; delay } : straggler) ->
+      Fmt.pf ppf " straggler=%d:%g" rank delay)
     t.stragglers;
   List.iter
     (fun { rank; after_tiles } -> Fmt.pf ppf " fail=%d:%d" rank after_tiles)
-    t.failures
+    t.failures;
+  List.iter
+    (fun { rank; wave; delay } -> Fmt.pf ppf " pulse=%d:%d:%g" rank wave delay)
+    t.pulses;
+  (match t.periodic with
+  | None -> ()
+  | Some { period; amplitude } ->
+      Fmt.pf ppf " periodic=%d:%g" period amplitude);
+  if t.coll_noise > 0.0 then Fmt.pf ppf " collnoise=%g" t.coll_noise
 
 let to_string t = Fmt.str "%a" pp t

@@ -3,7 +3,7 @@
     substrates (simulator, real shared-memory runtime, dataflow reference)
     interpret identically. See the implementation header for the textual
     clause syntax ([seed=42 noise=uniform:0.15 link=0.02:5 straggler=3:250
-    fail=5:40]).
+    fail=5:40 pulse=3:40:500 periodic=16:120 collnoise=80]).
 
     All perturbations are one-sided — they only ever add time — so model
     and simulated runtimes are monotone in every amplitude. *)
@@ -29,12 +29,29 @@ type failure = {
   after_tiles : int;  (** the rank dies before computing tile [after_tiles] *)
 }
 
+type pulse = {
+  rank : int;
+  wave : int;  (** global wave index, see [Wrun.Program.wave_of] *)
+  delay : float;  (** the one-shot injected stall, us *)
+}
+(** A single injected delay — the idle-wave source scenario of
+    Afzal/Hager/Wellein. *)
+
+type periodic = {
+  period : int;  (** every [period]-th wave, on every rank *)
+  amplitude : float;  (** the injected stall, us *)
+}
+
 type t = {
   seed : int;
   noise : noise;
   link : link option;
   stragglers : straggler list;
   failures : failure list;
+  pulses : pulse list;
+  periodic : periodic option;
+  coll_noise : float;
+      (** extra us per allreduce call per rank, uniform in [0, coll_noise) *)
 }
 
 val zero : t
@@ -49,17 +66,27 @@ val v :
   ?link:link ->
   ?stragglers:straggler list ->
   ?failures:failure list ->
+  ?pulses:pulse list ->
+  ?periodic:periodic ->
+  ?coll_noise:float ->
   unit ->
   t
 (** Validating constructor; raises [Invalid_argument] on negative
-    amplitudes, delays or ranks, or a link probability outside [0, 1]. *)
+    amplitudes, delays, ranks or waves, a link probability outside [0, 1],
+    or a periodic period < 1. *)
 
 val mean_noise_frac : t -> float
 (** Expected extra compute fraction per tile, used by the analytic
     estimate. *)
 
+val periodic_mean_per_wave : t -> float
+(** Expected extra us per wave per rank from the periodic clause
+    (amplitude / period); 0 when absent. Pulses are localized events and
+    do not contribute. *)
+
 val max_rank : t -> int
-(** Highest rank named by a straggler or failure clause; [-1] if none. *)
+(** Highest rank named by a straggler, failure or pulse clause; [-1] if
+    none. *)
 
 type parse_error = {
   clause : string;  (** the offending clause, verbatim *)

@@ -81,6 +81,21 @@ let recv_overhead t ~src ~dst =
 
 let compute t = t.w
 let precompute t = t.w_pre
+
+(* The idle-wave time constants of the tied pipeline (Perturb.Idle_model):
+   a front crosses one rank hop per [hop_latency] us — the full link cost
+   plus one tile step — while the pipeline advances one wave every
+   [steady_period] us, the same terms minus the flight time (the payload
+   of wave w+1 travels while the receiver still computes wave w, so the
+   wave-axis recurrence never pays it). Their difference being exactly
+   [in_flight] is what makes the interior ranks tie with zero slack. *)
+let hop_latency t ~src ~dst size =
+  send_busy t ~src ~dst size
+  +. in_flight t ~src ~dst size
+  +. recv_overhead t ~src ~dst +. t.w_pre +. t.w
+
+let steady_period t ~src ~dst size =
+  send_busy t ~src ~dst size +. recv_overhead t ~src ~dst +. t.w_pre +. t.w
 let stencil t ~wg_stencil = wg_stencil *. t.cells_x *. t.cells_y *. t.nz
 
 let allreduce t ~count ~msg_size =

@@ -37,6 +37,18 @@ val recv_overhead : t -> src:int -> dst:int -> float
 
 val compute : t -> float
 val precompute : t -> float
+
+val hop_latency : t -> src:int -> dst:int -> int -> float
+(** Wall-clock cost of one rank hop of an idle-wave front along a
+    [src]->[dst] link carrying messages of this many bytes:
+    [send_busy + in_flight + recv_overhead + w_pre + w]. The analytic
+    [hop_cost] input of [Perturb.Idle_model]. *)
+
+val steady_period : t -> src:int -> dst:int -> int -> float
+(** Per-wave period of the tied pipeline on the same link:
+    [hop_latency - in_flight] (the flight is paid once per hop, not per
+    wave). The analytic [wave_period] input of [Perturb.Idle_model]. *)
+
 val stencil : t -> wg_stencil:float -> float
 val allreduce : t -> count:int -> msg_size:int -> float
 val barrier : t -> float

@@ -485,10 +485,30 @@ module Substrate = struct
           ]);
     m
 
+  (* The spec's link contention in timed mode: the injection delay spends
+     virtual time on the sender before the send enters the network —
+     exactly the event the simulator schedules, span for span. One draw
+     per send when a link clause is present. *)
+  let inject_link_delay t tm ~rank ~tile =
+    match t.model with
+    | None -> ()
+    | Some m ->
+        let d = Perturb.Model.link_extra m ~src:rank in
+        if d > 0.0 then begin
+          let t0 = tm.clock.(rank) in
+          tm.clock.(rank) <- t0 +. d;
+          emit tm ~rank ~name:"perturb.link" ~cat:"comm" ~start:t0
+            [
+              ("wait", Obs.Span.Float d);
+              (Obs.Timeline.wave_arg, Obs.Span.Int (wave tm ~rank ~tile));
+            ]
+        end
+
   let send t ~rank ~dst ~axis:_ ~tile m =
     (match t.timed with
     | None -> ()
     | Some tm ->
+        inject_link_delay t tm ~rank ~tile;
         let t0 = timed_send t tm ~rank ~dst m.bytes in
         emit tm ~rank ~name:"send" ~cat:"comm" ~start:t0
           [
@@ -538,10 +558,31 @@ module Substrate = struct
     (match t.timed with
     | None -> ()
     | Some tm ->
+        let args =
+          [ (Obs.Timeline.wave_arg, Obs.Span.Int (wave tm ~rank ~tile)) ]
+        in
         let t0 = tm.clock.(rank) in
         tm.clock.(rank) <- t0 +. Costs.compute tm.costs;
-        emit tm ~rank ~name:"compute" ~cat:"compute" ~start:t0
-          [ (Obs.Timeline.wave_arg, Obs.Span.Int (wave tm ~rank ~tile)) ]);
+        emit tm ~rank ~name:"compute" ~cat:"compute" ~start:t0 args;
+        (* The spec's compute-side perturbations, charged to the virtual
+           clock with the simulator's span names and order so the two
+           substrates stay identical cell for cell. Draws align: one noise
+           draw per tile either way. *)
+        match t.model with
+        | None -> ()
+        | Some m ->
+            let charge name d =
+              if d > 0.0 then begin
+                let t0 = tm.clock.(rank) in
+                tm.clock.(rank) <- t0 +. d;
+                emit tm ~rank ~name ~cat:"compute" ~start:t0 args
+              end
+            in
+            charge "perturb.noise"
+              (Perturb.Model.noise_extra m ~rank ~work:(Costs.compute tm.costs));
+            charge "perturb.straggler" (Perturb.Model.straggler_delay m ~rank);
+            charge "perturb.pulse" (Perturb.Model.pulse_extra m ~rank);
+            charge "perturb.periodic" (Perturb.Model.periodic_extra m ~rank));
     ( { axis = Substrate.X; tile; bytes = t.msg_ew },
       { axis = Substrate.Y; tile; bytes = t.msg_ns } )
 
@@ -649,6 +690,19 @@ module Substrate = struct
           Raw.barrier t.sched ~rank
         done
     | Some tm ->
+        (* Collective noise: a seeded stall before the rank enters the
+           reduction; one draw per allreduce substrate call, aligned with
+           the other substrates. *)
+        (match t.model with
+        | None -> ()
+        | Some m ->
+            let d = Perturb.Model.coll_extra m ~rank in
+            if d > 0.0 then begin
+              let t0 = tm.clock.(rank) in
+              tm.clock.(rank) <- t0 +. d;
+              emit tm ~rank ~name:"perturb.collnoise" ~cat:"comm" ~start:t0
+                (("wait", Obs.Span.Float d) :: epilogue_args)
+            end);
         let cost = Costs.allreduce tm.costs ~count:1 ~msg_size in
         let first = ref nan in
         for _ = 1 to count do

@@ -20,9 +20,11 @@
      per-rank RNG (OS noise / cache variability);
    - [perturb]: a full Perturb.Spec — one-sided seeded compute noise, link
      injection delays, permanent stragglers and rank failures — the same
-     spec the real runtime and the dataflow backend accept. Injected
-     delays advance the simulated clock as dedicated events and are tagged
-     as "perturb.noise" / "perturb.straggler" / "perturb.link" spans, so
+     spec the real runtime and the dataflow backend accept (including the
+     wave-indexed idle-wave scenarios: pulse, periodic, collective noise).
+     Injected delays advance the simulated clock as dedicated events and
+     are tagged as "perturb.noise" / "perturb.straggler" / "perturb.link" /
+     "perturb.pulse" / "perturb.periodic" / "perturb.collnoise" spans, so
      critical-path reports show where delay was absorbed vs propagated. A
      killed rank's fiber stops (its sends never happen); downstream ranks
      block forever and the run completes with [completed = false] and the
@@ -349,7 +351,12 @@ module Backend = struct
             timed_compute ~name:"perturb.noise" ~args t rank extra;
           let d = Perturb.Model.straggler_delay m ~rank in
           if d > 0.0 then
-            timed_compute ~name:"perturb.straggler" ~args t rank d);
+            timed_compute ~name:"perturb.straggler" ~args t rank d;
+          let p = Perturb.Model.pulse_extra m ~rank in
+          if p > 0.0 then timed_compute ~name:"perturb.pulse" ~args t rank p;
+          let pd = Perturb.Model.periodic_extra m ~rank in
+          if pd > 0.0 then
+            timed_compute ~name:"perturb.periodic" ~args t rank pd);
       (t.msg_ew, t.msg_ns)
 
     let sweep_begin t ~rank ~sweep ~dir:_ = t.sweep.(rank) <- sweep
@@ -389,7 +396,20 @@ module Backend = struct
           | Some s -> Mpi_sim.recv t.mpi ~dst:rank ~src:s ~size:bytes
           | None -> ())
 
+    (* Collective noise: a seeded stall before the rank enters the
+       all-reduce, the classic desynchronization source of the idle-wave
+       literature. One draw per allreduce substrate call, on every rank. *)
+    let inject_coll_delay t rank =
+      match t.perturb with
+      | None -> ()
+      | Some m ->
+          let extra = Perturb.Model.coll_extra m ~rank in
+          if extra > 0.0 then
+            timed_comm ~name:"perturb.collnoise" ~args:epilogue_args t rank
+              (fun () -> Engine.wait extra)
+
     let allreduce t ~rank ~count ~msg_size =
+      inject_coll_delay t rank;
       timed_comm ~name:"allreduce" ~args:epilogue_args t rank (fun () ->
           for _ = 1 to count do
             Collective.allreduce t.coll t.mpi ~rank ~msg_size
