@@ -194,12 +194,15 @@ let emit_bench_json () =
   let results =
     List.map
       (fun (c : Harness.Bench_suite.case) ->
-        let s = Bench_stats.Runner.measure ~name:c.name c.f in
+        let s = Bench_stats.Runner.measure ?repeats:c.repeats ~name:c.name c.f in
         Fmt.pr "  %a@." Bench_stats.Runner.pp s;
         s)
       cases
   in
-  let report = Bench_stats.Report.v ~label:"bench/main" results in
+  let meta =
+    [ ("peak_rss_mb", string_of_int (Harness.Bench_suite.peak_rss_mb ())) ]
+  in
+  let report = Bench_stats.Report.v ~label:"bench/main" ~meta results in
   Bench_stats.Report.write "BENCH_wavefront.json" report;
   Fmt.pr "wrote BENCH_wavefront.json (schema %s)@." Bench_stats.Report.schema
 

@@ -91,6 +91,27 @@ let make_cfg platform ~cores ~cpn =
   let platform = Loggp.Params.with_cores_per_node platform cpn in
   Plugplay.config ~cmp:(Wgrid.Cmp.of_cores_per_node cpn) platform ~cores
 
+let engine_arg =
+  let doc =
+    "Simulation engine: event (the event-level simulator: fibers, bus \
+     contention, rank ceiling) or batched (the wave-batched flat-array \
+     engine: dataflow cost arithmetic, scales to millions of ranks)."
+  in
+  Arg.(value & opt (enum Harness.Engine.all) Harness.Engine.Event
+       & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+(* The event engine's rank ceiling, as a CLI error instead of an escaped
+   exception: the registered printer already points at --engine=batched. *)
+let or_rank_ceiling f =
+  try f ()
+  with Xtsim.Wavefront_sim.Rank_ceiling _ as e ->
+    Fmt.epr "wavefront: %s@." (Printexc.to_string e);
+    exit 2
+
+let waves_of (app : App_params.t) =
+  Sweeps.Schedule.nsweeps app.schedule
+  * Wgrid.Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile
+
 (* --- predict --- *)
 
 let predict spec app_name grid cores cpn htile wg iterations groups steps
@@ -131,24 +152,127 @@ let explain_cmd =
 
 (* --- simulate --- *)
 
-let simulate spec app_name grid cores cpn htile wg iterations =
+let simulate spec app_name grid cores cpn htile wg iterations engine domains
+    max_ranks tl_json tl_csv =
+  if domains < 1 then begin
+    Fmt.epr "wavefront: --domains must be at least 1@.";
+    exit 2
+  end;
   let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
   let pg = Wgrid.Proc_grid.of_cores cores in
   let cmp = Wgrid.Cmp.of_cores_per_node cpn in
-  let machine = Xtsim.Machine.v ~cmp Loggp.Params.xt4 pg in
-  Fmt.pr "simulating %s on %a...@." app.App_params.name Xtsim.Machine.pp machine;
-  let o = Xtsim.Wavefront_sim.run machine app in
   let cfg = make_cfg Loggp.Params.xt4 ~cores ~cpn in
   let model = Plugplay.time_per_iteration app cfg in
-  Fmt.pr "@[<v>%a@,model prediction: %a/iteration (error %+.2f%%)@]@."
-    Xtsim.Wavefront_sim.pp_outcome o Units.pp_time model
-    (100.0 *. (model -. o.per_iteration) /. o.per_iteration)
+  let model_line per_iteration =
+    Fmt.pr "model prediction: %a/iteration (error %+.2f%%)@." Units.pp_time
+      model
+      (100.0 *. (model -. per_iteration) /. per_iteration)
+  in
+  let write path emit what =
+    match open_out path with
+    | exception Sys_error m ->
+        Fmt.epr "wavefront: cannot write %s: %s@." what m;
+        exit 1
+    | oc ->
+        emit (output_string oc);
+        close_out oc;
+        Fmt.pr "%s written to %s@." what path
+  in
+  match (engine : Harness.Engine.t) with
+  | Event ->
+      let machine = Xtsim.Machine.v ~cmp Loggp.Params.xt4 pg in
+      Fmt.pr "simulating %s on %a...@." app.App_params.name Xtsim.Machine.pp
+        machine;
+      let o =
+        or_rank_ceiling (fun () ->
+            Xtsim.Wavefront_sim.run ?max_ranks machine app)
+      in
+      Fmt.pr "%a@." Xtsim.Wavefront_sim.pp_outcome o;
+      model_line o.per_iteration
+  | Batched ->
+      let costs = Wrun.Costs.loggp ~cmp Loggp.Params.xt4 pg app in
+      Fmt.pr "simulating %s on %a (wave-batched, %d domain(s))...@."
+        app.App_params.name Wgrid.Proc_grid.pp pg domains;
+      (* Stream per-cell analytics into the bounded accumulator; the
+         dense grid is out of reach at the rank counts this engine is
+         for. *)
+      let stream =
+        Obs.Timeline_stream.create ~ranks:cores ~waves:(waves_of app) ()
+      in
+      let o =
+        Wrun.Batched.run ~cells:(Obs.Timeline_stream.sink stream) ~domains
+          ~costs pg app
+      in
+      Fmt.pr "%a@." Wrun.Batched.pp_outcome o;
+      model_line o.per_iteration;
+      let total m =
+        let acc = ref 0.0 in
+        for col = 0 to o.waves do
+          acc := !acc +. Obs.Timeline_stream.column_total stream m col
+        done;
+        !acc
+      in
+      Fmt.pr
+        "streamed analytics: %d cells into a %dx%d bucket grid; totals \
+         busy %a, wait %a, idle %a@."
+        (Obs.Timeline_stream.cells stream)
+        (Obs.Timeline_stream.rank_buckets stream)
+        (Obs.Timeline_stream.wave_buckets stream)
+        Units.pp_time (total Obs.Timeline.Busy) Units.pp_time
+        (total Obs.Timeline.Wait) Units.pp_time (total Obs.Timeline.Idle);
+      Option.iter
+        (fun p ->
+          write p
+            (fun w -> Obs.Timeline_stream.emit_json ~label:"simulate" stream w)
+            "timeline-stream JSON")
+        tl_json;
+      Option.iter
+        (fun p ->
+          write p
+            (fun w -> Obs.Timeline_stream.emit_csv stream w)
+            "timeline-stream CSV")
+        tl_csv
 
 let simulate_cmd =
-  let doc = "Execute the wavefront code on the event-level simulated machine" in
+  let doc =
+    "Execute the wavefront code on the simulated machine (event-level or \
+     wave-batched engine)"
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:
+               "Shard the batched engine's ranks across N OCaml domains \
+                (results are bitwise-identical for every N; event engine: \
+                ignored).")
+  in
+  let max_ranks =
+    Arg.(value & opt (some int) None
+         & info [ "max-ranks" ] ~docv:"N"
+             ~doc:
+               (Fmt.str
+                  "Raise (or lower) the event engine's rank ceiling \
+                   (default %d)."
+                  Xtsim.Wavefront_sim.default_max_ranks))
+  in
+  let tl_json =
+    Arg.(value & opt (some string) None
+         & info [ "timeline-json" ] ~docv:"FILE"
+             ~doc:
+               "Write the batched engine's streamed timeline analytics as \
+                chunked JSON (schema wavefront-timeline-stream/v1).")
+  in
+  let tl_csv =
+    Arg.(value & opt (some string) None
+         & info [ "timeline-csv" ] ~docv:"FILE"
+             ~doc:
+               "Write the batched engine's streamed timeline analytics as \
+                chunked CSV.")
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
-          $ htile_arg $ wg_arg $ iterations_arg)
+          $ htile_arg $ wg_arg $ iterations_arg $ engine_arg $ domains
+          $ max_ranks $ tl_json $ tl_csv)
 
 (* --- validate --- *)
 
@@ -351,8 +475,8 @@ let profile_cmd =
 
 (* --- perturb --- *)
 
-let perturb spec app_name grid cores cpn htile wg iterations platform pspec
-    real capacity =
+let perturb spec app_name grid cores cpn htile wg iterations platform engine
+    pspec real capacity =
   (match capacity with
   | Some c when c < 1 ->
       Fmt.epr "wavefront: --capacity must be at least 1@.";
@@ -384,7 +508,10 @@ let perturb spec app_name grid cores cpn htile wg iterations platform pspec
     pspec;
   if Perturb.Spec.is_zero pspec then
     Fmt.pr "(zero spec: control run, expect no deltas)@.";
-  let r = Harness.Perturb_report.run ~real ?capacity cfg app pspec in
+  let r =
+    or_rank_ceiling (fun () ->
+        Harness.Perturb_report.run ~real ~engine ?capacity cfg app pspec)
+  in
   Fmt.pr "%a@." Harness.Perturb_report.pp r;
   (* 0 clean, 3 degraded, 4 unrecovered failure — see
      Perturb_report.exit_status. *)
@@ -420,14 +547,14 @@ let perturb_cmd =
   in
   Cmd.v (Cmd.info "perturb" ~doc)
     Term.(const perturb $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
-          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ pspec $ real
-          $ capacity)
+          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ engine_arg
+          $ pspec $ real $ capacity)
 
 (* --- recover --- *)
 
-let recover spec app_name grid cores cpn htile wg iterations platform pspec
-    interval ckpt_cost restart_cost tolerance real fail_on_mismatch capacity
-    out =
+let recover spec app_name grid cores cpn htile wg iterations platform engine
+    pspec interval ckpt_cost restart_cost tolerance real fail_on_mismatch
+    capacity out =
   (match capacity with
   | Some c when c < 1 ->
       Fmt.epr "wavefront: --capacity must be at least 1@.";
@@ -479,8 +606,9 @@ let recover spec app_name grid cores cpn htile wg iterations platform pspec
     app.App_params.name cores cpn platform.Loggp.Params.name Perturb.Spec.pp
     pspec Perturb.Recover.pp policy;
   let r =
-    Harness.Recover_report.run ~real ?tolerance ?capacity ~policy cfg app
-      pspec
+    or_rank_ceiling (fun () ->
+        Harness.Recover_report.run ~real ~engine ?tolerance ?capacity ~policy
+          cfg app pspec)
   in
   Fmt.pr "%a@." Harness.Recover_report.pp r;
   (match out with
@@ -573,14 +701,14 @@ let recover_cmd =
   in
   Cmd.v (Cmd.info "recover" ~doc)
     Term.(const recover $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
-          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ pspec
-          $ interval $ ckpt_cost $ restart_cost $ tolerance $ real
+          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ engine_arg
+          $ pspec $ interval $ ckpt_cost $ restart_cost $ tolerance $ real
           $ fail_on_mismatch $ capacity $ out)
 
 (* --- timeline --- *)
 
-let timeline spec app_name grid cores cpn htile wg iterations platform real
-    no_bus metric capacity json_out csv_out =
+let timeline spec app_name grid cores cpn htile wg iterations platform engine
+    real no_bus metric capacity json_out csv_out =
   (match capacity with
   | Some c when c < 1 ->
       Fmt.epr "wavefront: --capacity must be at least 1@.";
@@ -601,8 +729,9 @@ let timeline spec app_name grid cores cpn htile wg iterations platform real
   Fmt.pr "timeline of %s on %d cores (%d/node, %s)...@." app.App_params.name
     cores cpn platform.Loggp.Params.name;
   let t =
-    Harness.Timeline_report.run ~real ~model_bus:(not no_bus) ?capacity cfg
-      app
+    or_rank_ceiling (fun () ->
+        Harness.Timeline_report.run ~real ~model_bus:(not no_bus) ~engine
+          ?capacity cfg app)
   in
   Fmt.pr "%a@." (Harness.Timeline_report.pp ~metric) t;
   let write path content what =
@@ -667,13 +796,13 @@ let timeline_cmd =
   in
   Cmd.v (Cmd.info "timeline" ~doc)
     Term.(const timeline $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
-          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ real $ no_bus
-          $ metric $ capacity $ json_out $ csv_out)
+          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ engine_arg
+          $ real $ no_bus $ metric $ capacity $ json_out $ csv_out)
 
 (* --- idlewave --- *)
 
-let idlewave spec app_name grid cores cpn htile wg iterations platform pgrid
-    pspec real no_bus fail_on_mismatch capacity out json_out csv_out =
+let idlewave spec app_name grid cores cpn htile wg iterations platform engine
+    pgrid pspec real no_bus fail_on_mismatch capacity out json_out csv_out =
   (match capacity with
   | Some c when c < 1 ->
       Fmt.epr "wavefront: --capacity must be at least 1@.";
@@ -722,8 +851,9 @@ let idlewave spec app_name grid cores cpn htile wg iterations platform pgrid
     Fmt.pr "(no pulse clause: expect no idle wave; try --perturb \
             'pulse=RANK:WAVE:DELAY_US')@.";
   let r =
-    Harness.Idlewave_report.run ~real ~model_bus:(not no_bus) ?capacity cfg
-      app pspec
+    or_rank_ceiling (fun () ->
+        Harness.Idlewave_report.run ~real ~model_bus:(not no_bus) ~engine
+          ?capacity cfg app pspec)
   in
   Fmt.pr "%a@." Harness.Idlewave_report.pp r;
   let write path content what =
@@ -822,9 +952,9 @@ let idlewave_cmd =
   in
   Cmd.v (Cmd.info "idlewave" ~doc)
     Term.(const idlewave $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
-          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ pgrid $ pspec
-          $ real $ no_bus $ fail_on_mismatch $ capacity $ out $ json_out
-          $ csv_out)
+          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ engine_arg
+          $ pgrid $ pspec $ real $ no_bus $ fail_on_mismatch $ capacity $ out
+          $ json_out $ csv_out)
 
 (* --- bench --- *)
 
@@ -835,12 +965,20 @@ let bench quick out against fail_on_regression label repeats min_delta =
   let results =
     List.map
       (fun (c : Harness.Bench_suite.case) ->
+        (* --repeats wins; else the case's own count (the multi-second
+           scale cases run few repetitions). *)
+        let repeats =
+          match repeats with Some _ -> repeats | None -> c.repeats
+        in
         let s = Bench_stats.Runner.measure ?repeats ~name:c.name c.f in
         Fmt.pr "  %a@." Bench_stats.Runner.pp s;
         s)
       cases
   in
-  let report = Bench_stats.Report.v ~label results in
+  let meta =
+    [ ("peak_rss_mb", string_of_int (Harness.Bench_suite.peak_rss_mb ())) ]
+  in
+  let report = Bench_stats.Report.v ~label ~meta results in
   (match out with
   | None -> ()
   | Some path ->

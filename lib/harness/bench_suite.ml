@@ -11,8 +11,28 @@ open Wavefront_core
 type case = {
   name : string;
   quick : bool;  (** part of the fast CI subset *)
+  repeats : int option;  (** override the runner's repetition count *)
   f : unit -> unit;
 }
+
+(* Peak resident set of this process (VmHWM), MB; 0 where /proc is
+   unavailable. The big-run cases dominate it, so recording it next to
+   their wall-clock pins the batched engine's memory envelope too. *)
+let peak_rss_mb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec go () =
+        match input_line ic with
+        | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
+            (try Scanf.sscanf line "VmHWM: %d kB" (fun kb -> kb / 1024)
+             with Scanf.Scan_failure _ | Failure _ | End_of_file -> 0)
+        | _ -> go ()
+        | exception End_of_file -> 0
+      in
+      let r = go () in
+      close_in ic;
+      r
 
 let xt4 = Loggp.Params.xt4
 
@@ -20,6 +40,16 @@ let all () =
   let chimaera = Apps.Chimaera.p240 () in
   let sweep_app = Apps.Sweep3d.params (Wgrid.Data_grid.cube 32) in
   let sim_machine = Xtsim.Machine.v xt4 (Wgrid.Proc_grid.of_cores 64) in
+  (* The large-grid cases share one Sweep3D problem; the costs tables are
+     built once outside the timed region. *)
+  let pg_64k = Wgrid.Proc_grid.of_cores 65536 in
+  let costs_64k =
+    Wrun.Costs.loggp ~cmp:Wgrid.Cmp.single_core xt4 pg_64k sweep_app
+  in
+  let pg_1m = Wgrid.Proc_grid.of_cores 1048576 in
+  let costs_1m =
+    Wrun.Costs.loggp ~cmp:Wgrid.Cmp.single_core xt4 pg_1m sweep_app
+  in
   let phi = Array.make (16 * 16 * 16) 0.0 in
   let lu = Kernels.Lu_kernel.init_block ~nx:16 ~ny:16 ~nz:16 in
   (* A realistic trace to reconstruct: the analytic term schedule of a
@@ -79,6 +109,7 @@ let all () =
     {
       name = "model/iteration-P1024";
       quick = true;
+      repeats = None;
       f =
         (let cfg = Plugplay.config xt4 ~cores:1024 in
          fun () -> ignore (Plugplay.iteration chimaera cfg));
@@ -86,6 +117,7 @@ let all () =
     {
       name = "model/iteration-P16384";
       quick = false;
+      repeats = None;
       f =
         (let cfg = Plugplay.config xt4 ~cores:16384 in
          fun () -> ignore (Plugplay.iteration chimaera cfg));
@@ -93,16 +125,19 @@ let all () =
     {
       name = "model/allreduce-eq9";
       quick = true;
+      repeats = None;
       f = (fun () -> ignore (Loggp.Allreduce.time xt4 ~cores:8192));
     };
     {
       name = "sim/wavefront-64c-32^3";
       quick = true;
+      repeats = None;
       f = (fun () -> ignore (Xtsim.Wavefront_sim.run sim_machine sweep_app));
     };
     {
       name = "dataflow/validate-P1024";
       quick = true;
+      repeats = None;
       f =
         (let pg = Wgrid.Proc_grid.of_cores 1024 in
          fun () ->
@@ -112,6 +147,7 @@ let all () =
     {
       name = "kernels/transport-16^3";
       quick = true;
+      repeats = None;
       f =
         (fun () ->
           Array.fill phi 0 (Array.length phi) 0.0;
@@ -121,16 +157,19 @@ let all () =
     {
       name = "kernels/lu-16^3";
       quick = false;
+      repeats = None;
       f = (fun () -> Kernels.Lu_kernel.sweep_block lu ~nx:16 ~ny:16 ~nz:16);
     };
     {
       name = "obs/timeline-reconstruct";
       quick = true;
+      repeats = None;
       f = (fun () -> ignore (Obs.Timeline.of_spans timeline_spans));
     };
     {
       name = "obs/idlewave-detect-8192r";
       quick = true;
+      repeats = None;
       f =
         (fun () ->
           let d = Obs.Idle_wave.detect idlewave_tl in
@@ -139,9 +178,41 @@ let all () =
     {
       name = "obs/tracer-record";
       quick = true;
+      repeats = None;
       f =
         (fun () ->
           Obs.Tracer.record record_tr ~rank:0 ~start:0.0 ~dur:1.0 "x");
+    };
+    (* The wave-batched engine at scale, against the timed dataflow replay
+       of the same costs: the baseline pins the batched engine's >= 10x
+       advantage at 64k ranks and its million-rank wall-clock. Few
+       repetitions — each call is seconds, and the medians move little. *)
+    {
+      name = "run/batched-64k";
+      quick = true;
+      repeats = Some 3;
+      f =
+        (fun () ->
+          let o = Wrun.Batched.run ~costs:costs_64k pg_64k sweep_app in
+          assert o.completed);
+    };
+    {
+      name = "run/dataflow-64k";
+      quick = false;
+      repeats = Some 3;
+      f =
+        (fun () ->
+          let o = Wrun.Dataflow.run ~costs:costs_64k pg_64k sweep_app in
+          assert o.completed);
+    };
+    {
+      name = "run/batched-1m";
+      quick = false;
+      repeats = Some 3;
+      f =
+        (fun () ->
+          let o = Wrun.Batched.run ~costs:costs_1m pg_1m sweep_app in
+          assert o.completed);
     };
   ]
 

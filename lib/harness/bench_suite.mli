@@ -6,6 +6,9 @@
 type case = {
   name : string;
   quick : bool;  (** part of the fast CI subset *)
+  repeats : int option;
+      (** override the runner's repetition count — the multi-second
+          batched/dataflow scale cases run few repetitions *)
   f : unit -> unit;
 }
 
@@ -13,3 +16,8 @@ val all : unit -> case list
 
 val cases : ?quick:bool -> unit -> case list
 (** [quick] (default false) keeps only the fast CI subset. *)
+
+val peak_rss_mb : unit -> int
+(** Peak resident set (VmHWM) of this process in MB, 0 where /proc is
+    unavailable — recorded in the report metadata so the scale cases pin
+    a memory envelope next to their wall-clock. *)

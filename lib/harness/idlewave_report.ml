@@ -38,7 +38,7 @@ let dash = "-"
 let main_fit (d : Obs.Idle_wave.t) =
   match d.forward with Some f -> Some f | None -> d.backward
 
-let run ?(real = false) ?(model_bus = true)
+let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
     ?(capacity = Obs.Tracer.default_capacity) (cfg : Plugplay.config)
     (app : App_params.t) (spec : Perturb.Spec.t) =
   let waves = waves_of app in
@@ -46,16 +46,11 @@ let run ?(real = false) ?(model_bus = true)
     Obs.Timeline.of_spans ~dropped:(Obs.Tracer.dropped tr) ~waves
       (Obs.Tracer.spans tr)
   in
-  (* Simulator pair: same machine, with and without the spec. *)
-  let machine =
-    Xtsim.Machine.v ~model_bus ~cmp:cfg.cmp cfg.platform cfg.pgrid
-  in
+  (* Simulator pair: same engine and configuration, with and without the
+     spec. *)
   let sim_pair perturb =
     let tr = Obs.Tracer.create ~capacity () in
-    ignore
-      (match perturb with
-      | None -> Xtsim.Wavefront_sim.run ~obs:tr machine app
-      | Some spec -> Xtsim.Wavefront_sim.run ~perturb:spec ~obs:tr machine app);
+    ignore (Engine.observed_run ~model_bus ?perturb ~obs:tr engine cfg app);
     timeline_of tr
   in
   let timeline_base = sim_pair None in

@@ -27,6 +27,7 @@ type t = {
 val run :
   ?real:bool ->
   ?model_bus:bool ->
+  ?engine:Engine.t ->
   ?capacity:int ->
   Plugplay.config ->
   App_params.t ->
@@ -36,7 +37,10 @@ val run :
     (default off) also executes the shared-memory kernel pair on one
     domain per rank — use small core counts. [model_bus] (default on)
     keeps the simulator's bus contention; switch it off (with single-core
-    nodes) for the exact sim/dataflow identity. *)
+    nodes) for the exact sim/dataflow identity. [engine] (default
+    {!Engine.Event}) selects the observed substrate; {!Engine.Batched}
+    shares the dataflow's cost arithmetic, so the identity holds
+    regardless of [model_bus]. *)
 
 val main_fit : Obs.Idle_wave.t -> Obs.Idle_wave.fit option
 (** The fit in the direction the wave travelled (forward when present,

@@ -35,14 +35,14 @@ let span_total spans name =
 
 let dash = "-"
 
-let run ?(real = false) ?(capacity = Obs.Tracer.default_capacity)
-    (cfg : Plugplay.config) (app : App_params.t) (spec : Perturb.Spec.t) =
-  let machine = Xtsim.Machine.v ~cmp:cfg.cmp cfg.platform cfg.pgrid in
+let run ?(real = false) ?(engine = Engine.Event)
+    ?(capacity = Obs.Tracer.default_capacity) (cfg : Plugplay.config)
+    (app : App_params.t) (spec : Perturb.Spec.t) =
   let estimate = Perturb.Estimate.iteration app cfg spec in
   let obs_base = Obs.Tracer.create ~capacity () in
-  let sim_base = Xtsim.Wavefront_sim.run ~obs:obs_base machine app in
+  let sim_base = Engine.observed_run ~obs:obs_base engine cfg app in
   let obs = Obs.Tracer.create ~capacity () in
-  let sim = Xtsim.Wavefront_sim.run ~perturb:spec ~obs machine app in
+  let sim = Engine.observed_run ~perturb:spec ~obs engine cfg app in
   let spans = Obs.Tracer.spans obs in
   let waves =
     Sweeps.Schedule.nsweeps app.schedule

@@ -27,6 +27,7 @@ type t = {
 
 val run :
   ?real:bool ->
+  ?engine:Engine.t ->
   ?capacity:int ->
   Plugplay.config ->
   App_params.t ->
@@ -36,7 +37,10 @@ val run :
     [real] (default off) also executes the transport kernel twice —
     unperturbed, then perturbed via {!Kernels.Sweep_exec.run_resilient} —
     on one domain per rank; use small core counts. With [real] off the
-    report is fully deterministic (simulated time only). *)
+    report is fully deterministic (simulated time only). [engine]
+    (default {!Engine.Event}) selects the observed substrate; the
+    injected-delay accounting reads the same [perturb.*] spans either
+    way. *)
 
 val exit_status : t -> int
 (** 0 clean; 3 degraded (dataflow incomplete, mismatching or leaking

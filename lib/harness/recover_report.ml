@@ -97,10 +97,9 @@ let interval_table ~policy ~optimal ~waves ~wave_cost ~failures =
     ~headers:[ "K"; "ckpts"; "checkpoint"; "rework"; "expected total"; "" ]
     rows
 
-let run ?(real = false) ?(tolerance = 0.05)
+let run ?(real = false) ?(engine = Engine.Event) ?(tolerance = 0.05)
     ?(capacity = Obs.Tracer.default_capacity) ~policy
     (cfg : Plugplay.config) (app : App_params.t) (spec : Perturb.Spec.t) =
-  let machine = Xtsim.Machine.v ~cmp:cfg.cmp cfg.platform cfg.pgrid in
   let r = Plugplay.iteration app cfg in
   let wave_cost = r.w +. r.w_pre in
   let ntiles = Wgrid.Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile in
@@ -120,10 +119,10 @@ let run ?(real = false) ?(tolerance = 0.05)
     Perturb.Recover.optimal_interval ~waves ~wave_cost
       ~failures:(List.length fail_waves) ~ckpt_cost:policy.ckpt_cost
   in
-  let sim_base = Xtsim.Wavefront_sim.run machine app in
+  let sim_base = Engine.observed_run engine cfg app in
   let obs = Obs.Tracer.create ~capacity () in
   let sim =
-    Xtsim.Wavefront_sim.run ~perturb:spec ~recover:policy ~obs machine app
+    Engine.observed_run ~perturb:spec ~recover:policy ~obs engine cfg app
   in
   let spans = Obs.Tracer.spans obs in
   let simulated =

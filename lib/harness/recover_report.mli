@@ -36,6 +36,7 @@ type t = {
 
 val run :
   ?real:bool ->
+  ?engine:Engine.t ->
   ?tolerance:float ->
   ?capacity:int ->
   policy:Perturb.Recover.policy ->
@@ -47,8 +48,10 @@ val run :
     kernel under genuine checkpoint/rollback
     ({!Kernels.Sweep_exec.run_recoverable}) and checks the recovered grid
     bitwise against the sequential reference; use small core counts.
-    [tolerance] (default 0.05) bounds the accepted relative gap between
-    the simulated and closed-form overhead totals. *)
+    [engine] (default {!Engine.Event}) selects the observed substrate;
+    the simulated recovery term reads the same [recover.*] spans either
+    way. [tolerance] (default 0.05) bounds the accepted relative gap
+    between the simulated and closed-form overhead totals. *)
 
 val exit_status : t -> int
 (** 0 clean; 3 degraded (out of tolerance, dataflow mismatches or

@@ -21,16 +21,13 @@ let waves_of (app : App_params.t) =
   Sweeps.Schedule.nsweeps app.schedule
   * Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile
 
-let run ?(real = false) ?(model_bus = true)
+let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
     ?(capacity = Obs.Tracer.default_capacity) (cfg : Plugplay.config)
     (app : App_params.t) =
   let waves = waves_of app in
-  (* Observed side: the simulator with wave-tagged spans. *)
-  let machine =
-    Xtsim.Machine.v ~model_bus ~cmp:cfg.cmp cfg.platform cfg.pgrid
-  in
+  (* Observed side: the selected engine with wave-tagged spans. *)
   let obs = Obs.Tracer.create ~capacity () in
-  let sim = Xtsim.Wavefront_sim.run ~obs machine app in
+  let sim = Engine.observed_run ~model_bus ~obs engine cfg app in
   let observed =
     Obs.Timeline.of_spans ~dropped:(Obs.Tracer.dropped obs) ~waves
       (Obs.Tracer.spans obs)

@@ -18,6 +18,7 @@ type t = {
 val run :
   ?real:bool ->
   ?model_bus:bool ->
+  ?engine:Engine.t ->
   ?capacity:int ->
   Plugplay.config ->
   App_params.t ->
@@ -26,7 +27,10 @@ val run :
     shared-bus contention on; switch it off (with single-core nodes and an
     eager-sized configuration) and the observed and model timelines
     coincide to float precision — the cross-substrate identity the tests
-    assert. *)
+    assert. [engine] (default {!Engine.Event}) selects the observed
+    substrate; with {!Engine.Batched} the observed side shares the
+    dataflow's cost arithmetic, so the two timelines coincide regardless
+    of [model_bus]. *)
 
 val pp : ?metric:Obs.Timeline.metric -> Format.formatter -> t -> unit
 

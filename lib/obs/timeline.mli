@@ -24,6 +24,10 @@ type cell = {
 val cell_width : cell -> float
 val cell_busy : cell -> float
 
+val zero_cell : float -> cell
+(** The zero-width, all-zero cell anchored at the given instant — what an
+    unvisited column decomposes to. *)
+
 type t = {
   ranks : int;
   waves : int;

@@ -1,0 +1,306 @@
+(* Bounded-memory streaming fold of timeline cells.
+
+   The batched engine visits each (rank, column) once per iteration and
+   emits the finished cell; at a million ranks the dense
+   [Timeline.of_spans] grid is out of reach, so this accumulator folds
+   the stream into (a) a rank-bucketized, wave-bucketized heatmap grid
+   whose bucket means are exactly what [Timeline.render] would have
+   displayed of the dense grid, and (b) exact full-resolution per-column
+   totals (the wave axis is short — sums over a bucket's member ranks
+   are exact even though its mean cell is a summary). Memory is
+   O(rank_buckets * col_buckets + waves), independent of the rank
+   count.
+
+   Cells for the same (rank, column) across iterations merge additively
+   with window union — the producer's contract. The fold is guarded by
+   a mutex so one accumulator can serve a multi-domain run; the batched
+   engine only emits a handful of cells per rank per sweep, so the lock
+   is not on the simulation's critical path. *)
+
+type t = {
+  ranks : int;
+  waves : int;
+  rank_buckets : int;  (* heatmap rows *)
+  wave_buckets : int;  (* heatmap wavefront columns (epilogue extra) *)
+  (* bucket grid, flat [rb * (wave_buckets + 1) + cb]: per-metric sums,
+     member count, window envelope *)
+  g_compute : float array;
+  g_send : float array;
+  g_recv : float array;
+  g_wait : float array;
+  g_other : float array;
+  g_idle : float array;
+  g_spans : int array;
+  g_count : int array;
+  g_tmin : float array;
+  g_tmax : float array;
+  (* exact per-column totals, index [col] with [waves] = epilogue *)
+  col_compute : float array;
+  col_send : float array;
+  col_recv : float array;
+  col_wait : float array;
+  col_other : float array;
+  col_idle : float array;
+  col_width : float array;
+  col_cells : int array;
+  (* per-rank-bucket run envelope *)
+  b_start : float array;
+  b_finish : float array;
+  mutable cells : int;
+  lock : Mutex.t;
+}
+
+let create ?(max_rank_buckets = 512) ?(max_wave_buckets = 256) ~ranks ~waves
+    () =
+  if ranks < 1 || waves < 1 then invalid_arg "Timeline_stream.create";
+  let rank_buckets = min ranks (max 1 max_rank_buckets) in
+  let wave_buckets = min waves (max 1 max_wave_buckets) in
+  let ncells = rank_buckets * (wave_buckets + 1) in
+  {
+    ranks;
+    waves;
+    rank_buckets;
+    wave_buckets;
+    g_compute = Array.make ncells 0.0;
+    g_send = Array.make ncells 0.0;
+    g_recv = Array.make ncells 0.0;
+    g_wait = Array.make ncells 0.0;
+    g_other = Array.make ncells 0.0;
+    g_idle = Array.make ncells 0.0;
+    g_spans = Array.make ncells 0;
+    g_count = Array.make ncells 0;
+    g_tmin = Array.make ncells infinity;
+    g_tmax = Array.make ncells neg_infinity;
+    col_compute = Array.make (waves + 1) 0.0;
+    col_send = Array.make (waves + 1) 0.0;
+    col_recv = Array.make (waves + 1) 0.0;
+    col_wait = Array.make (waves + 1) 0.0;
+    col_other = Array.make (waves + 1) 0.0;
+    col_idle = Array.make (waves + 1) 0.0;
+    col_width = Array.make (waves + 1) 0.0;
+    col_cells = Array.make (waves + 1) 0;
+    b_start = Array.make rank_buckets infinity;
+    b_finish = Array.make rank_buckets neg_infinity;
+    cells = 0;
+    lock = Mutex.create ();
+  }
+
+let rank_bucket t rank = rank * t.rank_buckets / t.ranks
+
+let wave_bucket t col =
+  if col >= t.waves then t.wave_buckets else col * t.wave_buckets / t.waves
+
+let rank_bucket_bounds t rb =
+  let lo = (rb * t.ranks + t.rank_buckets - 1) / t.rank_buckets in
+  (* first rank mapping to rb .. last: inverse of [rank_bucket] *)
+  let lo = if rank_bucket t lo = rb then lo else lo + 1 in
+  let hi = ((rb + 1) * t.ranks - 1) / t.rank_buckets in
+  let hi = if rank_bucket t hi = rb then hi else hi - 1 in
+  (lo, hi)
+
+let wave_bucket_bounds t cb =
+  if cb >= t.wave_buckets then (t.waves, t.waves)
+  else begin
+    let lo = cb * t.waves / t.wave_buckets in
+    let lo = if wave_bucket t lo = cb then lo else lo + 1 in
+    let hi = ((cb + 1) * t.waves - 1) / t.wave_buckets in
+    let hi = if wave_bucket t hi = cb then hi else hi - 1 in
+    (lo, hi)
+  end
+
+let sink t ~rank ~col (c : Timeline.cell) =
+  if rank < 0 || rank >= t.ranks || col < 0 || col > t.waves then
+    invalid_arg "Timeline_stream.sink: cell out of range";
+  let width = c.t_end -. c.t_start in
+  Mutex.lock t.lock;
+  let rb = rank_bucket t rank in
+  let i = (rb * (t.wave_buckets + 1)) + wave_bucket t col in
+  t.g_compute.(i) <- t.g_compute.(i) +. c.compute;
+  t.g_send.(i) <- t.g_send.(i) +. c.send;
+  t.g_recv.(i) <- t.g_recv.(i) +. c.recv;
+  t.g_wait.(i) <- t.g_wait.(i) +. c.wait;
+  t.g_other.(i) <- t.g_other.(i) +. c.other;
+  t.g_idle.(i) <- t.g_idle.(i) +. c.idle;
+  t.g_spans.(i) <- t.g_spans.(i) + c.spans;
+  t.g_count.(i) <- t.g_count.(i) + 1;
+  if c.t_start < t.g_tmin.(i) then t.g_tmin.(i) <- c.t_start;
+  if c.t_end > t.g_tmax.(i) then t.g_tmax.(i) <- c.t_end;
+  t.col_compute.(col) <- t.col_compute.(col) +. c.compute;
+  t.col_send.(col) <- t.col_send.(col) +. c.send;
+  t.col_recv.(col) <- t.col_recv.(col) +. c.recv;
+  t.col_wait.(col) <- t.col_wait.(col) +. c.wait;
+  t.col_other.(col) <- t.col_other.(col) +. c.other;
+  t.col_idle.(col) <- t.col_idle.(col) +. c.idle;
+  t.col_width.(col) <- t.col_width.(col) +. width;
+  t.col_cells.(col) <- t.col_cells.(col) + 1;
+  if c.t_start < t.b_start.(rb) then t.b_start.(rb) <- c.t_start;
+  if c.t_end > t.b_finish.(rb) then t.b_finish.(rb) <- c.t_end;
+  t.cells <- t.cells + 1;
+  Mutex.unlock t.lock
+
+let cells t = t.cells
+let ranks t = t.ranks
+let waves t = t.waves
+let rank_buckets t = t.rank_buckets
+let wave_buckets t = t.wave_buckets
+
+let column_total t (m : Timeline.metric) col =
+  match m with
+  | Compute -> t.col_compute.(col)
+  | Send -> t.col_send.(col)
+  | Recv -> t.col_recv.(col)
+  | Wait -> t.col_wait.(col)
+  | Idle -> t.col_idle.(col)
+  | Busy ->
+      t.col_compute.(col) +. t.col_send.(col) +. t.col_recv.(col)
+      +. t.col_other.(col)
+  | Total -> t.col_width.(col)
+
+let column_cells t col = t.col_cells.(col)
+
+(* The bucket-mean timeline: rows are rank buckets, columns wave
+   buckets; each cell is the mean decomposition of the bucket's member
+   cells over the union window — what [Timeline.render] displays of the
+   dense grid. *)
+let to_timeline t : Timeline.t =
+  let ncb = t.wave_buckets + 1 in
+  let cell_of i =
+    let n = t.g_count.(i) in
+    if n = 0 then Timeline.zero_cell 0.0
+    else
+      let fn = float_of_int n in
+      {
+        Timeline.t_start = t.g_tmin.(i);
+        t_end = t.g_tmax.(i);
+        compute = t.g_compute.(i) /. fn;
+        send = t.g_send.(i) /. fn;
+        recv = t.g_recv.(i) /. fn;
+        wait = t.g_wait.(i) /. fn;
+        other = t.g_other.(i) /. fn;
+        idle = t.g_idle.(i) /. fn;
+        spans = t.g_spans.(i);
+      }
+  in
+  let cells =
+    Array.init t.rank_buckets (fun rb ->
+        Array.init ncb (fun cb -> cell_of ((rb * ncb) + cb)))
+  in
+  let start =
+    Array.map (fun s -> if s = infinity then 0.0 else s) t.b_start
+  in
+  let finish =
+    Array.map (fun f -> if f = neg_infinity then 0.0 else f) t.b_finish
+  in
+  let t0 = Array.fold_left Float.min infinity start in
+  {
+    Timeline.ranks = t.rank_buckets;
+    waves = t.wave_buckets;
+    cells;
+    t0 = (if t0 = infinity then 0.0 else t0);
+    start;
+    finish;
+    dropped = 0;
+  }
+
+(* --- chunked export: bucket rows, sums not means, flushed every few
+   rows so a million-cell fold never builds one giant string --- *)
+
+let schema = "wavefront-timeline-stream/v1"
+
+let flush_every = 64
+
+let emit_csv t out =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b
+    "rank_lo,rank_hi,wave_lo,wave_hi,cells,t_start,t_end,compute,send,recv,\
+     wait,other,idle,spans\n";
+  let rows = ref 0 in
+  for rb = 0 to t.rank_buckets - 1 do
+    for cb = 0 to t.wave_buckets do
+      let i = (rb * (t.wave_buckets + 1)) + cb in
+      if t.g_count.(i) > 0 then begin
+        let rlo, rhi = rank_bucket_bounds t rb in
+        let wlo, whi = wave_bucket_bounds t cb in
+        Buffer.add_string b
+          (Printf.sprintf
+             "%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d\n"
+             rlo rhi
+             (if wlo = t.waves then -1 else wlo)
+             (if whi = t.waves then -1 else whi)
+             t.g_count.(i) t.g_tmin.(i) t.g_tmax.(i) t.g_compute.(i)
+             t.g_send.(i) t.g_recv.(i) t.g_wait.(i) t.g_other.(i)
+             t.g_idle.(i) t.g_spans.(i));
+        incr rows;
+        if !rows mod flush_every = 0 then begin
+          out (Buffer.contents b);
+          Buffer.clear b
+        end
+      end
+    done
+  done;
+  if Buffer.length b > 0 then out (Buffer.contents b)
+
+let emit_json ?(label = "") t out =
+  let b = Buffer.create 8192 in
+  let esc s =
+    String.concat ""
+      (List.map
+         (function
+           | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+           | c when Char.code c < 0x20 ->
+               Printf.sprintf "\\u%04x" (Char.code c)
+           | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"%s\",\"label\":\"%s\",\"ranks\":%d,\"waves\":%d,\
+        \"rank_buckets\":%d,\"wave_buckets\":%d,\"cells\":%d,\"buckets\":["
+       schema (esc label) t.ranks t.waves t.rank_buckets t.wave_buckets
+       t.cells);
+  let first = ref true and rows = ref 0 in
+  for rb = 0 to t.rank_buckets - 1 do
+    for cb = 0 to t.wave_buckets do
+      let i = (rb * (t.wave_buckets + 1)) + cb in
+      if t.g_count.(i) > 0 then begin
+        let rlo, rhi = rank_bucket_bounds t rb in
+        let wlo, whi = wave_bucket_bounds t cb in
+        if not !first then Buffer.add_char b ',';
+        first := false;
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"rank_lo\":%d,\"rank_hi\":%d,\"wave_lo\":%d,\"wave_hi\":%d,\
+              \"cells\":%d,\"t_start\":%.6f,\"t_end\":%.6f,\
+              \"compute\":%.6f,\"send\":%.6f,\"recv\":%.6f,\"wait\":%.6f,\
+              \"other\":%.6f,\"idle\":%.6f,\"spans\":%d}"
+             rlo rhi
+             (if wlo = t.waves then -1 else wlo)
+             (if whi = t.waves then -1 else whi)
+             t.g_count.(i) t.g_tmin.(i) t.g_tmax.(i) t.g_compute.(i)
+             t.g_send.(i) t.g_recv.(i) t.g_wait.(i) t.g_other.(i)
+             t.g_idle.(i) t.g_spans.(i));
+        incr rows;
+        if !rows mod flush_every = 0 then begin
+          out (Buffer.contents b);
+          Buffer.clear b
+        end
+      end
+    done
+  done;
+  Buffer.add_string b "],\"columns\":[";
+  let first = ref true in
+  for col = 0 to t.waves do
+    if not !first then Buffer.add_char b ',';
+    first := false;
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"wave\":%d,\"cells\":%d,\"compute\":%.6f,\"send\":%.6f,\
+          \"recv\":%.6f,\"wait\":%.6f,\"other\":%.6f,\"idle\":%.6f,\
+          \"width\":%.6f}"
+         (if col = t.waves then -1 else col)
+         t.col_cells.(col) t.col_compute.(col) t.col_send.(col)
+         t.col_recv.(col) t.col_wait.(col) t.col_other.(col)
+         t.col_idle.(col) t.col_width.(col))
+  done;
+  Buffer.add_string b "]}";
+  out (Buffer.contents b)

@@ -1,0 +1,956 @@
+(* The wave-batched backend: the same Figure-4 program and LogGP cost
+   arithmetic as the timed dataflow replay, executed without fibers,
+   effects or a heap of events.
+
+   The wavefront schedule is regular enough that the precedence graph
+   never has to be discovered at run time: within one sweep, a rank
+   depends only on its two upstream neighbours, so the ranks of one
+   anti-diagonal of the processor grid are mutually independent and the
+   whole sweep is a sequence of bulk steps — advance every rank of
+   diagonal d, then every rank of diagonal d+1. All state lives in flat
+   preallocated structure-of-arrays: per-rank virtual clocks, per-rank
+   timeline accumulators, and one LogGP delivery timestamp per
+   (receiver, tile, axis) slot — a send writes the slot, the receiver
+   reads it one diagonal later, and a NaN sentinel marks a message that
+   was never sent (the batched reading of a dataflow fiber blocking
+   forever).
+
+   Ranks are sharded across OCaml 5 domains by contiguous row bands of
+   the torus; domains synchronize only at diagonal boundaries (and at
+   the staged epilogue passes). Every rank's floats depend only on its
+   own perturbation streams and upstream slot values, and collective
+   release points are float maxima (associative, order-independent), so
+   a run is bitwise identical across domain counts.
+
+   The epilogue (non-wavefront section) has cross-rank operations with
+   no static rank order, so it is staged: each rank's epilogue is first
+   executed against a recording substrate that queues its halo /
+   collective calls (charging purely local work immediately), and the
+   queued op lists — congruent across ranks by construction of
+   [Program.epilogue] — are then resolved in lockstep, one op at a
+   time: a halo is an all-sends pass then an all-receives pass; an
+   allreduce releases every arrival at the maximum entry clock.
+
+   Time arithmetic, span naming and perturbation draw order replicate
+   [Dataflow]'s timed mode operation for operation, so at small sizes a
+   traced batched run reconstructs into the identical
+   [Obs.Timeline.t]. *)
+
+open Wgrid
+
+type cell_sink = rank:int -> col:int -> Obs.Timeline.cell -> unit
+
+(* Raised internally when a rank reads a delivery slot that was never
+   written: its upstream died (or got stuck) before sending. *)
+exception Stuck_on of { rank : int; src : int }
+
+type status = Alive | Done | Failed | Blocked_recv of int | Blocked_coll
+
+type recovery = {
+  policy : Perturb.Recover.policy;
+  last_ckpt : int array;
+  cur_wave : int array;
+  revived : bool array;
+  ckpts : int array;  (* per-rank, summed into the outcome *)
+}
+
+(* A queued epilogue operation (congruent across ranks). *)
+type eop =
+  | Ehalo of { dst : int option; src : int option; bytes : int }
+  | Eallreduce of { count : int; msg_size : int }
+  | Ebarrier
+
+type bucket = Bcompute | Bsend | Brecv | Bother
+
+type t = {
+  costs : Costs.t;
+  ranks : int;
+  ntiles : int;
+  cols : int;  (* timeline wave columns: nsweeps * ntiles *)
+  msg_ew : int;
+  msg_ns : int;
+  model : Perturb.Model.t option;
+  recover : recovery option;
+  tracer : Obs.Tracer.t option;
+  sink : cell_sink option;
+  (* --- SoA core --- *)
+  clock : float array;  (* per-rank virtual now, us *)
+  sweep : int array;  (* per-rank current sweep index *)
+  finish : float array;  (* set at successful completion only *)
+  status : status array;
+  sent : int array;  (* per-rank messages sent / received *)
+  rcvd : int array;
+  (* Per-sweep delivery timestamps, indexed [dst * ntiles + tile]; NaN =
+     never sent. Each slot has exactly one writer (the unique upstream
+     neighbour) and one reader, a diagonal apart. *)
+  dlv_x : float array;
+  dlv_y : float array;
+  (* --- hot-path LogGP cache --- *)
+  (* The tile loop only ever messages grid neighbours with the axis'
+     fixed face size, so the three per-message charges take two values
+     per axis (link on-chip or off-node). [loc_bits] holds the on-chip
+     bit of each (rank, dir) link, dir = axis2 + (0 if peer > rank else
+     1) with axis2: X = 0, Y = 2; the tables are indexed
+     [axis2 + onchip]. *)
+  loc_bits : Bytes.t;
+  c_send : float array;
+  c_flight : float array;
+  c_rovh : float array;
+  (* --- streaming cell accumulators (active iff [sink] is set) --- *)
+  cur_col : int array;  (* column being accumulated; -1 = none *)
+  hi_col : int array;  (* highest column ever opened; -1 = none *)
+  span_end : float array;  (* end of the rank's last span *)
+  col_start : float array;
+  acc_compute : float array;
+  acc_send : float array;
+  acc_recv : float array;
+  acc_wait : float array;
+  acc_spans : int array;
+  (* --- staged epilogue --- *)
+  mutable recording : bool;  (* halo/collective hooks queue instead *)
+  eops : eop list array;  (* reversed op queue, per rank *)
+  eop_t0 : float array;  (* clock at the current op's start *)
+  halo_dlv : float array;  (* per-receiver delivery slot for one halo op *)
+}
+
+(* --- spans and cells --- *)
+
+let wave t ~rank ~tile = (t.sweep.(rank) * t.ntiles) + tile
+
+let emit t ~rank ~name ~cat ~start args =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.record tr ~cat ~args ~rank ~start
+        ~dur:(t.clock.(rank) -. start) name
+
+(* The streaming counterpart of [Obs.Timeline.of_spans] for the
+   contiguous traces this backend produces: per-rank spans partition
+   [start, finish] with no gaps or overlaps, so a column's window runs
+   from its first span's start to the next column's first span start,
+   idle is zero, and [other] is the exact remainder. One cell is emitted
+   per (rank, column) visit, on the transition to the next column. *)
+let close_cell t ~rank ~t_end =
+  let col = t.cur_col.(rank) in
+  if col >= 0 then begin
+    match t.sink with
+    | None -> ()
+    | Some sink ->
+        let t_start = t.col_start.(rank) in
+        let compute = t.acc_compute.(rank)
+        and send = t.acc_send.(rank)
+        and recv = t.acc_recv.(rank)
+        and wait = t.acc_wait.(rank) in
+        let other = t_end -. t_start -. compute -. send -. recv -. wait in
+        sink ~rank ~col
+          {
+            Obs.Timeline.t_start;
+            t_end;
+            compute;
+            send;
+            recv;
+            wait;
+            other;
+            idle = 0.0;
+            spans = t.acc_spans.(rank);
+          };
+        t.cur_col.(rank) <- -1;
+        t.acc_compute.(rank) <- 0.0;
+        t.acc_send.(rank) <- 0.0;
+        t.acc_recv.(rank) <- 0.0;
+        t.acc_wait.(rank) <- 0.0;
+        t.acc_spans.(rank) <- 0
+  end
+
+let cell_note t ~rank ~col ~t0 ~dur ~bucket ~wait =
+  match t.sink with
+  | None -> ()
+  | Some _ ->
+      if t.cur_col.(rank) <> col then begin
+        close_cell t ~rank ~t_end:t0;
+        t.cur_col.(rank) <- col;
+        t.hi_col.(rank) <- max t.hi_col.(rank) col;
+        t.col_start.(rank) <- t0
+      end;
+      (match bucket with
+      | Bcompute -> t.acc_compute.(rank) <- t.acc_compute.(rank) +. dur
+      | Bsend ->
+          t.acc_send.(rank) <- t.acc_send.(rank) +. (dur -. wait);
+          t.acc_wait.(rank) <- t.acc_wait.(rank) +. wait
+      | Brecv ->
+          t.acc_recv.(rank) <- t.acc_recv.(rank) +. (dur -. wait);
+          t.acc_wait.(rank) <- t.acc_wait.(rank) +. wait
+      | Bother -> ());
+      t.acc_spans.(rank) <- t.acc_spans.(rank) + 1;
+      t.span_end.(rank) <- t0 +. dur
+
+(* Close the open cell and pad every never-visited column with the
+   zero-width cell [of_spans] backfills at the rank's finish — the end
+   of its last span, which for a rank stuck inside a staged halo is
+   earlier than its clock (the uncovered send time a blocked fiber also
+   never surfaces as a span). *)
+let finish_cells t ~rank =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+      let now = t.span_end.(rank) in
+      close_cell t ~rank ~t_end:now;
+      for col = t.hi_col.(rank) + 1 to t.cols do
+        sink ~rank ~col (Obs.Timeline.zero_cell now)
+      done
+
+(* A clock advance plus its span and cell bookkeeping. *)
+let charge t ~rank ~name ~cat ~col ~bucket ?(wait = 0.0) ~args d =
+  let t0 = t.clock.(rank) in
+  t.clock.(rank) <- t0 +. d;
+  emit t ~rank ~name ~cat ~start:t0 args;
+  cell_note t ~rank ~col ~t0 ~dur:d ~bucket ~wait
+
+let wave_args w = [ (Obs.Timeline.wave_arg, Obs.Span.Int w) ]
+
+let epilogue_args =
+  [ (Obs.Timeline.wave_arg, Obs.Span.Int Obs.Timeline.epilogue_wave) ]
+
+(* --- the substrate --- *)
+
+module Backend = struct
+  type nonrec t = t
+  type payload = int  (* the face's modeled byte size *)
+
+  let boundary _ ~rank:_ ~axis:_ ~h:_ = 0
+
+  (* The span arg lists (and the cell float boxing behind them) are only
+     built when a tracer or cell sink is attached; the bare simulation
+     path is clock arithmetic on flat arrays alone. *)
+  let observed t = t.tracer != None || t.sink != None
+
+  let link_onchip t ~rank ~peer ~axis2 =
+    Char.code
+      (Bytes.unsafe_get t.loc_bits
+         ((rank * 4) + axis2 + if peer > rank then 0 else 1))
+
+  let recv t ~rank ~src ~axis ~tile ~h:_ ~bytes =
+    let t0 = t.clock.(rank) in
+    let axis2 = match axis with Substrate.X -> 0 | Y -> 2 in
+    let dlv = if axis2 = 0 then t.dlv_x else t.dlv_y in
+    let delivered = dlv.((rank * t.ntiles) + tile) in
+    if Float.is_nan delivered then raise (Stuck_on { rank; src });
+    let wait = Float.max 0.0 (delivered -. t0) in
+    t.clock.(rank) <-
+      t0 +. wait +. t.c_rovh.(axis2 + link_onchip t ~rank ~peer:src ~axis2);
+    t.rcvd.(rank) <- t.rcvd.(rank) + 1;
+    if observed t then begin
+      let w = wave t ~rank ~tile in
+      emit t ~rank ~name:"recv" ~cat:"comm" ~start:t0
+        [
+          ("src", Obs.Span.Int src);
+          ("size", Obs.Span.Int bytes);
+          ("wait", Obs.Span.Float wait);
+          (Obs.Timeline.wave_arg, Obs.Span.Int w);
+        ];
+      cell_note t ~rank ~col:w ~t0 ~dur:(t.clock.(rank) -. t0) ~bucket:Brecv
+        ~wait
+    end;
+    bytes
+
+  let send t ~rank ~dst ~axis ~tile bytes =
+    (match t.model with
+    | None -> ()
+    | Some m ->
+        let d = Perturb.Model.link_extra m ~src:rank in
+        if d > 0.0 then begin
+          let w = wave t ~rank ~tile in
+          charge t ~rank ~name:"perturb.link" ~cat:"comm" ~col:w
+            ~bucket:Bother
+            ~args:(("wait", Obs.Span.Float d) :: wave_args w)
+            d
+        end);
+    let t0 = t.clock.(rank) in
+    let axis2 = match axis with Substrate.X -> 0 | Y -> 2 in
+    let onchip = link_onchip t ~rank ~peer:dst ~axis2 in
+    t.clock.(rank) <- t0 +. t.c_send.(axis2 + onchip);
+    let delivered = t.clock.(rank) +. t.c_flight.(axis2 + onchip) in
+    let dlv = if axis2 = 0 then t.dlv_x else t.dlv_y in
+    dlv.((dst * t.ntiles) + tile) <- delivered;
+    t.sent.(rank) <- t.sent.(rank) + 1;
+    if observed t then begin
+      let w = wave t ~rank ~tile in
+      emit t ~rank ~name:"send" ~cat:"comm" ~start:t0
+        [
+          ("dst", Obs.Span.Int dst);
+          ("size", Obs.Span.Int bytes);
+          ("wait", Obs.Span.Float 0.0);
+          (Obs.Timeline.wave_arg, Obs.Span.Int w);
+        ];
+      cell_note t ~rank ~col:w ~t0 ~dur:(t.clock.(rank) -. t0) ~bucket:Bsend
+        ~wait:0.0
+    end
+
+  let recover_in_place t ~rank ~tile r =
+    (match t.model with
+    | Some m -> Perturb.Model.revive m ~rank
+    | None -> ());
+    r.revived.(rank) <- true;
+    let w = wave t ~rank ~tile in
+    let args = wave_args w in
+    let lost = r.cur_wave.(rank) - r.last_ckpt.(rank) in
+    let ch name d =
+      if d > 0.0 then
+        charge t ~rank ~name ~cat:"recover" ~col:w ~bucket:Bother ~args d
+    in
+    ch "recover.restart" r.policy.restart_cost;
+    ch "recover.replay"
+      (float_of_int lost
+      *. (Costs.compute t.costs +. Costs.precompute t.costs))
+
+  let compute t ~rank ~dir:_ ~tile ~h:_ ~x:_ ~y:_ =
+    (match t.model with
+    | Some m when Perturb.Model.fails_now m ~rank -> (
+        match t.recover with
+        | Some r -> recover_in_place t ~rank ~tile r
+        | None -> raise (Perturb.Model.Killed { rank; tile }))
+    | _ -> ());
+    let work = Costs.compute t.costs in
+    let t0 = t.clock.(rank) in
+    t.clock.(rank) <- t0 +. work;
+    if observed t then begin
+      let w = wave t ~rank ~tile in
+      emit t ~rank ~name:"compute" ~cat:"compute" ~start:t0 (wave_args w);
+      cell_note t ~rank ~col:w ~t0 ~dur:work ~bucket:Bcompute ~wait:0.0
+    end;
+    (match t.model with
+    | None -> ()
+    | Some m ->
+        let w = wave t ~rank ~tile in
+        let args = if t.tracer != None then wave_args w else [] in
+        let ch name d =
+          if d > 0.0 then
+            charge t ~rank ~name ~cat:"compute" ~col:w ~bucket:Bcompute ~args
+              d
+        in
+        ch "perturb.noise" (Perturb.Model.noise_extra m ~rank ~work);
+        ch "perturb.straggler" (Perturb.Model.straggler_delay m ~rank);
+        ch "perturb.pulse" (Perturb.Model.pulse_extra m ~rank);
+        ch "perturb.periodic" (Perturb.Model.periodic_extra m ~rank));
+    (t.msg_ew, t.msg_ns)
+
+  let precompute t ~rank ~tile =
+    let d = Costs.precompute t.costs in
+    if d > 0.0 then begin
+      let t0 = t.clock.(rank) in
+      t.clock.(rank) <- t0 +. d;
+      if observed t then begin
+        let w = wave t ~rank ~tile in
+        emit t ~rank ~name:"precompute" ~cat:"compute" ~start:t0
+          (wave_args w);
+        cell_note t ~rank ~col:w ~t0 ~dur:d ~bucket:Bcompute ~wait:0.0
+      end
+    end
+
+  let sweep_begin t ~rank ~sweep ~dir:_ = t.sweep.(rank) <- sweep
+
+  let tile_begin t ~rank ~pos ~wave:gwave =
+    match t.recover with
+    | None -> ()
+    | Some r ->
+        r.cur_wave.(rank) <- gwave;
+        if Perturb.Recover.due ~interval:r.policy.interval ~wave:gwave
+        then begin
+          r.ckpts.(rank) <- r.ckpts.(rank) + 1;
+          r.last_ckpt.(rank) <- gwave;
+          let d = r.policy.ckpt_cost in
+          if d > 0.0 then begin
+            let w = wave t ~rank ~tile:pos.Substrate.tile in
+            charge t ~rank ~name:"recover.checkpoint" ~cat:"recover" ~col:w
+              ~bucket:Bother ~args:(wave_args w) d
+          end
+        end
+
+  let fixed_work t ~rank d =
+    if d > 0.0 then
+      charge t ~rank ~name:"compute" ~cat:"compute" ~col:t.cols
+        ~bucket:Bcompute ~args:epilogue_args d
+
+  let stencil_compute t ~rank ~wg_stencil =
+    let d = Costs.stencil t.costs ~wg_stencil in
+    if d > 0.0 then
+      charge t ~rank ~name:"compute" ~cat:"compute" ~col:t.cols
+        ~bucket:Bcompute ~args:epilogue_args d
+
+  (* The cross-rank epilogue operations are queued during the recording
+     pass and resolved by the staged driver below; [Program.epilogue]
+     guarantees every rank queues a congruent sequence. *)
+  let halo t ~rank ~dst ~src ~bytes =
+    assert t.recording;
+    t.eops.(rank) <- Ehalo { dst; src; bytes } :: t.eops.(rank)
+
+  let allreduce t ~rank ~count ~msg_size =
+    assert t.recording;
+    t.eops.(rank) <- Eallreduce { count; msg_size } :: t.eops.(rank)
+
+  let barrier t ~rank =
+    assert t.recording;
+    t.eops.(rank) <- Ebarrier :: t.eops.(rank)
+
+  let finish t ~rank = t.finish.(rank) <- t.clock.(rank)
+end
+
+(* --- the domain pool --- *)
+
+(* A persistent spinning worker pool: stages are short (one diagonal,
+   one epilogue pass), so parked-thread wakeups would dominate; workers
+   spin on an epoch counter with [Domain.cpu_relax] instead. Publication
+   of the job closure happens before the epoch store, so the atomic
+   acquire on the worker side orders the plain read after it. *)
+module Pool = struct
+  type pool = {
+    n : int;
+    job : (int -> unit) ref;
+    epoch : int Atomic.t;
+    finished : int Atomic.t;
+    stop : bool Atomic.t;
+    error : exn option Atomic.t;
+    mutable workers : unit Domain.t list;
+  }
+
+  let worker p idx =
+    let seen = ref 0 in
+    let running = ref true in
+    while !running do
+      while Atomic.get p.epoch = !seen && not (Atomic.get p.stop) do
+        Domain.cpu_relax ()
+      done;
+      if Atomic.get p.stop then running := false
+      else begin
+        seen := Atomic.get p.epoch;
+        (try !(p.job) idx
+         with e ->
+           ignore (Atomic.compare_and_set p.error None (Some e)));
+        Atomic.incr p.finished
+      end
+    done
+
+  let create n =
+    let p =
+      {
+        n;
+        job = ref (fun _ -> ());
+        epoch = Atomic.make 0;
+        finished = Atomic.make 0;
+        stop = Atomic.make false;
+        error = Atomic.make None;
+        workers = [];
+      }
+    in
+    if n > 1 then
+      p.workers <-
+        List.init (n - 1) (fun i -> Domain.spawn (fun () -> worker p (i + 1)));
+    p
+
+  let run p f =
+    if p.n = 1 then f 0
+    else begin
+      p.job := f;
+      Atomic.set p.finished 0;
+      Atomic.incr p.epoch;
+      (try f 0
+       with e -> ignore (Atomic.compare_and_set p.error None (Some e)));
+      while Atomic.get p.finished < p.n - 1 do
+        Domain.cpu_relax ()
+      done;
+      match Atomic.get p.error with
+      | Some e ->
+          Atomic.set p.error None;
+          raise e
+      | None -> ()
+    end
+
+  let shutdown p =
+    Atomic.set p.stop true;
+    List.iter Domain.join p.workers;
+    p.workers <- []
+end
+
+(* --- diagonal schedules --- *)
+
+(* For one sweep flow (dx, dy) and one domain's row band: the band's
+   ranks permuted into anti-diagonal order with per-diagonal offsets.
+   Diagonal d of flow (dx, dy) holds the ranks at distance d from the
+   origin corner; ranks within one diagonal are mutually independent. *)
+let diag_schedule pg ~dx ~dy ~row_lo ~row_hi =
+  let cols = pg.Proc_grid.cols and rows = pg.Proc_grid.rows in
+  let ndiag = cols + rows - 1 in
+  let diag_of rank =
+    let i, j = Proc_grid.coords pg rank in
+    (if dx > 0 then i - 1 else cols - i)
+    + if dy > 0 then j - 1 else rows - j
+  in
+  let lo = row_lo * cols and hi = row_hi * cols in
+  let count = Array.make (ndiag + 1) 0 in
+  for rank = lo to hi - 1 do
+    let d = diag_of rank in
+    count.(d + 1) <- count.(d + 1) + 1
+  done;
+  for d = 1 to ndiag do
+    count.(d) <- count.(d) + count.(d - 1)
+  done;
+  let offsets = Array.copy count in
+  let perm = Array.make (max 1 (hi - lo)) 0 in
+  let fill = Array.copy count in
+  for rank = lo to hi - 1 do
+    let d = diag_of rank in
+    perm.(fill.(d)) <- rank;
+    fill.(d) <- fill.(d) + 1
+  done;
+  (ndiag, perm, offsets)
+
+(* --- outcome --- *)
+
+type outcome = {
+  ranks : int;
+  completed : bool;
+  elapsed : float;  (** max finish clock over completed ranks, us *)
+  iterations : int;
+  per_iteration : float;
+  waves : int;  (** timeline wave columns ([nsweeps * ntiles]) *)
+  blocked : (int * string) list;
+  failed : int list;
+  recovered : int list;
+  checkpoints : int;
+  messages : int;
+  orphaned : int;
+  finish : float array;
+}
+
+let pp_outcome ppf (o : outcome) =
+  if o.completed then
+    Fmt.pf ppf "%d ranks completed in %.1f us, %d messages%s" o.ranks
+      o.elapsed o.messages
+      (if o.recovered = [] then ""
+       else Fmt.str ", %d recovered" (List.length o.recovered))
+  else if o.failed <> [] then
+    Fmt.pf ppf
+      "DEGRADED: rank(s) %s killed, %d of %d stuck, %d orphaned message(s)"
+      (String.concat ", " (List.map string_of_int o.failed))
+      (List.length o.blocked) o.ranks o.orphaned
+  else
+    Fmt.pf ppf "DEADLOCK: %d of %d ranks stuck" (List.length o.blocked)
+      o.ranks
+
+(* --- the driver --- *)
+
+let substrate : (t, int) Substrate.s = (module Backend)
+
+let run ?(iterations = 1) ?tiling ?perturb ?recover ?obs ?cells
+    ?(domains = 1) ~costs pg (app : Wavefront_core.App_params.t) =
+  if domains < 1 then invalid_arg "Batched.run: domains must be >= 1";
+  if domains > 1 && obs <> None then
+    invalid_arg "Batched.run: span tracing requires domains = 1";
+  let cfg = Program.of_app ~iterations ?tiling pg app in
+  let ranks = Proc_grid.cores pg in
+  let rows = pg.Proc_grid.rows and cols = pg.Proc_grid.cols in
+  let domains = min domains rows in
+  let ntiles = cfg.Program.tiling.Program.ntiles in
+  let sweeps = Sweeps.Schedule.sweeps cfg.Program.schedule in
+  let nsweeps = List.length sweeps in
+  (* One locality probe per grid link at setup; the tile loop then never
+     touches the node-rectangle arithmetic. *)
+  let loc_bits = Bytes.make (ranks * 4) '\000' in
+  for rank = 0 to ranks - 1 do
+    let i, j = Proc_grid.coords pg rank in
+    let set d peer =
+      match Costs.locality costs ~src:rank ~dst:peer with
+      | Loggp.Comm_model.On_chip ->
+          Bytes.set loc_bits ((rank * 4) + d) '\001'
+      | Off_node -> ()
+    in
+    if i < cols then set 0 (rank + 1);
+    if i > 1 then set 1 (rank - 1);
+    if j < rows then set 2 (rank + cols);
+    if j > 1 then set 3 (rank - cols)
+  done;
+  let per_link f =
+    [|
+      f Loggp.Comm_model.Off_node cfg.Program.msg_ew;
+      f Loggp.Comm_model.On_chip cfg.Program.msg_ew;
+      f Loggp.Comm_model.Off_node cfg.Program.msg_ns;
+      f Loggp.Comm_model.On_chip cfg.Program.msg_ns;
+    |]
+  in
+  let t =
+    {
+      costs;
+      ranks;
+      ntiles;
+      cols = nsweeps * ntiles;
+      msg_ew = cfg.Program.msg_ew;
+      msg_ns = cfg.Program.msg_ns;
+      model = Option.map (Perturb.Model.create ~ranks) perturb;
+      recover =
+        (match recover with
+        | Some p when Perturb.Recover.enabled p ->
+            Some
+              {
+                policy = p;
+                last_ckpt = Array.make ranks 0;
+                cur_wave = Array.make ranks 0;
+                revived = Array.make ranks false;
+                ckpts = Array.make ranks 0;
+              }
+        | _ -> None);
+      tracer = obs;
+      sink = cells;
+      clock = Array.make ranks 0.0;
+      sweep = Array.make ranks 0;
+      finish = Array.make ranks 0.0;
+      status = Array.make ranks Alive;
+      sent = Array.make ranks 0;
+      rcvd = Array.make ranks 0;
+      dlv_x = Array.make (ranks * ntiles) nan;
+      dlv_y = Array.make (ranks * ntiles) nan;
+      loc_bits;
+      c_send = per_link (Costs.send_busy_at costs);
+      c_flight = per_link (Costs.in_flight_at costs);
+      c_rovh = per_link (fun loc _ -> Costs.recv_overhead_at costs loc);
+      cur_col = Array.make ranks (-1);
+      hi_col = Array.make ranks (-1);
+      span_end = Array.make ranks 0.0;
+      col_start = Array.make ranks 0.0;
+      acc_compute = Array.make ranks 0.0;
+      acc_send = Array.make ranks 0.0;
+      acc_recv = Array.make ranks 0.0;
+      acc_wait = Array.make ranks 0.0;
+      acc_spans = Array.make ranks 0;
+      recording = false;
+      eops = Array.make ranks [];
+      eop_t0 = Array.make ranks 0.0;
+      halo_dlv = Array.make ranks nan;
+    }
+  in
+  (* Row bands: domain k owns 0-based rows [k*rows/domains,
+     (k+1)*rows/domains), i.e. the contiguous rank range [band k]. *)
+  let band k = (k * rows / domains * cols, (k + 1) * rows / domains * cols) in
+  (* Per-(flow, domain) diagonal schedules, built lazily on the main
+     domain (at most 4 distinct flows per schedule). *)
+  let schedules = Hashtbl.create 4 in
+  let schedule_for (dx, dy) =
+    let key = ((if dx > 0 then 0 else 1) * 2) + if dy > 0 then 0 else 1 in
+    match Hashtbl.find_opt schedules key with
+    | Some s -> s
+    | None ->
+        let s =
+          Array.init domains (fun k ->
+              let lo, hi = band k in
+              diag_schedule pg ~dx ~dy ~row_lo:(lo / cols)
+                ~row_hi:(hi / cols))
+        in
+        Hashtbl.add schedules key s;
+        s
+  in
+  let pool = Pool.create domains in
+  let alive rank = match t.status.(rank) with Alive -> true | _ -> false in
+  (* One rank, one sweep segment: the whole tile loop of sweep [s],
+     epilogue and finish excluded. *)
+  let run_segment ~iter ~s rank =
+    try
+      Program.run_rank
+        ~from:{ Substrate.iteration = iter; sweep = s; tile = 0 }
+        ~until:{ Substrate.iteration = iter; sweep = s + 1; tile = 0 }
+        substrate t cfg rank
+    with
+    | Stuck_on { rank; src } -> t.status.(rank) <- Blocked_recv src
+    | Perturb.Model.Killed { rank; _ } -> t.status.(rank) <- Failed
+  in
+  let each_banded f =
+    Pool.run pool (fun k ->
+        let lo, hi = band k in
+        for rank = lo to hi - 1 do
+          f rank
+        done)
+  in
+  (* --- staged epilogue resolution --- *)
+  let all_present () =
+    let ok = ref true in
+    for rank = 0 to ranks - 1 do
+      if not (alive rank) then ok := false
+    done;
+    !ok
+  in
+  let resolve_halo ~dst ~bytes_of ~src_of =
+    (* Pass 1: every live rank stamps its op start and performs its send
+       (delivery computed from the sender's clock alone). *)
+    each_banded (fun rank -> t.halo_dlv.(rank) <- nan);
+    each_banded (fun rank ->
+        if alive rank then begin
+          t.eop_t0.(rank) <- t.clock.(rank);
+          match dst rank with
+          | Some d ->
+              let bytes = bytes_of rank in
+              let t0 = t.clock.(rank) in
+              t.clock.(rank) <-
+                t0 +. Costs.send_busy t.costs ~src:rank ~dst:d bytes;
+              t.halo_dlv.(d) <-
+                t.clock.(rank)
+                +. Costs.in_flight t.costs ~src:rank ~dst:d bytes;
+              t.sent.(rank) <- t.sent.(rank) + 1
+          | None -> ()
+        end);
+    (* Pass 2: every live rank receives (or gets stuck on a missing
+       delivery) and emits the whole op's span. *)
+    each_banded (fun rank ->
+        if alive rank then begin
+          let stuck = ref false in
+          (match src_of rank with
+          | Some s ->
+              let t0 = t.clock.(rank) in
+              let delivered = t.halo_dlv.(rank) in
+              if Float.is_nan delivered then begin
+                t.status.(rank) <- Blocked_recv s;
+                stuck := true
+              end
+              else begin
+                let wait = Float.max 0.0 (delivered -. t0) in
+                t.clock.(rank) <-
+                  t0 +. wait +. Costs.recv_overhead t.costs ~src:s ~dst:rank;
+                t.rcvd.(rank) <- t.rcvd.(rank) + 1
+              end
+          | None -> ());
+          if (not !stuck) && (dst rank <> None || src_of rank <> None)
+          then begin
+            let t0 = t.eop_t0.(rank) in
+            emit t ~rank ~name:"halo" ~cat:"comm" ~start:t0
+              (("wait", Obs.Span.Float (t.clock.(rank) -. t0))
+              :: epilogue_args);
+            cell_note t ~rank ~col:t.cols ~t0 ~dur:(t.clock.(rank) -. t0)
+              ~bucket:Bother ~wait:0.0
+          end
+        end)
+  in
+  let resolve_collective ~name ~collnoise ~count ~cost =
+    (* Entry: charge the collective-noise stall (one draw per call, as
+       in the fiber substrates) and record the entry clock. *)
+    each_banded (fun rank ->
+        if alive rank then begin
+          (match (collnoise, t.model) with
+          | true, Some m ->
+              let d = Perturb.Model.coll_extra m ~rank in
+              if d > 0.0 then
+                charge t ~rank ~name:"perturb.collnoise" ~cat:"comm"
+                  ~col:t.cols ~bucket:Bother
+                  ~args:(("wait", Obs.Span.Float d) :: epilogue_args)
+                  d
+          | _ -> ());
+          t.eop_t0.(rank) <- t.clock.(rank)
+        end);
+    if not (all_present ()) then
+      (* A dead or stuck rank never arrives, so the rendezvous never
+         releases: every arrival parks forever, clock frozen at entry. *)
+      each_banded (fun rank ->
+          if alive rank then t.status.(rank) <- Blocked_coll)
+    else begin
+      (* Release at the maximum entry clock; [count] back-to-back
+         rounds release in lockstep after the first. The max is an
+         associative, commutative float fold, so the per-domain partial
+         maxima combine identically for every domain count. *)
+      let partial = Array.make domains neg_infinity in
+      Pool.run pool (fun k ->
+          let lo, hi = band k in
+          let m = ref neg_infinity in
+          for rank = lo to hi - 1 do
+            m := Float.max !m t.eop_t0.(rank)
+          done;
+          partial.(k) <- !m);
+      let release = Array.fold_left Float.max neg_infinity partial in
+      each_banded (fun rank ->
+          if alive rank then begin
+            let t0 = t.eop_t0.(rank) in
+            t.clock.(rank) <- release +. (float_of_int count *. cost);
+            emit t ~rank ~name ~cat:"comm" ~start:t0
+              (("wait", Obs.Span.Float (t.clock.(rank) -. t0))
+              :: epilogue_args);
+            cell_note t ~rank ~col:t.cols ~t0 ~dur:(t.clock.(rank) -. t0)
+              ~bucket:Bother ~wait:0.0
+          end)
+    end
+  in
+  let run_epilogue ~iter:_ =
+    match cfg.Program.nonwavefront with
+    | Wavefront_core.App_params.No_op -> ()
+    | _ ->
+        t.recording <- true;
+        each_banded (fun rank ->
+            if alive rank then begin
+              t.eops.(rank) <- [];
+              Program.epilogue substrate t cfg rank
+            end);
+        t.recording <- false;
+        (* The op sequences are congruent across ranks; read the shape
+           from any live rank and resolve op by op. *)
+        let shape = ref [] in
+        (try
+           for rank = 0 to ranks - 1 do
+             if alive rank then begin
+               shape := List.rev t.eops.(rank);
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        List.iteri
+          (fun k op ->
+            let op_of rank = List.nth (List.rev t.eops.(rank)) k in
+            match op with
+            | Ehalo _ ->
+                resolve_halo
+                  ~dst:(fun rank ->
+                    match op_of rank with
+                    | Ehalo { dst; _ } -> dst
+                    | _ -> None)
+                  ~bytes_of:(fun rank ->
+                    match op_of rank with
+                    | Ehalo { bytes; _ } -> bytes
+                    | _ -> 0)
+                  ~src_of:(fun rank ->
+                    match op_of rank with
+                    | Ehalo { src; _ } -> src
+                    | _ -> None)
+            | Eallreduce { count; msg_size } ->
+                resolve_collective ~name:"allreduce" ~collnoise:true ~count
+                  ~cost:(Costs.allreduce t.costs ~count:1 ~msg_size)
+            | Ebarrier ->
+                resolve_collective ~name:"barrier" ~collnoise:false ~count:1
+                  ~cost:(Costs.barrier t.costs))
+          !shape
+  in
+  (* --- main loop: sweeps in schedule order, diagonals in flow order --- *)
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      for iter = 1 to iterations do
+        List.iteri
+          (fun s sw ->
+            (* Reset the sweep's delivery slots before any send. *)
+            Pool.run pool (fun k ->
+                let lo, hi = band k in
+                Array.fill t.dlv_x (lo * ntiles) ((hi - lo) * ntiles) nan;
+                Array.fill t.dlv_y (lo * ntiles) ((hi - lo) * ntiles) nan);
+            let dx, dy = Program.flow_xy pg sw.Sweeps.Schedule.origin in
+            let sched = schedule_for (dx, dy) in
+            let ndiag, _, _ = sched.(0) in
+            for d = 0 to ndiag - 1 do
+              Pool.run pool (fun k ->
+                  let _, perm, offsets = sched.(k) in
+                  for idx = offsets.(d) to offsets.(d + 1) - 1 do
+                    let rank = perm.(idx) in
+                    if alive rank then run_segment ~iter ~s rank
+                  done)
+            done)
+          sweeps;
+        run_epilogue ~iter
+      done;
+      (* Completion: finish clocks for ranks that ran the whole program,
+         cell flush for everyone. *)
+      each_banded (fun rank ->
+          (match t.status.(rank) with
+          | Alive ->
+              Backend.finish t ~rank;
+              t.status.(rank) <- Done
+          | _ -> ());
+          finish_cells t ~rank));
+  (* --- outcome --- *)
+  let blocked = ref [] and failed = ref [] and recovered = ref [] in
+  for rank = ranks - 1 downto 0 do
+    (match t.status.(rank) with
+    | Blocked_recv src ->
+        blocked :=
+          (rank, Fmt.str "blocked receiving from rank %d" src) :: !blocked
+    | Blocked_coll -> blocked := (rank, "blocked in a collective") :: !blocked
+    | Failed -> failed := rank :: !failed
+    | Alive | Done -> ());
+    match t.recover with
+    | Some r when r.revived.(rank) -> recovered := rank :: !recovered
+    | _ -> ()
+  done;
+  let completed = !blocked = [] && !failed = [] in
+  let elapsed = Array.fold_left Float.max 0.0 t.finish in
+  let sum a = Array.fold_left ( + ) 0 a in
+  {
+    ranks;
+    completed;
+    elapsed;
+    iterations;
+    per_iteration = elapsed /. float_of_int iterations;
+    waves = t.cols;
+    blocked = !blocked;
+    failed = !failed;
+    recovered = !recovered;
+    checkpoints =
+      (match t.recover with None -> 0 | Some r -> sum r.ckpts);
+    messages = sum t.sent;
+    orphaned = sum t.sent - sum t.rcvd;
+    finish = t.finish;
+  }
+
+(* A small-scale convenience: run with a dense cell sink and assemble
+   the exact [Obs.Timeline.t] the traced substrates reconstruct via
+   [of_spans]. Materializes O(ranks * waves) cells — for analytics at
+   scale, stream into [Obs.Timeline_stream] via [~cells] instead. *)
+let run_timeline ?iterations ?tiling ?perturb ?recover ?domains ~costs pg app
+    =
+  let ranks = Proc_grid.cores pg in
+  let cells_acc = ref [||] in
+  let cells ~rank ~col (c : Obs.Timeline.cell) =
+    let rows = !cells_acc in
+    let prev = rows.(rank).(col) in
+    (* Merge repeat visits (iterations > 1): totals add, the window
+       spans the union — the streaming contract. *)
+    rows.(rank).(col) <-
+      (if prev.Obs.Timeline.spans = 0 && Obs.Timeline.cell_width prev = 0.0
+       then c
+       else
+         {
+           Obs.Timeline.t_start = Float.min prev.t_start c.t_start;
+           t_end = Float.max prev.t_end c.t_end;
+           compute = prev.compute +. c.compute;
+           send = prev.send +. c.send;
+           recv = prev.recv +. c.recv;
+           wait = prev.wait +. c.wait;
+           other = prev.other +. c.other;
+           idle = prev.idle +. c.idle;
+           spans = prev.spans + c.spans;
+         })
+  in
+  (* Column count depends on the app's tiling; compute it the same way
+     [run] does. *)
+  let cfg = Program.of_app ?iterations ?tiling pg app in
+  let cols =
+    List.length (Sweeps.Schedule.sweeps cfg.Program.schedule)
+    * cfg.Program.tiling.Program.ntiles
+  in
+  cells_acc :=
+    Array.init ranks (fun _ ->
+        Array.make (cols + 1) (Obs.Timeline.zero_cell 0.0));
+  let o =
+    run ?iterations ?tiling ?perturb ?recover ~cells ?domains ~costs pg app
+  in
+  let start = Array.map (fun row -> row.(0).Obs.Timeline.t_start) !cells_acc in
+  let finish =
+    Array.map
+      (fun row ->
+        Array.fold_left
+          (fun a (c : Obs.Timeline.cell) -> Float.max a c.t_end)
+          0.0 row)
+      !cells_acc
+  in
+  let tl =
+    {
+      Obs.Timeline.ranks;
+      waves = cols;
+      cells = !cells_acc;
+      t0 = Array.fold_left Float.min (if ranks > 0 then start.(0) else 0.0)
+          start;
+      start;
+      finish;
+      dropped = 0;
+    }
+  in
+  (o, tl)

@@ -1,0 +1,85 @@
+(** The wave-batched engine: the Figure-4 program evaluated with the
+    same LogGP cost arithmetic as the timed dataflow replay, but without
+    fibers, effects or per-event heap records — whole anti-diagonals of
+    the processor grid advance per step over flat preallocated
+    structure-of-arrays (per-rank virtual clocks, per-slot delivery
+    timestamps), optionally sharded across OCaml 5 domains by contiguous
+    row bands of the torus with synchronization only at diagonal and
+    epilogue-stage boundaries.
+
+    At small sizes a traced run reconstructs (via
+    [Obs.Timeline.of_spans]) into the identical [Obs.Timeline.t] the
+    dataflow substrate produces, perturbations and recovery included —
+    the differential identity the batched test suite pins. At large
+    sizes the engine runs untraced in O(ranks) memory and streams
+    per-cell analytics into a {!cell_sink} instead; a million-rank sweep
+    completes in tens of seconds where the fiber substrates exhaust
+    memory or time. *)
+
+open Wgrid
+
+type cell_sink = rank:int -> col:int -> Obs.Timeline.cell -> unit
+(** Receives one finished timeline cell per (rank, column) visit, in
+    each rank's program order (columns of one rank arrive in increasing
+    time, ranks interleave). Column [waves] is the epilogue. A column
+    visited by more than one iteration produces one cell per visit:
+    totals are additive and windows union — [Obs.Timeline_stream] folds
+    them accordingly. With [domains > 1] the sink must be thread-safe
+    for calls on distinct ranks (per-rank state needs no locking: one
+    rank is only ever touched by its owning domain). *)
+
+type status = Alive | Done | Failed | Blocked_recv of int | Blocked_coll
+
+type outcome = {
+  ranks : int;
+  completed : bool;
+  elapsed : float;  (** max finish clock over completed ranks, us *)
+  iterations : int;
+  per_iteration : float;
+  waves : int;  (** timeline wave columns ([nsweeps * ntiles]) *)
+  blocked : (int * string) list;
+  failed : int list;
+  recovered : int list;
+  checkpoints : int;
+  messages : int;
+  orphaned : int;  (** messages sent but never received *)
+  finish : float array;  (** per-rank finish clock (0 if unfinished) *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run :
+  ?iterations:int ->
+  ?tiling:Program.tiling ->
+  ?perturb:Perturb.Spec.t ->
+  ?recover:Perturb.Recover.policy ->
+  ?obs:Obs.Tracer.t ->
+  ?cells:cell_sink ->
+  ?domains:int ->
+  costs:Costs.t ->
+  Proc_grid.t ->
+  Wavefront_core.App_params.t ->
+  outcome
+(** Evaluate the program on every rank. [domains] (default 1) shards
+    ranks across that many OCaml 5 domains by row bands (clamped to the
+    grid's row count); results are bitwise identical for every domain
+    count — collective release points are associative float maxima and
+    each rank's perturbation stream is its own. [obs] attaches a span
+    tracer (requires [domains = 1]: the tracer is not thread-safe;
+    raises [Invalid_argument] otherwise); [cells] streams timeline
+    cells. Raises [Invalid_argument] for [domains < 1]. *)
+
+val run_timeline :
+  ?iterations:int ->
+  ?tiling:Program.tiling ->
+  ?perturb:Perturb.Spec.t ->
+  ?recover:Perturb.Recover.policy ->
+  ?domains:int ->
+  costs:Costs.t ->
+  Proc_grid.t ->
+  Wavefront_core.App_params.t ->
+  outcome * Obs.Timeline.t
+(** {!run} with a dense in-memory cell sink, assembled into the exact
+    [Obs.Timeline.t] a traced run reconstructs. Materializes
+    O(ranks * waves) cells — convenient below ~10^5 ranks; stream into
+    [Obs.Timeline_stream] via [~cells] beyond that. *)

@@ -53,8 +53,11 @@ let locality t ~src ~dst : Loggp.Comm_model.locality =
    [in_flight] how far behind the sender's return the payload is
    delivered, [recv_overhead] the receiver's software cost after
    delivery. *)
-let send_busy t ~src ~dst size =
-  match locality t ~src ~dst with
+(* The [_at] variants take the link locality explicitly, so a caller that
+   already knows it (e.g. the batched engine's per-link cache) skips the
+   node-rectangle arithmetic on every message. *)
+let send_busy_at t (loc : Loggp.Comm_model.locality) size =
+  match loc with
   | On_chip ->
       let oc = t.platform.onchip in
       if size <= oc.eager_limit then oc.o_copy else oc.o_copy +. oc.o_dma
@@ -64,9 +67,11 @@ let send_busy t ~src ~dst size =
       else (* request + (pre-posted) handshake reply + injection *)
         off.o +. (2.0 *. (off.l +. off.o_h)) +. off.o
 
-let in_flight t ~src ~dst size =
+let send_busy t ~src ~dst size = send_busy_at t (locality t ~src ~dst) size
+
+let in_flight_at t (loc : Loggp.Comm_model.locality) size =
   let fsize = float_of_int size in
-  match locality t ~src ~dst with
+  match loc with
   | On_chip ->
       let oc = t.platform.onchip in
       if size <= oc.eager_limit then fsize *. oc.g_copy else fsize *. oc.g_dma
@@ -74,10 +79,14 @@ let in_flight t ~src ~dst size =
       let off = t.platform.offnode in
       off.l +. (fsize *. off.g)
 
-let recv_overhead t ~src ~dst =
-  match locality t ~src ~dst with
+let in_flight t ~src ~dst size = in_flight_at t (locality t ~src ~dst) size
+
+let recv_overhead_at t (loc : Loggp.Comm_model.locality) =
+  match loc with
   | On_chip -> t.platform.onchip.o_copy
   | Off_node -> t.platform.offnode.o
+
+let recv_overhead t ~src ~dst = recv_overhead_at t (locality t ~src ~dst)
 
 let compute t = t.w
 let precompute t = t.w_pre

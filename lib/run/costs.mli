@@ -35,6 +35,14 @@ val in_flight : t -> src:int -> dst:int -> int -> float
 val recv_overhead : t -> src:int -> dst:int -> float
 (** The receiver's software cost after delivery. *)
 
+val send_busy_at : t -> Loggp.Comm_model.locality -> int -> float
+val in_flight_at : t -> Loggp.Comm_model.locality -> int -> float
+
+val recv_overhead_at : t -> Loggp.Comm_model.locality -> float
+(** The [_at] variants of the three message charges take the link
+    locality explicitly — for callers that cache {!locality} per link
+    (the batched engine) instead of re-deriving it per message. *)
+
 val compute : t -> float
 val precompute : t -> float
 

@@ -76,7 +76,7 @@ let of_app ?iterations ?tiling pg (app : Wavefront_core.App_params.t) =
    time — everyone sends east and receives from the west, then the reverse,
    then the same for north/south — to stay deadlock-free on blocking
    substrates. *)
-let nonwavefront (type st p) ((module S) : (st, p) Substrate.s) (s : st) cfg
+let epilogue_at (type st p) ((module S) : (st, p) Substrate.s) (s : st) cfg
     rank (i, j) =
   match cfg.nonwavefront with
   | Wavefront_core.App_params.No_op -> ()
@@ -109,6 +109,17 @@ let nonwavefront (type st p) ((module S) : (st, p) Substrate.s) (s : st) cfg
 (* Global wave index of a tile step: one wave per tile compute, counted
    across sweeps and iterations — the clock the checkpoint interval ticks
    on, and the per-rank counter [Perturb.Model.fails_now] advances. *)
+let epilogue (type st p) ((module S) : (st, p) Substrate.s) (s : st) cfg rank
+    =
+  epilogue_at (module S) s cfg rank (Proc_grid.coords cfg.pg rank)
+
+(* Exclusive lexicographic order on tile-step positions; the epilogue of
+   iteration [i] sits at the virtual position [(i, nsweeps, 0)]. *)
+let position_lt (a : Substrate.position) (b : Substrate.position) =
+  a.iteration < b.iteration
+  || (a.iteration = b.iteration
+     && (a.sweep < b.sweep || (a.sweep = b.sweep && a.tile < b.tile)))
+
 let wave_of cfg (p : Substrate.position) =
   let nsweeps = List.length (Sweeps.Schedule.sweeps cfg.schedule) in
   ((((p.iteration - 1) * nsweeps) + p.sweep) * cfg.tiling.ntiles) + p.tile
@@ -118,37 +129,46 @@ let waves cfg =
   * List.length (Sweeps.Schedule.sweeps cfg.schedule)
   * cfg.tiling.ntiles
 
-let run_rank (type st p) ?(from = Substrate.start_position)
+let run_rank (type st p) ?(from = Substrate.start_position) ?until
     ((module S) : (st, p) Substrate.s) (s : st) cfg rank =
   let pg = cfg.pg in
   let i, j = Proc_grid.coords pg rank in
   let has p = Proc_grid.contains pg p in
   let sweeps = Sweeps.Schedule.sweeps cfg.schedule in
+  let nsweeps = List.length sweeps in
   if
     from.iteration < 1
     || from.sweep < 0
-    || from.sweep >= List.length sweeps
+    || from.sweep >= nsweeps
     || from.tile < 0
     || from.tile >= cfg.tiling.ntiles
   then invalid_arg "Program.run_rank: resume position out of range";
+  let runs p = match until with None -> true | Some u -> position_lt p u in
   for iter = from.iteration to cfg.iterations do
     List.iteri
       (fun sweep_idx sw ->
-        if iter > from.iteration || sweep_idx >= from.sweep then begin
-        let (dx, dy, _) as dir = flow pg sw in
-        let up_x = (i - dx, j) and up_y = (i, j - dy) in
-        let down_x = (i + dx, j) and down_y = (i, j + dy) in
-        S.sweep_begin s ~rank ~sweep:sweep_idx ~dir;
         let tile0 =
           if iter = from.iteration && sweep_idx = from.sweep then from.tile
           else 0
         in
+        if
+          (iter > from.iteration || sweep_idx >= from.sweep)
+          && runs { iteration = iter; sweep = sweep_idx; tile = tile0 }
+        then begin
+        let (dx, dy, _) as dir = flow pg sw in
+        let up_x = (i - dx, j) and up_y = (i, j - dy) in
+        let down_x = (i + dx, j) and down_y = (i, j + dy) in
+        let wave_base =
+          (((iter - 1) * nsweeps) + sweep_idx) * cfg.tiling.ntiles
+        in
+        S.sweep_begin s ~rank ~sweep:sweep_idx ~dir;
         for tile = tile0 to cfg.tiling.ntiles - 1 do
           let h = cfg.tiling.h_of tile in
           let pos : Substrate.position =
             { iteration = iter; sweep = sweep_idx; tile }
           in
-          S.tile_begin s ~rank ~pos ~wave:(wave_of cfg pos);
+          if runs pos then begin
+          S.tile_begin s ~rank ~pos ~wave:(wave_base + tile);
           (* Figure 4: LU pre-computes part of the domain before the
              receives; Sweep3D and Chimaera have Wg_pre = 0. *)
           S.precompute s ~rank ~tile;
@@ -169,9 +189,11 @@ let run_rank (type st p) ?(from = Substrate.start_position)
             S.send s ~rank ~dst:(Proc_grid.rank pg down_x) ~axis:X ~tile out_x;
           if has down_y then
             S.send s ~rank ~dst:(Proc_grid.rank pg down_y) ~axis:Y ~tile out_y
+          end
         done
         end)
       sweeps;
-    nonwavefront (module S) s cfg rank (i, j)
+    if runs { iteration = iter; sweep = nsweeps; tile = 0 } then
+      epilogue_at (module S) s cfg rank (i, j)
   done;
-  S.finish s ~rank
+  if until = None then S.finish s ~rank

@@ -72,8 +72,26 @@ val waves : config -> int
     ([iterations * nsweeps * ntiles]); wave indices range over
     [0 .. waves - 1]. *)
 
+val position_lt : Substrate.position -> Substrate.position -> bool
+(** Strict lexicographic order on (iteration, sweep, tile) — the program
+    order of tile steps. The epilogue (non-wavefront section) of iteration
+    [i] sits at the virtual position [(i, nsweeps, 0)], so an [until] of
+    exactly that position excludes it while [(i + 1, 0, 0)] includes it. *)
+
+val epilogue : ('t, 'p) Substrate.s -> 't -> config -> int -> unit
+(** Run only the non-wavefront section of one iteration for one rank — the
+    [App_params.nonwavefront] variant: fixed work, allreduce, or the
+    staged stencil halo exchange. Drivers that advance ranks in a custom
+    order (e.g. the batched engine's deferred epilogue stage) call this
+    directly; {!run_rank} invokes the same code at each iteration end. *)
+
 val run_rank :
-  ?from:Substrate.position -> ('t, 'p) Substrate.s -> 't -> config -> int ->
+  ?from:Substrate.position ->
+  ?until:Substrate.position ->
+  ('t, 'p) Substrate.s ->
+  't ->
+  config ->
+  int ->
   unit
 (** Execute one rank's program on the given substrate. The caller provides
     the concurrency (simulator processes, domains, or dataflow fibers);
@@ -84,4 +102,12 @@ val run_rank :
     are skipped outright — the substrate must already hold the state a
     checkpoint restored (accumulated block, carried z-face, rewound
     channels). [sweep_begin] still fires for the resumed sweep. Raises
-    [Invalid_argument] if the position is out of range. *)
+    [Invalid_argument] if the position is out of range.
+
+    [until] (exclusive, in {!position_lt} order) stops the program before
+    the given tile step, letting a driver execute a rank's program in
+    segments — e.g. one sweep at a time: [~from:(i, s, 0)
+    ~until:(i, s + 1, 0)]. An iteration's epilogue runs iff its virtual
+    position [(i, nsweeps, 0)] is before [until]; [finish] fires only on
+    an unbounded run ([until = None]) — segmented drivers signal
+    completion themselves. *)

@@ -70,17 +70,22 @@ let spawn t ?at f =
   | None -> schedule t ~at:t.now body
   | Some at -> schedule t ~at body
 
+(* One event: advance the clock to the head of the queue and run it.
+   [Heap.top_time] / [Heap.pop_top] box nothing — the drain loop's only
+   allocations are the ones the event closures themselves make. *)
+let step t =
+  if Heap.is_empty t.events then false
+  else begin
+    t.now <- Heap.top_time t.events;
+    t.executed <- t.executed + 1;
+    (Heap.pop_top t.events) ();
+    true
+  end
+
 let run t =
-  let rec loop () =
-    match Heap.pop t.events with
-    | None -> ()
-    | Some { time; value = f; _ } ->
-        t.now <- time;
-        t.executed <- t.executed + 1;
-        f ();
-        loop ()
-  in
-  loop ();
+  while step t do
+    ()
+  done;
   t.now
 
 let events_executed t = t.executed

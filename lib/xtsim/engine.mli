@@ -33,6 +33,11 @@ val suspend : ((unit -> unit) -> unit) -> unit
 val spawn : t -> ?at:float -> (unit -> unit) -> unit
 (** Start a process at the given time (default: now). *)
 
+val step : t -> bool
+(** Execute the single earliest event, advancing the clock to it; [false]
+    iff the queue was empty. The granular form of {!run}, for drivers
+    that interleave simulation with other work. *)
+
 val run : t -> float
 (** Execute events until the queue drains; returns the final simulated time.
     Suspended processes whose resume is never called are simply abandoned

@@ -1,33 +1,57 @@
 (* An array-based binary min-heap used as the simulator's event queue.
-   Elements are ordered by (time, seq); the sequence number makes the order
-   of simultaneous events deterministic (FIFO). *)
+   Elements are ordered by (time, seq); the sequence number makes the
+   order of simultaneous events deterministic (FIFO).
+
+   Storage is structure-of-arrays: times in an unboxed float array, seqs
+   and values alongside. A push writes three slots and a pop swaps three
+   — no per-element record (whose mixed float/int fields would also box
+   the timestamp) and no option on the hot path; capacity grows by
+   amortized doubling. The record-shaped [pop] / [peek] remain as
+   allocating conveniences for callers off the hot path. *)
 
 type 'a entry = { time : float; seq : int; value : 'a }
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
   mutable size : int;
 }
 
-let create () = { data = [||]; size = 0 }
+let create () = { times = [||]; seqs = [||]; values = [||]; size = 0 }
 let length t = t.size
 let is_empty t = t.size = 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
-let grow t =
-  let cap = max 16 (2 * Array.length t.data) in
-  let data = Array.make cap t.data.(0) in
-  Array.blit t.data 0 data 0 t.size;
-  t.data <- data
+let swap t i j =
+  let tm = t.times.(i) and sq = t.seqs.(i) and v = t.values.(i) in
+  t.times.(i) <- t.times.(j);
+  t.seqs.(i) <- t.seqs.(j);
+  t.values.(i) <- t.values.(j);
+  t.times.(j) <- tm;
+  t.seqs.(j) <- sq;
+  t.values.(j) <- v
+
+let grow t seed =
+  let cap = max 16 (2 * Array.length t.values) in
+  let times = Array.make cap 0.0 in
+  let seqs = Array.make cap 0 in
+  let values = Array.make cap seed in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.values 0 values 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.values <- values
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
+    if before t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -35,33 +59,46 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && before t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && before t.data.(r) t.data.(!smallest) then smallest := r;
+  if l < t.size && before t l !smallest then smallest := l;
+  if r < t.size && before t r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
+    swap t i !smallest;
     sift_down t !smallest
   end
 
 let push t ~time ~seq value =
-  if t.size = 0 && Array.length t.data = 0 then
-    t.data <- Array.make 16 { time; seq; value };
-  if t.size = Array.length t.data then grow t;
-  t.data.(t.size) <- { time; seq; value };
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  if t.size = Array.length t.values then grow t value;
+  let i = t.size in
+  t.times.(i) <- time;
+  t.seqs.(i) <- seq;
+  t.values.(i) <- value;
+  t.size <- i + 1;
+  sift_up t i
+
+let top_time t =
+  if t.size = 0 then invalid_arg "Heap.top_time: empty";
+  t.times.(0)
+
+let pop_top t =
+  if t.size = 0 then invalid_arg "Heap.pop_top: empty";
+  let v = t.values.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.times.(0) <- t.times.(t.size);
+    t.seqs.(0) <- t.seqs.(t.size);
+    t.values.(0) <- t.values.(t.size);
+    sift_down t 0
+  end;
+  v
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some top
+    let time = t.times.(0) and seq = t.seqs.(0) in
+    let value = pop_top t in
+    Some { time; seq; value }
   end
 
-let peek t = if t.size = 0 then None else Some t.data.(0)
+let peek t =
+  if t.size = 0 then None
+  else Some { time = t.times.(0); seq = t.seqs.(0); value = t.values.(0) }

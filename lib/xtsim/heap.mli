@@ -1,6 +1,8 @@
 (** Array-based binary min-heap ordered by [(time, seq)], used as the
     simulator's event queue. Equal-time events pop in insertion (seq)
-    order. *)
+    order. Storage is structure-of-arrays (timestamps unboxed), grown by
+    amortized doubling: {!push}, {!top_time} and {!pop_top} allocate
+    nothing beyond the occasional capacity double. *)
 
 type 'a entry = { time : float; seq : int; value : 'a }
 type 'a t
@@ -9,5 +11,16 @@ val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val top_time : 'a t -> float
+(** Timestamp of the minimum element. Raises [Invalid_argument] when
+    empty. *)
+
+val pop_top : 'a t -> 'a
+(** Remove and return the minimum element's value without boxing an
+    entry. Raises [Invalid_argument] when empty. *)
+
 val pop : 'a t -> 'a entry option
+(** Allocating convenience over {!pop_top} (boxes the entry). *)
+
 val peek : 'a t -> 'a entry option

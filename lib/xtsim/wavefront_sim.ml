@@ -87,6 +87,28 @@ let estimated_events (machine : Machine.t) (app : App_params.t) ~iterations =
 
 let flow = Wrun.Program.flow_xy
 
+(* The event-driven engine materializes a fiber and a continuous stream
+   of heap events per rank; past a few tens of thousands of ranks that
+   stops failing gracefully (minutes of wall clock, then the allocator).
+   Refuse structurally instead of dying with a flat [Out_of_memory]
+   mid-run — the batched engine covers those sizes. *)
+let default_max_ranks = 65536
+
+exception
+  Rank_ceiling of { ranks : int; max_ranks : int; estimated_events : int }
+
+let () =
+  Printexc.register_printer (function
+    | Rank_ceiling { ranks; max_ranks; estimated_events } ->
+        Some
+          (Printf.sprintf
+             "Wavefront_sim.Rank_ceiling: %d ranks exceeds the \
+              event-driven engine's ceiling of %d (~%d events); use the \
+              wave-batched engine (--engine=batched) for this size, or \
+              raise the ceiling explicitly (--max-ranks / ~max_ranks)"
+             ranks max_ranks estimated_events)
+    | _ -> None)
+
 (* Recovery bookkeeping, the simulated counterpart of the real
    supervisor: [last_ckpt]/[cur_wave] are global wave indices (from
    tile_begin), so the rollback depth at a kill is their difference. *)
@@ -427,13 +449,23 @@ module Backend = struct
   end
 end
 
-let run ?(iterations = 1) ?(balanced = false) ?noise ?perturb ?recover ?trace
-    ?obs ?metrics (machine : Machine.t) (app : App_params.t) =
+let run ?(iterations = 1) ?(max_ranks = default_max_ranks) ?(balanced = false)
+    ?noise ?perturb ?recover ?trace ?obs ?metrics (machine : Machine.t)
+    (app : App_params.t) =
   if iterations < 1 then invalid_arg "Wavefront_sim.run: iterations >= 1";
   (match noise with
   | Some n when n.amplitude < 0.0 || n.amplitude >= 1.0 ->
       invalid_arg "Wavefront_sim.run: noise amplitude must be in [0, 1)"
   | _ -> ());
+  let ranks = Proc_grid.cores machine.pgrid in
+  if ranks > max_ranks then
+    raise
+      (Rank_ceiling
+         {
+           ranks;
+           max_ranks;
+           estimated_events = estimated_events machine app ~iterations;
+         });
   let pg = machine.pgrid in
   let engine = Engine.create () in
   let b =

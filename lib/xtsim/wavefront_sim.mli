@@ -95,8 +95,21 @@ val estimated_events :
 (** Rough event count of {!run} (~6 events per rank-tile-sweep), for sizing
     a simulation before committing to it. *)
 
+val default_max_ranks : int
+(** The rank ceiling {!run} enforces unless overridden: 65536. Past it
+    the per-rank fibers and event stream stop failing gracefully. *)
+
+exception
+  Rank_ceiling of { ranks : int; max_ranks : int; estimated_events : int }
+(** Raised by {!run} — before any simulation state is built — when the
+    grid exceeds the configured ceiling, instead of a flat
+    [Out_of_memory] minutes into the run. The registered printer points
+    at the wave-batched engine ([--engine=batched]), which handles
+    million-rank grids. *)
+
 val run :
   ?iterations:int ->
+  ?max_ranks:int ->
   ?balanced:bool ->
   ?noise:noise ->
   ?perturb:Perturb.Spec.t ->
