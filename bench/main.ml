@@ -200,7 +200,10 @@ let emit_bench_json () =
       cases
   in
   let meta =
-    [ ("peak_rss_mb", string_of_int (Harness.Bench_suite.peak_rss_mb ())) ]
+    [
+      ("peak_rss_mb", string_of_int (Harness.Bench_suite.peak_rss_mb ()));
+      ("scale_domains", string_of_int Harness.Bench_suite.scale_domains);
+    ]
   in
   let report = Bench_stats.Report.v ~label:"bench/main" ~meta results in
   Bench_stats.Report.write "BENCH_wavefront.json" report;

@@ -100,6 +100,15 @@ let engine_arg =
   Arg.(value & opt (enum Harness.Engine.all) Harness.Engine.Event
        & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
+let no_bus_arg =
+  Arg.(value & flag
+       & info [ "no-bus" ]
+           ~doc:
+             "Switch off the shared-bus contention layer (event engine: the \
+              per-node bus clock; batched engine: the closed-form Table-6 \
+              interference charges). With single-core nodes the bus never \
+              fires, so this flag changes nothing.")
+
 (* The event engine's rank ceiling, as a CLI error instead of an escaped
    exception: the registered printer already points at --engine=batched. *)
 let or_rank_ceiling f =
@@ -152,8 +161,8 @@ let explain_cmd =
 
 (* --- simulate --- *)
 
-let simulate spec app_name grid cores cpn htile wg iterations engine domains
-    max_ranks tl_json tl_csv =
+let simulate spec app_name grid cores cpn htile wg iterations engine no_bus
+    domains max_ranks tl_json tl_csv =
   if domains < 1 then begin
     Fmt.epr "wavefront: --domains must be at least 1@.";
     exit 2
@@ -180,7 +189,9 @@ let simulate spec app_name grid cores cpn htile wg iterations engine domains
   in
   match (engine : Harness.Engine.t) with
   | Event ->
-      let machine = Xtsim.Machine.v ~cmp Loggp.Params.xt4 pg in
+      let machine =
+        Xtsim.Machine.v ~model_bus:(not no_bus) ~cmp Loggp.Params.xt4 pg
+      in
       Fmt.pr "simulating %s on %a...@." app.App_params.name Xtsim.Machine.pp
         machine;
       let o =
@@ -190,7 +201,9 @@ let simulate spec app_name grid cores cpn htile wg iterations engine domains
       Fmt.pr "%a@." Xtsim.Wavefront_sim.pp_outcome o;
       model_line o.per_iteration
   | Batched ->
-      let costs = Wrun.Costs.loggp ~cmp Loggp.Params.xt4 pg app in
+      let costs =
+        Wrun.Costs.loggp ~model_bus:(not no_bus) ~cmp Loggp.Params.xt4 pg app
+      in
       Fmt.pr "simulating %s on %a (wave-batched, %d domain(s))...@."
         app.App_params.name Wgrid.Proc_grid.pp pg domains;
       (* Stream per-cell analytics into the bounded accumulator; the
@@ -271,8 +284,8 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
-          $ htile_arg $ wg_arg $ iterations_arg $ engine_arg $ domains
-          $ max_ranks $ tl_json $ tl_csv)
+          $ htile_arg $ wg_arg $ iterations_arg $ engine_arg $ no_bus_arg
+          $ domains $ max_ranks $ tl_json $ tl_csv)
 
 (* --- validate --- *)
 
@@ -476,7 +489,7 @@ let profile_cmd =
 (* --- perturb --- *)
 
 let perturb spec app_name grid cores cpn htile wg iterations platform engine
-    pspec real capacity =
+    no_bus pspec real capacity =
   (match capacity with
   | Some c when c < 1 ->
       Fmt.epr "wavefront: --capacity must be at least 1@.";
@@ -510,7 +523,8 @@ let perturb spec app_name grid cores cpn htile wg iterations platform engine
     Fmt.pr "(zero spec: control run, expect no deltas)@.";
   let r =
     or_rank_ceiling (fun () ->
-        Harness.Perturb_report.run ~real ~engine ?capacity cfg app pspec)
+        Harness.Perturb_report.run ~real ~model_bus:(not no_bus) ~engine
+          ?capacity cfg app pspec)
   in
   Fmt.pr "%a@." Harness.Perturb_report.pp r;
   (* 0 clean, 3 degraded, 4 unrecovered failure — see
@@ -548,13 +562,13 @@ let perturb_cmd =
   Cmd.v (Cmd.info "perturb" ~doc)
     Term.(const perturb $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
           $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ engine_arg
-          $ pspec $ real $ capacity)
+          $ no_bus_arg $ pspec $ real $ capacity)
 
 (* --- recover --- *)
 
 let recover spec app_name grid cores cpn htile wg iterations platform engine
-    pspec interval ckpt_cost restart_cost tolerance real fail_on_mismatch
-    capacity out =
+    no_bus pspec interval ckpt_cost restart_cost tolerance real
+    fail_on_mismatch capacity out =
   (match capacity with
   | Some c when c < 1 ->
       Fmt.epr "wavefront: --capacity must be at least 1@.";
@@ -607,8 +621,8 @@ let recover spec app_name grid cores cpn htile wg iterations platform engine
     pspec Perturb.Recover.pp policy;
   let r =
     or_rank_ceiling (fun () ->
-        Harness.Recover_report.run ~real ~engine ?tolerance ?capacity ~policy
-          cfg app pspec)
+        Harness.Recover_report.run ~real ~model_bus:(not no_bus) ~engine
+          ?tolerance ?capacity ~policy cfg app pspec)
   in
   Fmt.pr "%a@." Harness.Recover_report.pp r;
   (match out with
@@ -702,8 +716,8 @@ let recover_cmd =
   Cmd.v (Cmd.info "recover" ~doc)
     Term.(const recover $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
           $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ engine_arg
-          $ pspec $ interval $ ckpt_cost $ restart_cost $ tolerance $ real
-          $ fail_on_mismatch $ capacity $ out)
+          $ no_bus_arg $ pspec $ interval $ ckpt_cost $ restart_cost
+          $ tolerance $ real $ fail_on_mismatch $ capacity $ out)
 
 (* --- timeline --- *)
 
@@ -976,7 +990,10 @@ let bench quick out against fail_on_regression label repeats min_delta =
       cases
   in
   let meta =
-    [ ("peak_rss_mb", string_of_int (Harness.Bench_suite.peak_rss_mb ())) ]
+    [
+      ("peak_rss_mb", string_of_int (Harness.Bench_suite.peak_rss_mb ()));
+      ("scale_domains", string_of_int Harness.Bench_suite.scale_domains);
+    ]
   in
   let report = Bench_stats.Report.v ~label ~meta results in
   (match out with

@@ -34,6 +34,11 @@ let peak_rss_mb () =
       close_in ic;
       r
 
+(* How many domains the sharded scale case uses on this host — recorded
+   in the report metadata so a baseline from a 1-core CI runner is not
+   read as a multi-core regression. *)
+let scale_domains = Domain.recommended_domain_count ()
+
 let xt4 = Loggp.Params.xt4
 
 let all () =
@@ -45,6 +50,12 @@ let all () =
   let pg_64k = Wgrid.Proc_grid.of_cores 65536 in
   let costs_64k =
     Wrun.Costs.loggp ~cmp:Wgrid.Cmp.single_core xt4 pg_64k sweep_app
+  in
+  let costs_64k_bus =
+    Wrun.Costs.loggp ~model_bus:true
+      ~cmp:(Wgrid.Cmp.of_cores_per_node 2)
+      (Loggp.Params.with_cores_per_node xt4 2)
+      pg_64k sweep_app
   in
   let pg_1m = Wgrid.Proc_grid.of_cores 1048576 in
   let costs_1m =
@@ -194,6 +205,34 @@ let all () =
       f =
         (fun () ->
           let o = Wrun.Batched.run ~costs:costs_64k pg_64k sweep_app in
+          assert o.completed);
+    };
+    (* The same 64k sweep with the Table-6 bus layer on (2 cores/node):
+       the gap against run/batched-64k is the closed-form contention
+       arithmetic's own cost. *)
+    {
+      name = "run/batched-bus-64k";
+      quick = true;
+      repeats = Some 3;
+      f =
+        (fun () ->
+          let o = Wrun.Batched.run ~costs:costs_64k_bus pg_64k sweep_app in
+          assert o.completed;
+          assert (o.bus_wait > 0.0));
+    };
+    (* Row-band domain sharding of the identical run: on a multi-core
+       host this should beat run/batched-bus-64k wall-clock while staying
+       bitwise-identical (the determinism tests pin that part). *)
+    {
+      name = "run/batched-bus-64k-sharded";
+      quick = true;
+      repeats = Some 3;
+      f =
+        (fun () ->
+          let o =
+            Wrun.Batched.run ~domains:scale_domains ~costs:costs_64k_bus
+              pg_64k sweep_app
+          in
           assert o.completed);
     };
     {

@@ -21,3 +21,9 @@ val peak_rss_mb : unit -> int
 (** Peak resident set (VmHWM) of this process in MB, 0 where /proc is
     unavailable — recorded in the report metadata so the scale cases pin
     a memory envelope next to their wall-clock. *)
+
+val scale_domains : int
+(** Domains the sharded scale case runs with on this host
+    ([Domain.recommended_domain_count]) — recorded in the report
+    metadata so cross-host baseline comparisons know the parallelism
+    behind run/batched-bus-64k-sharded. *)

@@ -44,5 +44,7 @@ let observed_run ?(model_bus = true) ?perturb ?recover ?obs ?max_ranks engine
       in
       Xtsim.Wavefront_sim.run ?perturb ?recover ?obs ?max_ranks machine app
   | Batched ->
-      let costs = Wrun.Costs.loggp ~cmp:cfg.cmp cfg.platform cfg.pgrid app in
+      let costs =
+        Wrun.Costs.loggp ~model_bus ~cmp:cfg.cmp cfg.platform cfg.pgrid app
+      in
       of_batched (Wrun.Batched.run ?perturb ?recover ?obs ~costs cfg.pgrid app)

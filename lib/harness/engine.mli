@@ -35,9 +35,15 @@ val observed_run :
     {!Xtsim.Wavefront_sim.run}; [max_ranks] and [model_bus] apply, and
     {!Xtsim.Wavefront_sim.Rank_ceiling} escapes to the caller past the
     ceiling. [Batched] prices the same program with
-    {!Wrun.Costs.loggp} and runs {!Wrun.Batched.run}; [model_bus] and
-    [max_ranks] do not apply (the batched engine has no bus model and
-    no rank ceiling). A batched outcome carries real
+    {!Wrun.Costs.loggp}[ ~model_bus] and runs {!Wrun.Batched.run}:
+    [model_bus] (default [true]) enables the closed-form Table-6 bus
+    layer on multi-core configs — the batched engine charges the
+    per-axis interference term per tile-loop operation where the event
+    simulator queues a per-node bus clock, so on multi-core nodes the
+    two agree only within the tolerance the differential suite pins
+    (bitwise with the bus off or single-core nodes). [max_ranks] does
+    not apply (the batched engine has no rank ceiling). A batched
+    outcome carries real
     elapsed/per-iteration/failure/recovery figures, but synthesizes the
     event-only fields: [events] is 0, [sends] counts messages, and
     [stats] holds only each rank's finish clock (compute/comm/wait

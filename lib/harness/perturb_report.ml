@@ -35,14 +35,14 @@ let span_total spans name =
 
 let dash = "-"
 
-let run ?(real = false) ?(engine = Engine.Event)
+let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
     ?(capacity = Obs.Tracer.default_capacity) (cfg : Plugplay.config)
     (app : App_params.t) (spec : Perturb.Spec.t) =
   let estimate = Perturb.Estimate.iteration app cfg spec in
   let obs_base = Obs.Tracer.create ~capacity () in
-  let sim_base = Engine.observed_run ~obs:obs_base engine cfg app in
+  let sim_base = Engine.observed_run ~model_bus ~obs:obs_base engine cfg app in
   let obs = Obs.Tracer.create ~capacity () in
-  let sim = Engine.observed_run ~perturb:spec ~obs engine cfg app in
+  let sim = Engine.observed_run ~model_bus ~perturb:spec ~obs engine cfg app in
   let spans = Obs.Tracer.spans obs in
   let waves =
     Sweeps.Schedule.nsweeps app.schedule

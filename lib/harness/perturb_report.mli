@@ -27,6 +27,7 @@ type t = {
 
 val run :
   ?real:bool ->
+  ?model_bus:bool ->
   ?engine:Engine.t ->
   ?capacity:int ->
   Plugplay.config ->
@@ -34,6 +35,9 @@ val run :
   Perturb.Spec.t ->
   t
 (** Evaluate one (configuration, application, perturbation) triple.
+    [model_bus] (default on) is passed to {!Engine.observed_run} for
+    both the baseline and the perturbed run — on multi-core configs it
+    enables the shared-bus contention layer on either engine.
     [real] (default off) also executes the transport kernel twice —
     unperturbed, then perturbed via {!Kernels.Sweep_exec.run_resilient} —
     on one domain per rank; use small core counts. With [real] off the

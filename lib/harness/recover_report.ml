@@ -97,8 +97,8 @@ let interval_table ~policy ~optimal ~waves ~wave_cost ~failures =
     ~headers:[ "K"; "ckpts"; "checkpoint"; "rework"; "expected total"; "" ]
     rows
 
-let run ?(real = false) ?(engine = Engine.Event) ?(tolerance = 0.05)
-    ?(capacity = Obs.Tracer.default_capacity) ~policy
+let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
+    ?(tolerance = 0.05) ?(capacity = Obs.Tracer.default_capacity) ~policy
     (cfg : Plugplay.config) (app : App_params.t) (spec : Perturb.Spec.t) =
   let r = Plugplay.iteration app cfg in
   let wave_cost = r.w +. r.w_pre in
@@ -119,10 +119,11 @@ let run ?(real = false) ?(engine = Engine.Event) ?(tolerance = 0.05)
     Perturb.Recover.optimal_interval ~waves ~wave_cost
       ~failures:(List.length fail_waves) ~ckpt_cost:policy.ckpt_cost
   in
-  let sim_base = Engine.observed_run engine cfg app in
+  let sim_base = Engine.observed_run ~model_bus engine cfg app in
   let obs = Obs.Tracer.create ~capacity () in
   let sim =
-    Engine.observed_run ~perturb:spec ~recover:policy ~obs engine cfg app
+    Engine.observed_run ~model_bus ~perturb:spec ~recover:policy ~obs engine
+      cfg app
   in
   let spans = Obs.Tracer.spans obs in
   let simulated =

@@ -36,6 +36,7 @@ type t = {
 
 val run :
   ?real:bool ->
+  ?model_bus:bool ->
   ?engine:Engine.t ->
   ?tolerance:float ->
   ?capacity:int ->
@@ -44,7 +45,10 @@ val run :
   App_params.t ->
   Perturb.Spec.t ->
   t
-(** Evaluate one triple. [real] (default off) also executes the transport
+(** Evaluate one triple. [model_bus] (default on) is passed to
+    {!Engine.observed_run} for both runs — on multi-core configs it
+    enables the shared-bus contention layer on either engine.
+    [real] (default off) also executes the transport
     kernel under genuine checkpoint/rollback
     ({!Kernels.Sweep_exec.run_recoverable}) and checks the recovered grid
     bitwise against the sequential reference; use small core counts.

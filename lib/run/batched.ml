@@ -96,6 +96,13 @@ type t = {
   c_send : float array;
   c_flight : float array;
   c_rovh : float array;
+  (* Table-6 shared-bus interference per op (us), already folded into
+     [c_send]/[c_rovh]; kept separately so the outcome can report the
+     total interference charged. Zero when the costs table has the bus
+     off — the caches are then bitwise-identical to the bus-free ones. *)
+  bi_ew : float;
+  bi_ns : float;
+  bus_acc : float array;  (* per-rank accumulated bus interference *)
   (* --- streaming cell accumulators (active iff [sink] is set) --- *)
   cur_col : int array;  (* column being accumulated; -1 = none *)
   hi_col : int array;  (* highest column ever opened; -1 = none *)
@@ -239,6 +246,8 @@ module Backend = struct
     t.clock.(rank) <-
       t0 +. wait +. t.c_rovh.(axis2 + link_onchip t ~rank ~peer:src ~axis2);
     t.rcvd.(rank) <- t.rcvd.(rank) + 1;
+    t.bus_acc.(rank) <-
+      t.bus_acc.(rank) +. (if axis2 = 0 then t.bi_ew else t.bi_ns);
     if observed t then begin
       let w = wave t ~rank ~tile in
       emit t ~rank ~name:"recv" ~cat:"comm" ~start:t0
@@ -273,6 +282,8 @@ module Backend = struct
     let dlv = if axis2 = 0 then t.dlv_x else t.dlv_y in
     dlv.((dst * t.ntiles) + tile) <- delivered;
     t.sent.(rank) <- t.sent.(rank) + 1;
+    t.bus_acc.(rank) <-
+      t.bus_acc.(rank) +. (if axis2 = 0 then t.bi_ew else t.bi_ns);
     if observed t then begin
       let w = wave t ~rank ~tile in
       emit t ~rank ~name:"send" ~cat:"comm" ~start:t0
@@ -519,6 +530,9 @@ type outcome = {
   checkpoints : int;
   messages : int;
   orphaned : int;
+  bus_wait : float;
+      (** total Table-6 bus interference charged across all ranks, us
+          (0 when [Costs.model_bus costs] is false) *)
   finish : float array;
 }
 
@@ -577,6 +591,18 @@ let run ?(iterations = 1) ?tiling ?perturb ?recover ?obs ?cells
       f Loggp.Comm_model.On_chip cfg.Program.msg_ns;
     |]
   in
+  (* Fold the Table-6 interference into the per-(axis, locality) charge
+     caches — the hot path then pays the bus model nothing. The paper's
+     closed form charges the coefficient regardless of the link's own
+     locality (its (r4) stance: the contenders are the node's *other*
+     cores' DMA transfers), so both columns of an axis get the same
+     term. Gated so the bus-off caches stay bitwise-identical. *)
+  let bi_ew = Costs.bus_ew costs and bi_ns = Costs.bus_ns costs in
+  let add_bus a =
+    if Costs.model_bus costs then
+      [| a.(0) +. bi_ew; a.(1) +. bi_ew; a.(2) +. bi_ns; a.(3) +. bi_ns |]
+    else a
+  in
   let t =
     {
       costs;
@@ -609,9 +635,12 @@ let run ?(iterations = 1) ?tiling ?perturb ?recover ?obs ?cells
       dlv_x = Array.make (ranks * ntiles) nan;
       dlv_y = Array.make (ranks * ntiles) nan;
       loc_bits;
-      c_send = per_link (Costs.send_busy_at costs);
+      c_send = add_bus (per_link (Costs.send_busy_at costs));
       c_flight = per_link (Costs.in_flight_at costs);
-      c_rovh = per_link (fun loc _ -> Costs.recv_overhead_at costs loc);
+      c_rovh = add_bus (per_link (fun loc _ -> Costs.recv_overhead_at costs loc));
+      bi_ew;
+      bi_ns;
+      bus_acc = Array.make ranks 0.0;
       cur_col = Array.make ranks (-1);
       hi_col = Array.make ranks (-1);
       span_end = Array.make ranks 0.0;
@@ -887,6 +916,7 @@ let run ?(iterations = 1) ?tiling ?perturb ?recover ?obs ?cells
       (match t.recover with None -> 0 | Some r -> sum r.ckpts);
     messages = sum t.sent;
     orphaned = sum t.sent - sum t.rcvd;
+    bus_wait = Array.fold_left ( +. ) 0.0 t.bus_acc;
     finish = t.finish;
   }
 

@@ -43,6 +43,9 @@ type outcome = {
   checkpoints : int;
   messages : int;
   orphaned : int;  (** messages sent but never received *)
+  bus_wait : float;
+      (** total Table-6 bus interference charged across all ranks, us
+          (0 when the costs were built without [model_bus]) *)
   finish : float array;  (** per-rank finish clock (0 if unfinished) *)
 }
 
@@ -67,7 +70,17 @@ val run :
     each rank's perturbation stream is its own. [obs] attaches a span
     tracer (requires [domains = 1]: the tracer is not thread-safe;
     raises [Invalid_argument] otherwise); [cells] streams timeline
-    cells. Raises [Invalid_argument] for [domains < 1]. *)
+    cells. Raises [Invalid_argument] for [domains < 1].
+
+    When [costs] carries the multi-core bus layer
+    ({!Costs.loggp}[ ~model_bus:true] on a multi-core {!Wgrid.Cmp.t}),
+    every tile-loop send and receive is additionally charged the
+    per-axis Table-6 interference term folded into the per-link cost
+    cache — a per-rank closed form, so domain determinism is unchanged;
+    with the bus off (or single-core nodes) the fold is skipped and
+    results are bitwise-identical to the contention-free engine. The
+    epilogue halo/collective stages are outside the Table-6 wavefront
+    section and are never bus-charged. *)
 
 val run_timeline :
   ?iterations:int ->

@@ -28,10 +28,35 @@ type t = {
   cells_x : float;
   cells_y : float;
   nz : float;
+  bus_ew : float;  (** Table-6 interference per E/W op, us (0 = bus off) *)
+  bus_ns : float;  (** Table-6 interference per N/S op, us (0 = bus off) *)
 }
 
-let loggp ~cmp (platform : Loggp.Params.t) pg (app : App_params.t) =
+(* The multi-core shared-bus layer (paper Section 4.3, Table 6): on a
+   Cx x Cy node, the DMA engines of co-located cores contend for the
+   memory bus, and the model charges each send and each receive of the
+   tile loop an interference term coeff * I, with
+   I = o_dma + size * G_dma (Loggp.Comm_model.contention_i) and the
+   per-axis coefficients of Plugplay.contention_coeffs (1x2 -> I on the
+   N/S operations; 2x2 -> I on every operation; 2x4 -> 2I; ...). This is
+   the model's own closed form — per-node arrival counts in the steady
+   anti-diagonal front, not a queueing simulation — so it is computable
+   per rank with no shared state, which is what keeps the batched
+   engine's domain sharding bitwise-deterministic with the bus on. *)
+let loggp ?(model_bus = false) ~cmp (platform : Loggp.Params.t) pg
+    (app : App_params.t) =
   let cells = Decomp.cells_per_tile app.grid pg ~htile:app.htile in
+  let bus_ew, bus_ns =
+    if not model_bus then (0.0, 0.0)
+    else
+      let coeff_ew, coeff_ns = Plugplay.contention_coeffs cmp in
+      ( coeff_ew
+        *. Loggp.Comm_model.contention_i platform.onchip
+             (App_params.message_size_ew app pg),
+        coeff_ns
+        *. Loggp.Comm_model.contention_i platform.onchip
+             (App_params.message_size_ns app pg) )
+  in
   {
     platform;
     cmp;
@@ -41,7 +66,13 @@ let loggp ~cmp (platform : Loggp.Params.t) pg (app : App_params.t) =
     cells_x = Decomp.cells_x app.grid pg;
     cells_y = Decomp.cells_y app.grid pg;
     nz = float_of_int app.grid.Data_grid.nz;
+    bus_ew;
+    bus_ns;
   }
+
+let bus_ew t = t.bus_ew
+let bus_ns t = t.bus_ns
+let model_bus t = t.bus_ew > 0.0 || t.bus_ns > 0.0
 
 (* Same node iff same Cmp rectangle — the mapping Machine uses. *)
 let locality t ~src ~dst : Loggp.Comm_model.locality =

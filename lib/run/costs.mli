@@ -19,10 +19,37 @@ type t = {
   cells_x : float;
   cells_y : float;
   nz : float;
+  bus_ew : float;  (** Table-6 interference per E/W op, us (0 = bus off) *)
+  bus_ns : float;  (** Table-6 interference per N/S op, us (0 = bus off) *)
 }
 
-val loggp : cmp:Cmp.t -> Loggp.Params.t -> Proc_grid.t -> App_params.t -> t
-(** The model's uniform view of [app] on [pg]: W = Wg * cells-per-tile. *)
+val loggp :
+  ?model_bus:bool ->
+  cmp:Cmp.t ->
+  Loggp.Params.t ->
+  Proc_grid.t ->
+  App_params.t ->
+  t
+(** The model's uniform view of [app] on [pg]: W = Wg * cells-per-tile.
+
+    [model_bus] (default [false]) enables the multi-core shared-bus
+    layer of paper Section 4.3: every E/W (resp. N/S) send and receive
+    of the tile loop is additionally charged [bus_ew] (resp. [bus_ns]) =
+    {!Wavefront_core.Plugplay.contention_coeffs}[ cmp] times the Table-6
+    interference quantum [I = o_dma + size * G_dma]
+    ({!Loggp.Comm_model.contention_i}). With single-core nodes the
+    coefficients are zero, so enabling the bus changes nothing. The term
+    is a per-rank closed form — the steady anti-diagonal front's
+    per-node arrival counts, not simulated queueing — so evaluations
+    stay order-independent (domain-sharding determinism) and diverge
+    from the event simulator's queued bus only within the tolerance the
+    batched-vs-event differential suite pins. *)
+
+val bus_ew : t -> float
+val bus_ns : t -> float
+
+val model_bus : t -> bool
+(** Whether any bus interference term is non-zero. *)
 
 val locality : t -> src:int -> dst:int -> Loggp.Comm_model.locality
 
