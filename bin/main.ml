@@ -121,10 +121,120 @@ let waves_of (app : App_params.t) =
   Sweeps.Schedule.nsweeps app.schedule
   * Wgrid.Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile
 
+(* --- Observability context: --metrics-out / --ledger, every subcommand --- *)
+
+(* Parsed once per invocation; the start-of-run runtime sample is taken
+   when Cmdliner evaluates the term, so the ledger's duration and
+   runtime section cover everything from argument parsing on. *)
+module Obs_ctx = struct
+  type t = {
+    metrics_out : string option;
+    ledger_path : string option;
+    no_ledger : bool;
+    t0 : float;  (* unix seconds; the ledger record's timestamp *)
+    start : Obs.Runtime.sample;
+  }
+
+  let term =
+    let metrics_out =
+      Arg.(value & opt (some string) None
+           & info [ "metrics-out" ] ~docv:"FILE"
+               ~doc:
+                 "Write an OpenMetrics/Prometheus text exposition of the \
+                  run's metrics (runtime gauges, outcome numbers, any \
+                  registry the subcommand kept) to FILE, labelled with the \
+                  subcommand and engine.")
+    in
+    let ledger =
+      Arg.(value & opt (some string) None
+           & info [ "ledger" ] ~docv:"FILE"
+               ~doc:
+                 (Fmt.str
+                    "Run-ledger file this invocation is appended to \
+                     (default %s)."
+                    Obs.Ledger.default_path))
+    in
+    let no_ledger =
+      Arg.(value & flag
+           & info [ "no-ledger" ]
+               ~doc:"Do not append this invocation to the run ledger.")
+    in
+    let make metrics_out ledger_path no_ledger =
+      {
+        metrics_out;
+        ledger_path;
+        no_ledger;
+        t0 = Unix.gettimeofday ();
+        start = Obs.Runtime.sample ();
+      }
+    in
+    Term.(const make $ metrics_out $ ledger $ no_ledger)
+
+  (* Record the invocation: an OpenMetrics exposition when asked for, one
+     ledger line unless opted out. [kv] holds the subcommand's key outcome
+     numbers — exposed as outcome.* gauges and judged by `runs compare`;
+     [metrics] is an existing registry to expose alongside them; [config]
+     is a canonical argument string (hashed, so `runs list` can group
+     like-for-like runs); [spec] the --spec file to digest. Write
+     failures are warnings: observability must not fail the run it
+     records. *)
+  let finish ?metrics ?(engine = "") ?spec ?config ?(kv = []) ctx subcommand =
+    let d = Obs.Runtime.delta ctx.start (Obs.Runtime.sample ()) in
+    (match ctx.metrics_out with
+    | None -> ()
+    | Some path -> (
+        let reg =
+          match metrics with Some m -> m | None -> Obs.Metrics.create ()
+        in
+        List.iter
+          (fun (k, v) ->
+            Obs.Metrics.set (Obs.Metrics.gauge reg ("outcome." ^ k)) v)
+          kv;
+        Obs.Runtime.to_metrics reg d;
+        let labels =
+          ("subcommand", subcommand)
+          :: (if engine = "" then [] else [ ("engine", engine) ])
+        in
+        match open_out path with
+        | exception Sys_error m ->
+            Fmt.epr "wavefront: cannot write metrics: %s@." m
+        | oc ->
+            output_string oc (Obs.Openmetrics.render ~labels reg);
+            close_out oc;
+            Fmt.pr "metrics written to %s@." path));
+    if not ctx.no_ledger then begin
+      let config_hash =
+        match config with
+        | None -> ""
+        | Some c -> String.sub (Digest.to_hex (Digest.string c)) 0 12
+      in
+      let spec_digest =
+        match spec with
+        | None -> ""
+        | Some p -> ( try Digest.to_hex (Digest.file p) with Sys_error _ -> "")
+      in
+      let r =
+        Obs.Ledger.v ~engine ~config_hash ~spec_digest
+          ~git:(Obs.Ledger.git_describe ()) ~metrics:kv
+          ~runtime:(Obs.Runtime.delta_kv d) ~timestamp:ctx.t0
+          ~duration_s:d.Obs.Runtime.wall_s subcommand
+      in
+      match Obs.Ledger.append ?path:ctx.ledger_path r with
+      | Ok () -> ()
+      | Error m -> Fmt.epr "wavefront: ledger: %s@." m
+    end
+
+  let engine_name : Harness.Engine.t -> string = function
+    | Event -> "event"
+    | Batched -> "batched"
+end
+
+let bool01 b = if b then 1.0 else 0.0
+
 (* --- predict --- *)
 
 let predict spec app_name grid cores cpn htile wg iterations groups steps
-    platform =
+    platform ctx =
   let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
   let cfg = make_cfg platform ~cores ~cpn in
   let r = Plugplay.iteration app cfg in
@@ -136,33 +246,45 @@ let predict spec app_name grid cores cpn htile wg iterations groups steps
     App_params.pp app platform.Loggp.Params.name cores cpn Plugplay.pp_result
     r Units.pp_time
     (float_of_int groups *. Predictor.time_step_time app cfg)
-    app.iterations groups steps Units.pp_time total (Units.to_days total)
+    app.iterations groups steps Units.pp_time total (Units.to_days total);
+  Obs_ctx.finish ?spec
+    ~config:
+      (Fmt.str "%s|%a|p%d|c%d|%s" app.App_params.name Wgrid.Data_grid.pp
+         app.grid cores cpn platform.Loggp.Params.name)
+    ~kv:[ ("t_iteration", r.t_iteration); ("total_us", total) ]
+    ctx "predict"
 
 let predict_cmd =
   let doc = "Predict wavefront execution time with the plug-and-play model" in
   Cmd.v (Cmd.info "predict" ~doc)
     Term.(const predict $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
           $ htile_arg $ wg_arg $ iterations_arg $ groups_arg $ steps_arg
-          $ platform_arg)
+          $ platform_arg $ Obs_ctx.term)
 
 (* --- explain --- *)
 
-let explain spec app_name grid cores cpn htile wg iterations platform =
+let explain spec app_name grid cores cpn htile wg iterations platform ctx =
   let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
   let cfg = make_cfg platform ~cores ~cpn in
   Fmt.pr "%a@." (fun ppf () -> Explain.worksheet ppf app cfg) ();
-  Fmt.pr "@.%a@." Sensitivity.pp (Sensitivity.analyze app cfg)
+  Fmt.pr "@.%a@." Sensitivity.pp (Sensitivity.analyze app cfg);
+  Obs_ctx.finish ?spec
+    ~config:
+      (Fmt.str "%s|%a|p%d|c%d|%s" app.App_params.name Wgrid.Data_grid.pp
+         app.grid cores cpn platform.Loggp.Params.name)
+    ~kv:[ ("t_iteration", Plugplay.time_per_iteration app cfg) ]
+    ctx "explain"
 
 let explain_cmd =
   let doc = "Show the full model worksheet and input sensitivities" in
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(const explain $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
-          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg)
+          $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ Obs_ctx.term)
 
 (* --- simulate --- *)
 
 let simulate spec app_name grid cores cpn htile wg iterations engine no_bus
-    domains max_ranks tl_json tl_csv =
+    domains max_ranks tl_json tl_csv ctx =
   if domains < 1 then begin
     Fmt.epr "wavefront: --domains must be at least 1@.";
     exit 2
@@ -187,6 +309,14 @@ let simulate spec app_name grid cores cpn htile wg iterations engine no_bus
         close_out oc;
         Fmt.pr "%s written to %s@." what path
   in
+  let finish kv =
+    Obs_ctx.finish ?spec
+      ~engine:(Obs_ctx.engine_name engine)
+      ~config:
+        (Fmt.str "%s|%a|p%d|c%d|bus%b|d%d" app.App_params.name
+           Wgrid.Data_grid.pp app.grid cores cpn (not no_bus) domains)
+      ~kv ctx "simulate"
+  in
   match (engine : Harness.Engine.t) with
   | Event ->
       let machine =
@@ -199,7 +329,10 @@ let simulate spec app_name grid cores cpn htile wg iterations engine no_bus
             Xtsim.Wavefront_sim.run ?max_ranks machine app)
       in
       Fmt.pr "%a@." Xtsim.Wavefront_sim.pp_outcome o;
-      model_line o.per_iteration
+      model_line o.per_iteration;
+      finish
+        [ ("per_iteration", o.per_iteration); ("elapsed", o.elapsed);
+          ("events", float_of_int o.events) ]
   | Batched ->
       let costs =
         Wrun.Costs.loggp ~model_bus:(not no_bus) ~cmp Loggp.Params.xt4 pg app
@@ -244,7 +377,11 @@ let simulate spec app_name grid cores cpn htile wg iterations engine no_bus
           write p
             (fun w -> Obs.Timeline_stream.emit_csv stream w)
             "timeline-stream CSV")
-        tl_csv
+        tl_csv;
+      finish
+        [ ("per_iteration", o.per_iteration); ("elapsed", o.elapsed);
+          ("messages", float_of_int o.messages);
+          ("completed", bool01 o.completed) ]
 
 let simulate_cmd =
   let doc =
@@ -285,11 +422,11 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
           $ htile_arg $ wg_arg $ iterations_arg $ engine_arg $ no_bus_arg
-          $ domains $ max_ranks $ tl_json $ tl_csv)
+          $ domains $ max_ranks $ tl_json $ tl_csv $ Obs_ctx.term)
 
 (* --- validate --- *)
 
-let validate spec app_name grid cores htile wg iterations =
+let validate spec app_name grid cores htile wg iterations ctx =
   let app = make_app ?spec app_name grid ~htile ~wg ~iterations in
   let pg = Wgrid.Proc_grid.of_cores cores in
   Fmt.pr "validating %s on %a (reference dataflow backend)...@."
@@ -299,6 +436,14 @@ let validate spec app_name grid cores htile wg iterations =
   let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
   Fmt.pr "%a (%.0f ms)@." Wrun.Dataflow.pp_outcome o elapsed_ms;
   List.iter (fun m -> Fmt.epr "  mismatch: %s@." m) o.mismatches;
+  Obs_ctx.finish ?spec
+    ~config:
+      (Fmt.str "%s|%a|p%d" app.App_params.name Wgrid.Data_grid.pp app.grid
+         cores)
+    ~kv:
+      [ ("completed", bool01 o.completed); ("wall_ms", elapsed_ms);
+        ("mismatches", float_of_int (List.length o.mismatches)) ]
+    ctx "validate";
   if not o.completed || o.mismatches <> [] then exit 1
 
 let validate_cmd =
@@ -309,7 +454,7 @@ let validate_cmd =
   in
   Cmd.v (Cmd.info "validate" ~doc)
     Term.(const validate $ spec_arg $ app_arg $ grid_arg $ cores_arg
-          $ htile_arg $ wg_arg $ iterations_arg)
+          $ htile_arg $ wg_arg $ iterations_arg $ Obs_ctx.term)
 
 (* --- figure --- *)
 
@@ -331,7 +476,7 @@ let write_csv dir (t : Harness.Table.t) =
   close_out oc;
   Fmt.pr "wrote %s@." path
 
-let figure ids full csv =
+let figure ids full csv ctx =
   let scale = if full then Harness.Experiments.Full else Quick in
   let run_id (_id, f) =
     let artifacts = f () in
@@ -345,7 +490,7 @@ let figure ids full csv =
           artifacts)
       csv
   in
-  match ids with
+  (match ids with
   | [] -> List.iter run_id (Harness.Experiments.all ~scale ())
   | ids ->
       List.iter
@@ -353,7 +498,11 @@ let figure ids full csv =
           match Harness.Experiments.find ~scale id with
           | Some f -> run_id (id, f)
           | None -> Fmt.invalid_arg "unknown experiment %S" id)
-        ids
+        ids);
+  Obs_ctx.finish
+    ~config:(Fmt.str "%s|full%b" (String.concat "," ids) full)
+    ~kv:[ ("experiments", float_of_int (max 1 (List.length ids))) ]
+    ctx "figure"
 
 let figure_cmd =
   let doc = "Regenerate the paper's tables and figures (all, or by id)" in
@@ -364,11 +513,12 @@ let figure_cmd =
                (Fmt.str "Experiment ids: %s."
                   (String.concat ", " (Harness.Experiments.ids ()))))
   in
-  Cmd.v (Cmd.info "figure" ~doc) Term.(const figure $ ids $ scale_arg $ csv_arg)
+  Cmd.v (Cmd.info "figure" ~doc)
+    Term.(const figure $ ids $ scale_arg $ csv_arg $ Obs_ctx.term)
 
 (* --- scale --- *)
 
-let scaling app_name grid cpn htile wg iterations =
+let scaling app_name grid cpn htile wg iterations ctx =
   let app = make_app app_name grid ~htile ~wg ~iterations in
   let rows =
     Metrics.strong_scaling ~cmp:(Wgrid.Cmp.of_cores_per_node cpn)
@@ -383,17 +533,23 @@ let scaling app_name grid cpn htile wg iterations =
       Fmt.pr "  %8d %14s %10.1f %9.1f%%@." r.cores
         (Fmt.str "%a" Units.pp_time r.t_iteration)
         r.speedup (100.0 *. r.efficiency))
-    rows
+    rows;
+  Obs_ctx.finish
+    ~config:
+      (Fmt.str "%s|%a|c%d" app.App_params.name Wgrid.Data_grid.pp app.grid
+         cpn)
+    ~kv:[ ("rows", float_of_int (List.length rows)) ]
+    ctx "scale"
 
 let scale_cmd =
   let doc = "Strong-scaling table: time, speedup, efficiency" in
   Cmd.v (Cmd.info "scale" ~doc)
     Term.(const scaling $ app_arg $ grid_arg $ cpn_arg $ htile_arg $ wg_arg
-          $ iterations_arg)
+          $ iterations_arg $ Obs_ctx.term)
 
 (* --- report --- *)
 
-let report app_name grid cores cpn htile wg iterations trace_csv =
+let report app_name grid cores cpn htile wg iterations trace_csv ctx =
   let app = make_app app_name grid ~htile ~wg ~iterations in
   let pg = Wgrid.Proc_grid.of_cores cores in
   let cmp = Wgrid.Cmp.of_cores_per_node cpn in
@@ -409,14 +565,20 @@ let report app_name grid cores cpn htile wg iterations trace_csv =
   List.iter
     (fun (proto, n) -> Fmt.pr "  %-10s %d@." proto n)
     (Xtsim.Trace.by_protocol trace);
-  match trace_csv with
+  (match trace_csv with
   | None -> ()
   | Some path ->
       let oc = open_out path in
       output_string oc (Xtsim.Trace.to_csv trace);
       close_out oc;
       Fmt.pr "trace written to %s (%d of %d messages)@." path
-        (Xtsim.Trace.recorded trace) (Xtsim.Trace.total trace)
+        (Xtsim.Trace.recorded trace) (Xtsim.Trace.total trace));
+  Obs_ctx.finish ~engine:"event"
+    ~config:
+      (Fmt.str "%s|%a|p%d|c%d" app.App_params.name Wgrid.Data_grid.pp
+         app.grid cores cpn)
+    ~kv:[ ("per_iteration", o.per_iteration); ("elapsed", o.elapsed) ]
+    ctx "report"
 
 let report_cmd =
   let doc = "Simulate a run and report utilization and message mix" in
@@ -427,12 +589,12 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(const report $ app_arg $ grid_arg $ cores_arg $ cpn_arg $ htile_arg
-          $ wg_arg $ iterations_arg $ trace_csv)
+          $ wg_arg $ iterations_arg $ trace_csv $ Obs_ctx.term)
 
 (* --- profile --- *)
 
 let profile spec app_name grid cores cpn htile wg iterations platform real
-    capacity trace_out =
+    capacity trace_out ctx =
   (match capacity with
   | Some c when c < 1 ->
       Fmt.epr "wavefront: --capacity must be at least 1@.";
@@ -444,7 +606,7 @@ let profile spec app_name grid cores cpn htile wg iterations platform real
     cores cpn platform.Loggp.Params.name;
   let p = Harness.Profile.run ~real ?capacity cfg app in
   Fmt.pr "%a@." Harness.Profile.pp p;
-  match trace_out with
+  (match trace_out with
   | None -> ()
   | Some path -> (
       match open_out path with
@@ -456,8 +618,18 @@ let profile spec app_name grid cores cpn htile wg iterations platform real
           close_out oc;
           let dropped = p.sim_dropped + p.real_dropped in
           Fmt.pr
-            "trace written to %s (load in Perfetto / chrome://tracing)%s@." path
-            (if dropped > 0 then Fmt.str "; %d spans dropped" dropped else ""))
+            "trace written to %s (load in Perfetto / chrome://tracing)%s@."
+            path
+            (if dropped > 0 then Fmt.str "; %d spans dropped" dropped else "")));
+  Obs_ctx.finish ~metrics:p.metrics ~engine:"event" ?spec
+    ~config:
+      (Fmt.str "%s|%a|p%d|c%d|%s|real%b" app.App_params.name
+         Wgrid.Data_grid.pp app.grid cores cpn platform.Loggp.Params.name
+         real)
+    ~kv:
+      [ ("sim_per_iteration", p.sim.per_iteration);
+        ("sim_elapsed", p.sim.elapsed) ]
+    ctx "profile"
 
 let profile_cmd =
   let doc =
@@ -484,12 +656,12 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const profile $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
           $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ real
-          $ capacity $ trace_out)
+          $ capacity $ trace_out $ Obs_ctx.term)
 
 (* --- perturb --- *)
 
 let perturb spec app_name grid cores cpn htile wg iterations platform engine
-    no_bus pspec real capacity =
+    no_bus pspec real capacity ctx =
   (match capacity with
   | Some c when c < 1 ->
       Fmt.epr "wavefront: --capacity must be at least 1@.";
@@ -529,7 +701,19 @@ let perturb spec app_name grid cores cpn htile wg iterations platform engine
   Fmt.pr "%a@." Harness.Perturb_report.pp r;
   (* 0 clean, 3 degraded, 4 unrecovered failure — see
      Perturb_report.exit_status. *)
-  match Harness.Perturb_report.exit_status r with 0 -> () | s -> exit s
+  let status = Harness.Perturb_report.exit_status r in
+  Obs_ctx.finish
+    ~engine:(Obs_ctx.engine_name engine)
+    ?spec
+    ~config:
+      (Fmt.str "%s|%a|p%d|c%d|%s|%a" app.App_params.name Wgrid.Data_grid.pp
+         app.grid cores cpn platform.Loggp.Params.name Perturb.Spec.pp pspec)
+    ~kv:
+      [ ("per_iteration", r.sim.per_iteration);
+        ("base_per_iteration", r.sim_base.per_iteration);
+        ("exit_status", float_of_int status) ]
+    ctx "perturb";
+  match status with 0 -> () | s -> exit s
 
 let perturb_cmd =
   let doc =
@@ -562,13 +746,13 @@ let perturb_cmd =
   Cmd.v (Cmd.info "perturb" ~doc)
     Term.(const perturb $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
           $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ engine_arg
-          $ no_bus_arg $ pspec $ real $ capacity)
+          $ no_bus_arg $ pspec $ real $ capacity $ Obs_ctx.term)
 
 (* --- recover --- *)
 
 let recover spec app_name grid cores cpn htile wg iterations platform engine
     no_bus pspec interval ckpt_cost restart_cost tolerance real
-    fail_on_mismatch capacity out =
+    fail_on_mismatch capacity out ctx =
   (match capacity with
   | Some c when c < 1 ->
       Fmt.epr "wavefront: --capacity must be at least 1@.";
@@ -648,6 +832,19 @@ let recover spec app_name grid cores cpn htile wg iterations platform engine
     then 0
     else s
   in
+  Obs_ctx.finish
+    ~engine:(Obs_ctx.engine_name engine)
+    ?spec
+    ~config:
+      (Fmt.str "%s|%a|p%d|c%d|%s|%a|%a" app.App_params.name
+         Wgrid.Data_grid.pp app.grid cores cpn platform.Loggp.Params.name
+         Perturb.Spec.pp pspec Perturb.Recover.pp policy)
+    ~kv:
+      [ ("predicted_overhead", r.predicted.total);
+        ("simulated_overhead", r.simulated.total);
+        ("within_tolerance", bool01 r.within_tolerance);
+        ("exit_status", float_of_int status) ]
+    ctx "recover";
   if status <> 0 then exit status
 
 let recover_cmd =
@@ -717,12 +914,13 @@ let recover_cmd =
     Term.(const recover $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
           $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ engine_arg
           $ no_bus_arg $ pspec $ interval $ ckpt_cost $ restart_cost
-          $ tolerance $ real $ fail_on_mismatch $ capacity $ out)
+          $ tolerance $ real $ fail_on_mismatch $ capacity $ out
+          $ Obs_ctx.term)
 
 (* --- timeline --- *)
 
 let timeline spec app_name grid cores cpn htile wg iterations platform engine
-    real no_bus metric capacity json_out csv_out =
+    real no_bus metric capacity json_out csv_out ctx =
   (match capacity with
   | Some c when c < 1 ->
       Fmt.epr "wavefront: --capacity must be at least 1@.";
@@ -763,7 +961,18 @@ let timeline spec app_name grid cores cpn htile wg iterations platform engine
     json_out;
   Option.iter
     (fun p -> write p (Harness.Timeline_report.to_csv t) "timeline CSV")
-    csv_out
+    csv_out;
+  Obs_ctx.finish
+    ~engine:(Obs_ctx.engine_name engine)
+    ?spec
+    ~config:
+      (Fmt.str "%s|%a|p%d|c%d|%s|bus%b" app.App_params.name
+         Wgrid.Data_grid.pp app.grid cores cpn platform.Loggp.Params.name
+         (not no_bus))
+    ~kv:
+      [ ("t_iteration", t.t_iteration); ("elapsed", t.sim.elapsed);
+        ("gap", t.divergence.gap) ]
+    ctx "timeline"
 
 let timeline_cmd =
   let doc =
@@ -811,12 +1020,14 @@ let timeline_cmd =
   Cmd.v (Cmd.info "timeline" ~doc)
     Term.(const timeline $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
           $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ engine_arg
-          $ real $ no_bus $ metric $ capacity $ json_out $ csv_out)
+          $ real $ no_bus $ metric $ capacity $ json_out $ csv_out
+          $ Obs_ctx.term)
 
 (* --- idlewave --- *)
 
 let idlewave spec app_name grid cores cpn htile wg iterations platform engine
-    pgrid pspec real no_bus fail_on_mismatch capacity out json_out csv_out =
+    pgrid pspec real no_bus fail_on_mismatch capacity out json_out csv_out ctx
+    =
   (match capacity with
   | Some c when c < 1 ->
       Fmt.epr "wavefront: --capacity must be at least 1@.";
@@ -893,9 +1104,19 @@ let idlewave spec app_name grid cores cpn htile wg iterations platform engine
   (* 0 clean, 3 when a spec'd pulse went undetected or (with
      --fail-on-mismatch) the substrates disagree — see
      Idlewave_report.exit_status. *)
-  match Harness.Idlewave_report.exit_status ~fail_on_mismatch r with
-  | 0 -> ()
-  | s -> exit s
+  let status = Harness.Idlewave_report.exit_status ~fail_on_mismatch r in
+  Obs_ctx.finish
+    ~engine:(Obs_ctx.engine_name engine)
+    ?spec
+    ~config:
+      (Fmt.str "%s|%a|p%d|c%d|%s|%a" app.App_params.name Wgrid.Data_grid.pp
+         app.grid cores cpn platform.Loggp.Params.name Perturb.Spec.pp pspec)
+    ~kv:
+      [ ("fronts", float_of_int (List.length r.sim.fronts));
+        ("identity", bool01 r.identity);
+        ("exit_status", float_of_int status) ]
+    ctx "idlewave";
+  match status with 0 -> () | s -> exit s
 
 let idlewave_cmd =
   let doc =
@@ -968,11 +1189,11 @@ let idlewave_cmd =
     Term.(const idlewave $ spec_arg $ app_arg $ grid_arg $ cores_arg $ cpn_arg
           $ htile_arg $ wg_arg $ iterations_arg $ platform_arg $ engine_arg
           $ pgrid $ pspec $ real $ no_bus $ fail_on_mismatch $ capacity $ out
-          $ json_out $ csv_out)
+          $ json_out $ csv_out $ Obs_ctx.term)
 
 (* --- bench --- *)
 
-let bench quick out against fail_on_regression label repeats min_delta =
+let bench quick out against fail_on_regression label repeats min_delta ctx =
   let cases = Harness.Bench_suite.cases ~quick () in
   Fmt.pr "running %d benchmark case(s)%s...@." (List.length cases)
     (if quick then " (quick subset)" else "");
@@ -1001,27 +1222,39 @@ let bench quick out against fail_on_regression label repeats min_delta =
   | Some path ->
       Bench_stats.Report.write path report;
       Fmt.pr "report written to %s (schema %s)@." path Bench_stats.Report.schema);
-  match against with
-  | None -> ()
-  | Some path ->
-      let baseline =
-        try Bench_stats.Report.read path
-        with
-        | Sys_error m ->
-            Fmt.epr "wavefront: cannot read baseline: %s@." m;
-            exit 2
-        | Bench_stats.Json.Parse_error m ->
-            Fmt.epr "wavefront: bad baseline %s: %s@." path m;
-            exit 2
-      in
-      let cmp =
-        Bench_stats.Compare.compare ?min_delta_pct:min_delta ~baseline
-          ~current:report ()
-      in
-      Fmt.pr "@.against %s (%s):@.%a" path baseline.Bench_stats.Report.label
-        Bench_stats.Compare.pp cmp;
-      if fail_on_regression && Bench_stats.Compare.regressions cmp <> [] then
-        exit 1
+  let regressed =
+    match against with
+    | None -> false
+    | Some path ->
+        let baseline =
+          try Bench_stats.Report.read path
+          with
+          | Sys_error m ->
+              Fmt.epr "wavefront: cannot read baseline: %s@." m;
+              exit 2
+          | Bench_stats.Json.Parse_error m ->
+              Fmt.epr "wavefront: bad baseline %s: %s@." path m;
+              exit 2
+        in
+        let cmp =
+          Bench_stats.Compare.compare ?min_delta_pct:min_delta ~baseline
+            ~current:report ()
+        in
+        Fmt.pr "@.against %s (%s):@.%a" path baseline.Bench_stats.Report.label
+          Bench_stats.Compare.pp cmp;
+        Bench_stats.Compare.regressions cmp <> []
+  in
+  (* Each case's median wall time (us) becomes an outcome number, so the
+     run ledger doubles as a coarse longitudinal benchmark record. *)
+  Obs_ctx.finish
+    ~config:(Fmt.str "quick%b|%s" quick label)
+    ~kv:
+      (("cases", float_of_int (List.length results))
+      :: List.map
+           (fun (s : Bench_stats.Runner.summary) -> (s.name, s.median))
+           results)
+    ctx "bench";
+  if fail_on_regression && regressed then exit 1
 
 let bench_cmd =
   let doc =
@@ -1072,37 +1305,40 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(const bench $ quick $ out $ against $ fail_on_regression $ label
-          $ repeats $ min_delta)
+          $ repeats $ min_delta $ Obs_ctx.term)
 
 (* --- fit --- *)
 
 (* Both transports expose the one MICROBENCH signature, so the simulated
    and the real curve reach Loggp.Fit through literally the same calls. *)
-let fit real =
-  if real then begin
-    let (module M : Wrun.Substrate.MICROBENCH) = Shmpi.Pingpong.microbench () in
-    let curve =
-      M.curve ~rounds:100 ~sizes:[ 64; 256; 1024; 4096; 16384; 65536 ] ()
-    in
-    let p = Shmpi.Pingpong.fit_platform curve in
-    Fmt.pr "measured %s:@." M.name;
-    List.iter (fun (s, t) -> Fmt.pr "  %6d B: %8.3f us@." s t) curve;
-    Fmt.pr "fitted: %a@." Loggp.Params.pp p
-  end
-  else begin
-    let sizes = Xtsim.Pingpong.figure3_sizes in
-    let (module Off : Wrun.Substrate.MICROBENCH) =
-      Xtsim.Pingpong.microbench Loggp.Params.xt4 Off_node
-    in
-    let (module On : Wrun.Substrate.MICROBENCH) =
-      Xtsim.Pingpong.microbench Loggp.Params.xt4 On_chip
-    in
-    let off, _ = Loggp.Fit.fit_offnode (Off.curve ~sizes ()) in
-    let on, _ = Loggp.Fit.fit_onchip (On.curve ~sizes ()) in
-    Fmt.pr "fitted from the simulated XT4 microbenchmark:@.";
-    Fmt.pr "  off-node: %a@." Loggp.Params.pp_offnode off;
-    Fmt.pr "  on-chip:  %a@." Loggp.Params.pp_onchip on
-  end
+let fit real ctx =
+  (if real then begin
+     let (module M : Wrun.Substrate.MICROBENCH) =
+       Shmpi.Pingpong.microbench ()
+     in
+     let curve =
+       M.curve ~rounds:100 ~sizes:[ 64; 256; 1024; 4096; 16384; 65536 ] ()
+     in
+     let p = Shmpi.Pingpong.fit_platform curve in
+     Fmt.pr "measured %s:@." M.name;
+     List.iter (fun (s, t) -> Fmt.pr "  %6d B: %8.3f us@." s t) curve;
+     Fmt.pr "fitted: %a@." Loggp.Params.pp p
+   end
+   else begin
+     let sizes = Xtsim.Pingpong.figure3_sizes in
+     let (module Off : Wrun.Substrate.MICROBENCH) =
+       Xtsim.Pingpong.microbench Loggp.Params.xt4 Off_node
+     in
+     let (module On : Wrun.Substrate.MICROBENCH) =
+       Xtsim.Pingpong.microbench Loggp.Params.xt4 On_chip
+     in
+     let off, _ = Loggp.Fit.fit_offnode (Off.curve ~sizes ()) in
+     let on, _ = Loggp.Fit.fit_onchip (On.curve ~sizes ()) in
+     Fmt.pr "fitted from the simulated XT4 microbenchmark:@.";
+     Fmt.pr "  off-node: %a@." Loggp.Params.pp_offnode off;
+     Fmt.pr "  on-chip:  %a@." Loggp.Params.pp_onchip on
+   end);
+  Obs_ctx.finish ~config:(Fmt.str "real%b" real) ctx "fit"
 
 let fit_cmd =
   let doc = "Fit LogGP parameters from a ping-pong microbenchmark" in
@@ -1112,11 +1348,11 @@ let fit_cmd =
              ~doc:"Measure this machine's shared-memory transport instead \
                    of the simulated XT4.")
   in
-  Cmd.v (Cmd.info "fit" ~doc) Term.(const fit $ real)
+  Cmd.v (Cmd.info "fit" ~doc) Term.(const fit $ real $ Obs_ctx.term)
 
 (* --- measure-wg --- *)
 
-let measure () =
+let measure ctx =
   let wg6 = Kernels.Measure.transport_wg () in
   let wg10 =
     Kernels.Measure.transport_wg ~config:(Kernels.Transport.v ~angles:10 ()) ()
@@ -1129,11 +1365,335 @@ let measure () =
      transport, 10 angles (Chimaera-like): %.4f@,\
      LU sweep kernel:                      %.4f@,\
      LU pre-computation:                   %.4f@]@."
-    wg6 wg10 lu lu_pre
+    wg6 wg10 lu lu_pre;
+  Obs_ctx.finish
+    ~kv:
+      [ ("transport_wg6", wg6); ("transport_wg10", wg10); ("lu_wg", lu);
+        ("lu_wg_pre", lu_pre) ]
+    ctx "measure-wg"
 
 let measure_cmd =
   let doc = "Measure per-cell kernel times (the model's Wg inputs) for real" in
-  Cmd.v (Cmd.info "measure-wg" ~doc) Term.(const measure $ const ())
+  Cmd.v (Cmd.info "measure-wg" ~doc) Term.(const measure $ Obs_ctx.term)
+
+(* --- telemetry --- *)
+
+(* The allocation gate: minor-heap words per evaluation of the serving
+   path's units of work, judged against pinned budgets. The predictor's
+   closed-form evaluator and the batched engine's steady-state step are
+   contractually allocation-free (budget 0, pinned exactly); the full
+   batched run carries a nonzero ratchet with headroom, so a change that
+   starts boxing in either hot loop trips --assert-zero-alloc in CI. *)
+
+type alloc_target = {
+  tname : string;
+  tdoc : string;
+  budget : float;  (** minor words per iteration, inclusive ceiling *)
+  titerations : int;
+  prepare : cores:int -> unit -> unit;
+      (** builds all state (evaluator, probe, cost tables) outside the
+          measured window and returns the unit of work *)
+}
+
+(* Measured at ~710k minor words per 256-rank sweep3d run (the outcome
+   record, the per-rank flat arrays, the scheduler's diagonal lists —
+   setup, not the tile loop); the ratchet pins 1M so only a real
+   regression trips it — per-tile boxing on this grid would add tens of
+   millions of words, setup jitter a few thousand. *)
+let batched_run_budget = 1_000_000.0
+
+let alloc_targets =
+  [
+    {
+      tname = "predictor";
+      tdoc = "Plugplay.Eval.run: the closed-form (r1)-(r5) evaluation";
+      budget = 0.0;
+      titerations = 1000;
+      prepare =
+        (fun ~cores ->
+          let app = Apps.Sweep3d.params (Wgrid.Data_grid.cube 32) in
+          let cfg = make_cfg Loggp.Params.xt4 ~cores ~cpn:2 in
+          let e = Plugplay.Eval.create app cfg in
+          fun () -> Plugplay.Eval.run e);
+    };
+    {
+      tname = "batched-step";
+      tdoc = "Batched.Steady.step: one steady-state per-tile op sequence";
+      budget = 0.0;
+      titerations = 1000;
+      prepare =
+        (fun ~cores ->
+          let app = Apps.Sweep3d.params (Wgrid.Data_grid.cube 32) in
+          let pg = Wgrid.Proc_grid.of_cores cores in
+          let costs =
+            Wrun.Costs.loggp ~model_bus:false ~cmp:Wgrid.Cmp.single_core
+              Loggp.Params.xt4 pg app
+          in
+          let p = Wrun.Batched.Steady.probe ~costs pg app in
+          fun () -> Wrun.Batched.Steady.step p);
+    };
+    {
+      tname = "batched-run";
+      tdoc = "Batched.run, 256 ranks end to end (ratchet, not zero)";
+      budget = batched_run_budget;
+      titerations = 25;
+      prepare =
+        (fun ~cores:_ ->
+          let app = Apps.Sweep3d.params (Wgrid.Data_grid.cube 32) in
+          let pg = Wgrid.Proc_grid.of_cores 256 in
+          let costs =
+            Wrun.Costs.loggp ~model_bus:false ~cmp:Wgrid.Cmp.single_core
+              Loggp.Params.xt4 pg app
+          in
+          fun () -> ignore (Wrun.Batched.run ~costs pg app));
+    };
+    {
+      tname = "control-alloc";
+      tdoc = "a deliberately allocating closure (the gate's negative control)";
+      budget = 0.0;
+      titerations = 1000;
+      prepare =
+        (fun ~cores:_ () -> ignore (Sys.opaque_identity (ref (Sys.opaque_identity 0))));
+    };
+  ]
+
+let telemetry targets cores assert_zero ctx =
+  if cores < 9 then begin
+    Fmt.epr
+      "wavefront: --cores must be at least 9 (the steady-state probe \
+       needs a 3x3 processor grid)@.";
+    exit 2
+  end;
+  (* Default set: the contractual targets. The negative control only
+     runs when asked for — its whole point is to exit nonzero. *)
+  let selected =
+    match targets with
+    | [] ->
+        List.filter (fun t -> t.tname <> "control-alloc") alloc_targets
+    | names ->
+        List.map
+          (fun n ->
+            match List.find_opt (fun t -> t.tname = n) alloc_targets with
+            | Some t -> t
+            | None ->
+                Fmt.epr "wavefront: unknown --target %s (have: %s)@." n
+                  (String.concat ", "
+                     (List.map (fun t -> t.tname) alloc_targets));
+                exit 2)
+          names
+  in
+  Fmt.pr "allocation gate: %d target(s), %d-core batched grid@."
+    (List.length selected) cores;
+  let phases = Obs.Runtime.phases () in
+  let rows =
+    List.map
+      (fun t ->
+        Obs.Runtime.phase phases t.tname @@ fun () ->
+        let f =
+          try t.prepare ~cores
+          with Invalid_argument m ->
+            Fmt.epr "wavefront: %s: %s@." t.tname m;
+            exit 2
+        in
+        (t, Obs.Runtime.measure_alloc ~iterations:t.titerations f))
+      selected
+  in
+  let breaches =
+    List.filter
+      (fun (t, (a : Obs.Runtime.alloc)) -> a.minor_words_per_iter > t.budget)
+      rows
+  in
+  List.iter
+    (fun (t, (a : Obs.Runtime.alloc)) ->
+      let ok = a.minor_words_per_iter <= t.budget in
+      Fmt.pr "@[<v>%-13s %s@,%-13s %a@,%-13s budget %g words/iter: %s@]@."
+        t.tname t.tdoc "" Obs.Runtime.pp_alloc a "" t.budget
+        (if ok then "within budget" else "EXCEEDED"))
+    rows;
+  Fmt.pr "runtime:@.%a@." Obs.Runtime.pp_report (Obs.Runtime.report phases);
+  let status = if breaches <> [] && assert_zero then 1 else 0 in
+  if breaches <> [] then
+    Fmt.pr "%d target(s) over budget%s@." (List.length breaches)
+      (if assert_zero then " (failing: --assert-zero-alloc)"
+       else " (reported only; gate with --assert-zero-alloc)");
+  Obs_ctx.finish
+    ~config:
+      (Fmt.str "%s|p%d"
+         (String.concat "," (List.map (fun (t, _) -> t.tname) rows))
+         cores)
+    ~kv:
+      (("exit_status", float_of_int status)
+      :: List.map
+           (fun (t, (a : Obs.Runtime.alloc)) ->
+             (t.tname ^ ".minor_words_per_iter", a.minor_words_per_iter))
+           rows)
+    ctx "telemetry";
+  if status <> 0 then exit status
+
+let telemetry_cmd =
+  let doc =
+    "Measure minor-heap allocation per evaluation of the serving-path \
+     units (the closed-form predictor, the batched engine's steady-state \
+     step, a full batched run) and gate them against pinned budgets"
+  in
+  let targets =
+    Arg.(value
+         & opt_all
+             (enum (List.map (fun t -> (t.tname, t.tname)) alloc_targets))
+             []
+         & info [ "target" ] ~docv:"T"
+             ~doc:
+               "Target to measure (repeatable): predictor, batched-step, \
+                batched-run or control-alloc. Default: the three \
+                contractual targets; control-alloc is a deliberately \
+                allocating closure that proves the gate can fail.")
+  in
+  let cores =
+    Arg.(value & opt int 4096
+         & info [ "p"; "cores" ] ~docv:"P"
+             ~doc:
+               "Core count of the model configuration and the batched \
+                steady-state grid (at least 9).")
+  in
+  let assert_zero =
+    Arg.(value & flag
+         & info [ "assert-zero-alloc" ]
+             ~doc:
+               "Exit 1 when any measured target exceeds its allocation \
+                budget (the CI gate; default reports without failing).")
+  in
+  Cmd.v (Cmd.info "telemetry" ~doc)
+    Term.(const telemetry $ targets $ cores $ assert_zero $ Obs_ctx.term)
+
+(* --- runs --- *)
+
+(* Reading the ledger other runs append to. Neither subcommand writes:
+   listing or diffing the record must not grow it. *)
+
+let runs_ledger_arg =
+  Arg.(value & opt (some string) None
+       & info [ "ledger" ] ~docv:"FILE"
+           ~doc:
+             (Fmt.str "Run-ledger file to read (default %s)."
+                Obs.Ledger.default_path))
+
+let load_ledger path =
+  match Obs.Ledger.load ?path () with
+  | Error m ->
+      Fmt.epr "wavefront: %s@." m;
+      exit 2
+  | Ok (records, skipped) ->
+      if skipped > 0 then
+        Fmt.epr "wavefront: ledger: skipped %d malformed line(s)@." skipped;
+      records
+
+let runs_list ledger last =
+  let records = load_ledger ledger in
+  let total = List.length records in
+  if total = 0 then
+    Fmt.pr "ledger %s is empty@."
+      (Option.value ledger ~default:Obs.Ledger.default_path)
+  else begin
+    let first_shown = if last <= 0 then 0 else max 0 (total - last) in
+    Fmt.pr "%4s  %-19s %-10s %-7s %-12s %9s  %s@." "#" "when" "subcommand"
+      "engine" "config" "duration" "git";
+    List.iteri
+      (fun i (r : Obs.Ledger.t) ->
+        if i >= first_shown then
+          let tm = Unix.localtime r.timestamp in
+          Fmt.pr "%4d  %04d-%02d-%02d %02d:%02d:%02d %-10s %-7s %-12s %8.2fs  %s@."
+            i (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+            tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec r.subcommand
+            (if r.engine = "" then "-" else r.engine)
+            (if r.config_hash = "" then "-" else r.config_hash)
+            r.duration_s
+            (if r.git = "" then "-" else r.git))
+      records;
+    if first_shown > 0 then
+      Fmt.pr "(%d earlier record(s) elided; -n 0 shows all)@." first_shown
+  end
+
+let runs_list_cmd =
+  let doc = "List the recorded invocations, oldest first" in
+  let last =
+    Arg.(value & opt int 20
+         & info [ "n"; "last" ] ~docv:"N"
+             ~doc:"Show only the last N records (0 = all; default 20).")
+  in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(const runs_list $ runs_ledger_arg $ last)
+
+let runs_compare ledger a b min_delta fail_on_regression =
+  let records = load_ledger ledger in
+  let total = List.length records in
+  let resolve label i =
+    let j = if i < 0 then total + i else i in
+    if j < 0 || j >= total then begin
+      Fmt.epr
+        "wavefront: %s index %d out of range (ledger has %d record(s); \
+         negative indices count from the end)@."
+        label i total;
+      exit 2
+    end;
+    List.nth records j
+  in
+  let base = resolve "BASE" a and current = resolve "CURRENT" b in
+  if
+    base.Obs.Ledger.subcommand <> current.Obs.Ledger.subcommand
+    || (base.config_hash <> "" && current.config_hash <> ""
+        && base.config_hash <> current.config_hash)
+  then
+    Fmt.pr
+      "note: comparing %s/%s against %s/%s — different work, deltas are \
+       apples to oranges@."
+      base.subcommand base.config_hash current.subcommand
+      current.config_hash;
+  let diffs = Obs.Ledger.compare_runs ?min_delta_pct:min_delta base current in
+  List.iter (fun d -> Fmt.pr "%a@." Obs.Ledger.pp_diff d) diffs;
+  let regressed = Obs.Ledger.regressions diffs in
+  if regressed = [] then Fmt.pr "no regressions@."
+  else begin
+    Fmt.pr "%d regression(s)@." (List.length regressed);
+    if fail_on_regression then exit 1
+  end
+
+let runs_compare_cmd =
+  let doc =
+    "Diff two ledger records metric by metric and flag regressions \
+     beyond the noise threshold"
+  in
+  let base =
+    Arg.(required & pos 0 (some int) None
+         & info [] ~docv:"BASE"
+             ~doc:"Baseline record index (negative counts from the end).")
+  in
+  let current =
+    Arg.(required & pos 1 (some int) None
+         & info [] ~docv:"CURRENT"
+             ~doc:"Current record index (negative counts from the end).")
+  in
+  let min_delta =
+    Arg.(value & opt (some float) None
+         & info [ "min-delta-pct" ] ~docv:"PCT"
+             ~doc:"Noise threshold; moves under it are Unchanged \
+                   (default 5%).")
+  in
+  let fail_on_regression =
+    Arg.(value & flag
+         & info [ "fail-on-regression" ]
+             ~doc:
+               "Exit 1 when any metric regressed (default: report and \
+                exit 0, the soft CI gate).")
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const runs_compare $ runs_ledger_arg $ base $ current $ min_delta
+          $ fail_on_regression)
+
+let runs_cmd =
+  let doc =
+    "Inspect the run ledger: list recorded invocations, diff two of them"
+  in
+  Cmd.group (Cmd.info "runs" ~doc) [ runs_list_cmd; runs_compare_cmd ]
 
 (* --- main --- *)
 
@@ -1152,4 +1712,5 @@ let () =
        (Cmd.group ~default info
           [ predict_cmd; explain_cmd; simulate_cmd; validate_cmd; report_cmd;
             profile_cmd; perturb_cmd; recover_cmd; timeline_cmd; idlewave_cmd;
-            bench_cmd; figure_cmd; scale_cmd; fit_cmd; measure_cmd ]))
+            bench_cmd; figure_cmd; scale_cmd; fit_cmd; measure_cmd;
+            telemetry_cmd; runs_cmd ]))

@@ -235,6 +235,136 @@ let components app cfg =
   let computation = time_per_iteration app comp_cfg in
   { total; computation; communication = total -. computation }
 
+(* --- The allocation-free evaluator --- *)
+
+(* The serving path: the same (r1a)-(r5) arithmetic as [iteration], with
+   everything a repeated evaluation would re-derive hoisted into [create]
+   and every intermediate kept in preallocated unboxed storage, so [run]
+   allocates zero minor words per call (pinned by the telemetry gate; the
+   compiler here is classic ocamlopt, so any record, closure or boxed
+   cross-module float return in the loop would show up immediately).
+
+   The hoist that makes the recurrence loop pure float-array arithmetic:
+   [Cmp.link_locality] of an E link depends only on the source column and
+   of an S link only on the source row (the node rectangle tiles the
+   grid), so the four (r2b) communication terms collapse into per-column
+   and per-row tables probed once at build time. *)
+module Eval = struct
+  type out = {
+    mutable t_diagfill : float;
+    mutable t_fullfill : float;
+    mutable t_iteration : float;
+  }
+
+  type nonrec t = {
+    cols : int;
+    rows : int;
+    w : float;
+    w_pre : float;
+    (* (r2b) terms per link: E-link out of column i, S-link out of row j. *)
+    ew_total : float array;  (* .(i), i in 1..cols-1 *)
+    ew_send : float array;
+    ns_total : float array;  (* .(j), j in 1..rows-1 *)
+    ns_recv : float array;
+    start : float array;  (* the StartP scratch, reused every run *)
+    ndiag : float;
+    nfull : float;
+    stack_term : float;  (* nsweeps * t_stack, constant per config *)
+    t_nonwavefront : float;
+    out : out;
+    base : result;  (* constant result fields for [result] *)
+  }
+
+  let create (app : App_params.t) cfg =
+    let r = iteration app cfg in
+    let pg = cfg.pgrid in
+    let cols = pg.Proc_grid.cols and rows = pg.Proc_grid.rows in
+    let locality src dir = Cmp.link_locality cfg.cmp ~src dir in
+    let ew_total = Array.make (max 1 cols) 0.0 in
+    let ew_send = Array.make (max 1 cols) 0.0 in
+    for i = 1 to cols - 1 do
+      let loc = locality (i, 1) Cmp.E in
+      ew_total.(i) <- Comm.total cfg.platform loc r.msg_ew;
+      ew_send.(i) <- Comm.send cfg.platform loc r.msg_ew
+    done;
+    let ns_total = Array.make (max 1 rows) 0.0 in
+    let ns_recv = Array.make (max 1 rows) 0.0 in
+    for j = 1 to rows - 1 do
+      let loc = locality (1, j) Cmp.S in
+      ns_total.(j) <- Comm.total cfg.platform loc r.msg_ns;
+      ns_recv.(j) <- Comm.receive cfg.platform loc r.msg_ns
+    done;
+    let c = App_params.counts app in
+    {
+      cols;
+      rows;
+      w = r.w;
+      w_pre = r.w_pre;
+      ew_total;
+      ew_send;
+      ns_total;
+      ns_recv;
+      start = Array.make (cols * rows) 0.0;
+      ndiag = float_of_int c.ndiag;
+      nfull = float_of_int c.nfull;
+      stack_term = float_of_int c.nsweeps *. r.t_stack;
+      t_nonwavefront = r.t_nonwavefront;
+      out = { t_diagfill = 0.0; t_fullfill = 0.0; t_iteration = 0.0 };
+      base = r;
+    }
+
+  let run e =
+    let cols = e.cols and rows = e.rows in
+    let start = e.start in
+    let ewt = e.ew_total and ews = e.ew_send in
+    let nst = e.ns_total and nsr = e.ns_recv in
+    let w = e.w in
+    for j = 1 to rows do
+      let base = (j - 1) * cols in
+      for i = 1 to cols do
+        if i = 1 && j = 1 then start.(0) <- e.w_pre (* r2a *)
+        else begin
+          let fw =
+            if i = 1 then neg_infinity
+            else
+              start.(base + i - 2) +. w +. ewt.(i - 1)
+              +. (if j = 1 then 0.0 else nsr.(j - 1))
+          in
+          let fn =
+            if j = 1 then neg_infinity
+            else
+              start.(base - cols + i - 1)
+              +. w
+              +. (if i = cols then 0.0 else ews.(i))
+              +. nst.(j - 1)
+          in
+          (* plain compare, not [Float.max]: neither side is ever nan or
+             -0., and the call would box its float arguments *)
+          start.(base + i - 1) <- (if fw >= fn then fw else fn)
+        end
+      done
+    done;
+    let o = e.out in
+    o.t_diagfill <- start.((rows - 1) * cols);
+    o.t_fullfill <- start.((rows * cols) - 1);
+    o.t_iteration <-
+      (e.ndiag *. o.t_diagfill)
+      +. (e.nfull *. o.t_fullfill)
+      +. e.stack_term +. e.t_nonwavefront
+
+  let t_iteration e = e.out.t_iteration
+  let t_diagfill e = e.out.t_diagfill
+  let t_fullfill e = e.out.t_fullfill
+
+  let result e =
+    {
+      e.base with
+      t_diagfill = e.out.t_diagfill;
+      t_fullfill = e.out.t_fullfill;
+      t_iteration = e.out.t_iteration;
+    }
+end
+
 let pp_result ppf r =
   Fmt.pf ppf
     "@[<v>W=%a Wpre=%a msgs EW=%dB NS=%dB@,Tdiagfill=%a Tfullfill=%a \

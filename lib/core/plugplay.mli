@@ -77,3 +77,27 @@ val components : App_params.t -> config -> components
 
 val zero_comm_platform : Loggp.Params.t -> Loggp.Params.t
 val pp_result : result Fmt.t
+
+(** The allocation-free evaluator for the serving path: [create] hoists
+    every configuration-dependent term ((r1) work, the per-column /
+    per-row (r2b) communication tables, the constant (r4)/(r5) pieces)
+    and preallocates the StartP scratch; [run] then re-executes the full
+    pipeline-fill recurrence with zero minor-heap allocation per call
+    (the telemetry gate pins it at exactly 0 words). [run] agrees with
+    {!iteration} to the last bit; results are read through the
+    accessors after a [run]. Not synchronized: one evaluator per
+    domain. *)
+module Eval : sig
+  type t
+
+  val create : App_params.t -> config -> t
+  val run : t -> unit
+
+  val t_iteration : t -> float
+  val t_diagfill : t -> float
+  val t_fullfill : t -> float
+
+  val result : t -> result
+  (** The full {!result} of the last [run] (allocates; call it outside
+      any measured window). *)
+end

@@ -17,22 +17,10 @@ type case = {
 
 (* Peak resident set of this process (VmHWM), MB; 0 where /proc is
    unavailable. The big-run cases dominate it, so recording it next to
-   their wall-clock pins the batched engine's memory envelope too. *)
-let peak_rss_mb () =
-  match open_in "/proc/self/status" with
-  | exception Sys_error _ -> 0
-  | ic ->
-      let rec go () =
-        match input_line ic with
-        | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
-            (try Scanf.sscanf line "VmHWM: %d kB" (fun kb -> kb / 1024)
-             with Scanf.Scan_failure _ | Failure _ | End_of_file -> 0)
-        | _ -> go ()
-        | exception End_of_file -> 0
-      in
-      let r = go () in
-      close_in ic;
-      r
+   their wall-clock pins the batched engine's memory envelope too. The
+   reader itself now lives in [Obs.Runtime] (every telemetry consumer
+   shares it); this alias keeps the bench suite's surface unchanged. *)
+let peak_rss_mb = Obs.Runtime.peak_rss_mb
 
 (* How many domains the sharded scale case uses on this host — recorded
    in the report metadata so a baseline from a 1-core CI runner is not

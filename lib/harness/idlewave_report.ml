@@ -25,6 +25,8 @@ type t = {
   timeline : Obs.Timeline.t;  (** perturbed simulator run *)
   identity : bool;  (** perturbed sim and dataflow timelines identical *)
   reconcile : Table.t;
+  runtime : (string * Obs.Runtime.delta) list;
+      (** host-side cost of producing this report, per phase *)
 }
 
 let waves_of (app : App_params.t) =
@@ -42,6 +44,9 @@ let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
     ?(capacity = Obs.Tracer.default_capacity) (cfg : Plugplay.config)
     (app : App_params.t) (spec : Perturb.Spec.t) =
   let waves = waves_of app in
+  (* Host-side runtime cost per stage (no tracer attach: runtime spans
+     are wall-clock nondeterministic, the timelines are simulated time). *)
+  let phases = Obs.Runtime.phases () in
   let timeline_of tr =
     Obs.Timeline.of_spans ~dropped:(Obs.Tracer.dropped tr) ~waves
       (Obs.Tracer.spans tr)
@@ -53,8 +58,11 @@ let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
     ignore (Engine.observed_run ~model_bus ?perturb ~obs:tr engine cfg app);
     timeline_of tr
   in
-  let timeline_base = sim_pair None in
-  let timeline = sim_pair (Some spec) in
+  let timeline_base, timeline =
+    Obs.Runtime.phase phases "simulate" (fun () ->
+        let base = sim_pair None in
+        (base, sim_pair (Some spec)))
+  in
   (* Timed dataflow pair: the analytic term schedule under the same spec. *)
   let costs = Wrun.Costs.loggp ~cmp:cfg.cmp cfg.platform cfg.pgrid app in
   let df_pair perturb =
@@ -62,8 +70,11 @@ let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
     ignore (Wrun.Dataflow.run ?perturb ~costs ~obs:tr cfg.pgrid app);
     timeline_of tr
   in
-  let df_base = df_pair None in
-  let df = df_pair (Some spec) in
+  let df_base, df =
+    Obs.Runtime.phase phases "dataflow" (fun () ->
+        let base = df_pair None in
+        (base, df_pair (Some spec)))
+  in
   (* Hop distance between ranks: the wavefront-diagonal difference, which
      on a chain is just the rank difference. *)
   let diag r =
@@ -74,28 +85,32 @@ let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
   (* Optional real pair, one domain per rank. *)
   let real_detect =
     if not real then None
-    else begin
-      let htile = max 1 (int_of_float app.htile) in
-      let plan perturb =
-        Kernels.Sweep_exec.plan ?perturb ~htile ~schedule:app.schedule
-          ~nonwavefront:app.nonwavefront app.grid cfg.pgrid
-      in
-      let run_pair perturb =
-        let trs =
-          Array.init (Proc_grid.cores cfg.pgrid) (fun _ ->
-              Obs.Tracer.create ~capacity ())
-        in
-        ignore (Kernels.Sweep_exec.run ~obs:trs (plan perturb));
-        let dropped =
-          Array.fold_left (fun a tr -> a + Obs.Tracer.dropped tr) 0 trs
-        in
-        Obs.Timeline.of_spans ~dropped ~waves (Obs.Tracer.merge trs)
-      in
-      let base = run_pair None in
-      let perturbed = run_pair (Some spec) in
-      Some (Obs.Idle_wave.detect ~baseline:base ~distance perturbed)
-    end
+    else
+      Obs.Runtime.phase phases "real" (fun () ->
+          let htile = max 1 (int_of_float app.htile) in
+          let plan perturb =
+            Kernels.Sweep_exec.plan ?perturb ~htile ~schedule:app.schedule
+              ~nonwavefront:app.nonwavefront app.grid cfg.pgrid
+          in
+          let run_pair perturb =
+            let trs =
+              Array.init (Proc_grid.cores cfg.pgrid) (fun _ ->
+                  Obs.Tracer.create ~capacity ())
+            in
+            ignore (Kernels.Sweep_exec.run ~obs:trs (plan perturb));
+            let dropped =
+              Array.fold_left (fun a tr -> a + Obs.Tracer.dropped tr) 0 trs
+            in
+            Obs.Timeline.of_spans ~dropped ~waves (Obs.Tracer.merge trs)
+          in
+          let base = run_pair None in
+          let perturbed = run_pair (Some spec) in
+          Some (Obs.Idle_wave.detect ~baseline:base ~distance perturbed))
   in
+  (* Detection and reconciliation are one analyze phase; the record is
+     patched with the runtime section once the phase has closed. *)
+  let report =
+    Obs.Runtime.phase phases "analyze" @@ fun () ->
   let sim_detect =
     Obs.Idle_wave.detect ~baseline:timeline_base ~distance timeline
   in
@@ -183,7 +198,10 @@ let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
     timeline;
     identity;
     reconcile;
+    runtime = [];
   }
+  in
+  { report with runtime = Obs.Runtime.report phases }
 
 (* Relative disagreement between the analytic hop cost and the fitted
    one on the simulator, when both exist. *)
@@ -224,7 +242,8 @@ let pp ppf t =
     "perturbed wait by rank x wave (O origin, > front leading edge):@.";
   Obs.Timeline.render ~metric:Obs.Timeline.Wait
     ~mark:(fun ~rank ~col -> Obs.Idle_wave.mark t.sim ~rank ~col)
-    ppf t.timeline
+    ppf t.timeline;
+  Format.fprintf ppf "@.runtime:@.%a@." Obs.Runtime.pp_report t.runtime
 
 let detect_json (d : Obs.Idle_wave.t) =
   let b = Buffer.create 256 in

@@ -22,6 +22,9 @@ type t = {
   identity : bool;
       (** perturbed simulator and dataflow timelines equal within 1e-6 *)
   reconcile : Table.t;
+  runtime : (string * Obs.Runtime.delta) list;
+      (** host-side cost of producing this report (GC, CPU, RSS) per
+          stage: simulate / dataflow / real / analyze *)
 }
 
 val run :

@@ -24,6 +24,8 @@ type t = {
   timeline : Obs.Timeline.t;
       (** perturbed run; compared against [timeline_base] the heatmaps show
           where injected delay was absorbed vs propagated *)
+  runtime : (string * Obs.Runtime.delta) list;
+      (** host-side cost of producing this report, per phase *)
 }
 
 (* Count and total duration of the spans with this name. *)
@@ -38,11 +40,25 @@ let dash = "-"
 let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
     ?(capacity = Obs.Tracer.default_capacity) (cfg : Plugplay.config)
     (app : App_params.t) (spec : Perturb.Spec.t) =
-  let estimate = Perturb.Estimate.iteration app cfg spec in
+  (* Host-side runtime cost per stage (no tracer attach: runtime spans
+     are wall-clock nondeterministic, the timelines are simulated time). *)
+  let phases = Obs.Runtime.phases () in
+  let estimate =
+    Obs.Runtime.phase phases "estimate" (fun () ->
+        Perturb.Estimate.iteration app cfg spec)
+  in
   let obs_base = Obs.Tracer.create ~capacity () in
-  let sim_base = Engine.observed_run ~model_bus ~obs:obs_base engine cfg app in
   let obs = Obs.Tracer.create ~capacity () in
-  let sim = Engine.observed_run ~model_bus ~perturb:spec ~obs engine cfg app in
+  let sim_base, sim =
+    Obs.Runtime.phase phases "simulate" (fun () ->
+        let sim_base =
+          Engine.observed_run ~model_bus ~obs:obs_base engine cfg app
+        in
+        let sim =
+          Engine.observed_run ~model_bus ~perturb:spec ~obs engine cfg app
+        in
+        (sim_base, sim))
+  in
   let spans = Obs.Tracer.spans obs in
   let waves =
     Sweeps.Schedule.nsweeps app.schedule
@@ -51,25 +67,32 @@ let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
   let timeline_of tr sp =
     Obs.Timeline.of_spans ~dropped:(Obs.Tracer.dropped tr) ~waves sp
   in
-  let timeline_base = timeline_of obs_base (Obs.Tracer.spans obs_base) in
-  let timeline = timeline_of obs spans in
-  let dataflow = Wrun.Dataflow.run ~perturb:spec cfg.pgrid app in
+  let dataflow =
+    Obs.Runtime.phase phases "dataflow" (fun () ->
+        Wrun.Dataflow.run ~perturb:spec cfg.pgrid app)
+  in
   let real_result =
     if not real then None
-    else begin
-      let htile = max 1 (int_of_float app.htile) in
-      let base_plan =
-        Kernels.Sweep_exec.plan ~htile ~schedule:app.schedule
-          ~nonwavefront:app.nonwavefront app.grid cfg.pgrid
-      in
-      let base = Kernels.Sweep_exec.run base_plan in
-      let perturbed =
-        Kernels.Sweep_exec.run_resilient
-          { base_plan with perturb = Some spec }
-      in
-      Some (base, perturbed)
-    end
+    else
+      Obs.Runtime.phase phases "real" (fun () ->
+          let htile = max 1 (int_of_float app.htile) in
+          let base_plan =
+            Kernels.Sweep_exec.plan ~htile ~schedule:app.schedule
+              ~nonwavefront:app.nonwavefront app.grid cfg.pgrid
+          in
+          let base = Kernels.Sweep_exec.run base_plan in
+          let perturbed =
+            Kernels.Sweep_exec.run_resilient
+              { base_plan with perturb = Some spec }
+          in
+          Some (base, perturbed))
   in
+  (* The rest is analysis of the collected data; the record is patched
+     with the runtime section once the phase has closed. *)
+  let report =
+    Obs.Runtime.phase phases "analyze" @@ fun () ->
+  let timeline_base = timeline_of obs_base (Obs.Tracer.spans obs_base) in
+  let timeline = timeline_of obs spans in
   let real_base_t =
     Option.map (fun ((b : Kernels.Sweep_exec.outcome), _) -> b.wall_time)
       real_result
@@ -163,7 +186,10 @@ let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
     real = real_result;
     timeline_base;
     timeline;
+    runtime = [];
   }
+  in
+  { report with runtime = Obs.Runtime.report phases }
 
 (* Exit discipline shared with `wavefront recover`: 0 clean, 3 degraded
    (completed, but mismatching or leaking messages), 4 when ranks died —
@@ -193,4 +219,5 @@ let pp ppf t =
   Format.fprintf ppf "unperturbed wait by rank x wave:@.";
   Obs.Timeline.render ~metric:Obs.Timeline.Wait ppf t.timeline_base;
   Format.fprintf ppf "@.perturbed wait by rank x wave:@.";
-  Obs.Timeline.render ~metric:Obs.Timeline.Wait ppf t.timeline
+  Obs.Timeline.render ~metric:Obs.Timeline.Wait ppf t.timeline;
+  Format.fprintf ppf "@.runtime:@.%a@." Obs.Runtime.pp_report t.runtime

@@ -23,6 +23,9 @@ type t = {
   timeline : Obs.Timeline.t;
       (** perturbed run; against [timeline_base] the wait heatmaps show
           where injected delay was absorbed vs propagated *)
+  runtime : (string * Obs.Runtime.delta) list;
+      (** host-side cost of producing this report (GC, CPU, RSS) per
+          stage: estimate / simulate / dataflow / real / analyze *)
 }
 
 val run :

@@ -22,6 +22,8 @@ type t = {
   divergence : Divergence.t;
       (** model error attributed wave-by-wave against the analytic term
           schedule *)
+  runtime : (string * Obs.Runtime.delta) list;
+      (** host-side cost of producing this report, per phase *)
 }
 
 let count m name =
@@ -72,43 +74,61 @@ let share v = Printf.sprintf "%.1f%%" (100.0 *. v)
 
 let run ?(real = false) ?(capacity = Obs.Tracer.default_capacity)
     (cfg : Plugplay.config) (app : App_params.t) =
+  (* Host-side runtime cost of each stage, for the report's runtime
+     section. No tracer is attached: runtime spans are wall-clock
+     nondeterministic and would pollute the simulated-time timelines. *)
+  let phases = Obs.Runtime.phases () in
   let metrics = Obs.Metrics.create () in
   (* Model side: closed form (r5) plus the dataflow evaluator. *)
-  let r = Predictor.record_breakdown metrics app cfg in
-  let c = Plugplay.components app cfg in
-  let t_dataflow = Pipeline_model.record_iteration metrics app cfg in
+  let r, c, t_dataflow =
+    Obs.Runtime.phase phases "model" (fun () ->
+        let r = Predictor.record_breakdown metrics app cfg in
+        let c = Plugplay.components app cfg in
+        let t_dataflow = Pipeline_model.record_iteration metrics app cfg in
+        (r, c, t_dataflow))
+  in
   (* Simulator side, with spans stamped in simulated time and the message
      trace kept for exact dependency edges. *)
   let machine = Xtsim.Machine.v ~cmp:cfg.cmp cfg.platform cfg.pgrid in
   let obs = Obs.Tracer.create ~capacity () in
   let trace = Xtsim.Trace.create ~capacity () in
-  let sim = Xtsim.Wavefront_sim.run ~trace ~obs ~metrics machine app in
+  let sim =
+    Obs.Runtime.phase phases "simulate" (fun () ->
+        Xtsim.Wavefront_sim.run ~trace ~obs ~metrics machine app)
+  in
   let sim_spans = Obs.Tracer.spans obs in
   (* Optional real run on one domain per rank. *)
   let real_result =
     if not real then None
-    else begin
-      let htile = max 1 (int_of_float app.htile) in
-      let plan =
-        Kernels.Sweep_exec.plan ~htile ~schedule:app.schedule
-          ~nonwavefront:app.nonwavefront app.grid cfg.pgrid
-      in
-      let trs =
-        Array.init (Proc_grid.cores cfg.pgrid) (fun _ ->
-            Obs.Tracer.create ~capacity ())
-      in
-      let out = Kernels.Sweep_exec.run ~obs:trs plan in
-      Obs.Metrics.set (Obs.Metrics.gauge metrics "real.wall_time") out.wall_time;
-      let spans = Obs.Tracer.merge trs in
-      let dropped =
-        Array.fold_left (fun a tr -> a + Obs.Tracer.dropped tr) 0 trs
-      in
-      Some (out, spans, dropped)
-    end
+    else
+      Obs.Runtime.phase phases "real" (fun () ->
+          let htile = max 1 (int_of_float app.htile) in
+          let plan =
+            Kernels.Sweep_exec.plan ~htile ~schedule:app.schedule
+              ~nonwavefront:app.nonwavefront app.grid cfg.pgrid
+          in
+          let trs =
+            Array.init (Proc_grid.cores cfg.pgrid) (fun _ ->
+                Obs.Tracer.create ~capacity ())
+          in
+          let out = Kernels.Sweep_exec.run ~obs:trs plan in
+          Obs.Metrics.set
+            (Obs.Metrics.gauge metrics "real.wall_time")
+            out.wall_time;
+          let spans = Obs.Tracer.merge trs in
+          let dropped =
+            Array.fold_left (fun a tr -> a + Obs.Tracer.dropped tr) 0 trs
+          in
+          Some (out, spans, dropped))
   in
   let real_dropped =
     match real_result with Some (_, _, d) -> d | None -> 0
   in
+  (* Everything below is pure analysis of the collected data — one
+     phase; the record is assembled inside it with an empty runtime
+     section and patched once the phase has closed. *)
+  let report =
+    Obs.Runtime.phase phases "analyze" @@ fun () ->
   (* Model vs simulated vs real. The real kernel computes with its own Wg,
      so its wall time is only comparable when the model was given a
      measured Wg (wavefront measure-wg); the share row compares shape
@@ -246,7 +266,10 @@ let run ?(real = false) ?(capacity = Obs.Tracer.default_capacity)
     real_dropped;
     timeline;
     divergence;
+    runtime = [];
   }
+  in
+  { report with runtime = Obs.Runtime.report phases }
 
 let trace_json t = Obs.Chrome_trace.to_json t.processes
 
@@ -261,5 +284,7 @@ let pp ppf t =
   Obs.Timeline.render ~metric:Obs.Timeline.Wait ppf t.timeline;
   Format.pp_print_newline ppf ();
   Divergence.pp ppf t.divergence;
+  Format.pp_print_newline ppf ();
+  Format.fprintf ppf "runtime:@.%a@." Obs.Runtime.pp_report t.runtime;
   Format.pp_print_newline ppf ();
   Format.fprintf ppf "metrics:@.%a" Obs.Metrics.pp t.metrics

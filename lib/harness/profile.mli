@@ -24,6 +24,9 @@ type t = {
   divergence : Divergence.t;
       (** the model's error attributed wave-by-wave against the analytic
           term schedule *)
+  runtime : (string * Obs.Runtime.delta) list;
+      (** host-side cost of producing this report (GC, CPU, RSS) per
+          stage: model / simulate / real / analyze *)
 }
 
 val run : ?real:bool -> ?capacity:int -> Plugplay.config -> App_params.t -> t

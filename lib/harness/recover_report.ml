@@ -36,6 +36,8 @@ type t = {
   sim : Xtsim.Wavefront_sim.outcome;
   dataflow : Wrun.Dataflow.outcome;
   real : real_result option;
+  runtime : (string * Obs.Runtime.delta) list;
+      (** host-side cost of producing this report, per phase *)
 }
 
 (* Summed duration of the spans with this name, globally and as the
@@ -100,6 +102,8 @@ let interval_table ~policy ~optimal ~waves ~wave_cost ~failures =
 let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
     ?(tolerance = 0.05) ?(capacity = Obs.Tracer.default_capacity) ~policy
     (cfg : Plugplay.config) (app : App_params.t) (spec : Perturb.Spec.t) =
+  (* Host-side runtime cost per stage, for the report's runtime section. *)
+  let phases = Obs.Runtime.phases () in
   let r = Plugplay.iteration app cfg in
   let wave_cost = r.w +. r.w_pre in
   let ntiles = Wgrid.Tile.ntiles_int ~nz:app.grid.nz ~htile:app.htile in
@@ -112,18 +116,22 @@ let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
         if f.after_tiles < waves then Some f.after_tiles else None)
       spec.failures
   in
-  let predicted =
-    Perturb.Recover.deterministic_term policy ~waves ~wave_cost ~fail_waves
+  let predicted, optimal =
+    Obs.Runtime.phase phases "model" (fun () ->
+        ( Perturb.Recover.deterministic_term policy ~waves ~wave_cost
+            ~fail_waves,
+          Perturb.Recover.optimal_interval ~waves ~wave_cost
+            ~failures:(List.length fail_waves) ~ckpt_cost:policy.ckpt_cost ))
   in
-  let optimal =
-    Perturb.Recover.optimal_interval ~waves ~wave_cost
-      ~failures:(List.length fail_waves) ~ckpt_cost:policy.ckpt_cost
-  in
-  let sim_base = Engine.observed_run ~model_bus engine cfg app in
   let obs = Obs.Tracer.create ~capacity () in
-  let sim =
-    Engine.observed_run ~model_bus ~perturb:spec ~recover:policy ~obs engine
-      cfg app
+  let sim_base, sim =
+    Obs.Runtime.phase phases "simulate" (fun () ->
+        let sim_base = Engine.observed_run ~model_bus engine cfg app in
+        let sim =
+          Engine.observed_run ~model_bus ~perturb:spec ~recover:policy ~obs
+            engine cfg app
+        in
+        (sim_base, sim))
   in
   let spans = Obs.Tracer.spans obs in
   let simulated =
@@ -135,28 +143,33 @@ let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
   in
   let within_tolerance = close ~tolerance predicted.total simulated.total in
   let dataflow =
-    Wrun.Dataflow.run ~perturb:spec ~recover:policy cfg.pgrid app
+    Obs.Runtime.phase phases "dataflow" (fun () ->
+        Wrun.Dataflow.run ~perturb:spec ~recover:policy cfg.pgrid app)
   in
   let real_result =
     if not real then None
-    else begin
-      let htile = max 1 (int_of_float app.htile) in
-      let plan =
-        Kernels.Sweep_exec.plan ~htile ~schedule:app.schedule
-          ~nonwavefront:app.nonwavefront ~perturb:spec app.grid cfg.pgrid
-      in
-      let outcome = Kernels.Sweep_exec.run_recoverable ~policy plan in
-      let matches =
-        match outcome with
-        | Kernels.Sweep_exec.Recovered (o, _) ->
-            Some
-              (Kernels.Sweep_exec.gather plan o.blocks
-              = Kernels.Sweep_exec.run_sequential plan)
-        | Unrecovered _ -> None
-      in
-      Some { outcome; matches }
-    end
+    else
+      Obs.Runtime.phase phases "real" (fun () ->
+          let htile = max 1 (int_of_float app.htile) in
+          let plan =
+            Kernels.Sweep_exec.plan ~htile ~schedule:app.schedule
+              ~nonwavefront:app.nonwavefront ~perturb:spec app.grid cfg.pgrid
+          in
+          let outcome = Kernels.Sweep_exec.run_recoverable ~policy plan in
+          let matches =
+            match outcome with
+            | Kernels.Sweep_exec.Recovered (o, _) ->
+                Some
+                  (Kernels.Sweep_exec.gather plan o.blocks
+                  = Kernels.Sweep_exec.run_sequential plan)
+            | Unrecovered _ -> None
+          in
+          Some { outcome; matches })
   in
+  (* The rest is analysis of the collected data; the record is patched
+     with the runtime section once the phase has closed. *)
+  let report =
+    Obs.Runtime.phase phases "analyze" @@ fun () ->
   let ranks = Wgrid.Proc_grid.cores cfg.pgrid in
   let per_rank_ckpts =
     Perturb.Recover.checkpoints ~interval:policy.interval ~waves
@@ -261,7 +274,10 @@ let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
     sim;
     dataflow;
     real = real_result;
+    runtime = [];
   }
+  in
+  { report with runtime = Obs.Runtime.report phases }
 
 (* Exit discipline shared with `wavefront perturb`: 0 clean, 3 degraded
    (completed, but out of tolerance / mismatched / leaking messages), 4
@@ -291,4 +307,5 @@ let exit_status t =
 let pp ppf t =
   Table.render ppf t.compare;
   Format.pp_print_newline ppf ();
-  Table.render ppf t.intervals
+  Table.render ppf t.intervals;
+  Format.fprintf ppf "@.runtime:@.%a@." Obs.Runtime.pp_report t.runtime

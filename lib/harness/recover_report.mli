@@ -32,6 +32,9 @@ type t = {
   sim : Xtsim.Wavefront_sim.outcome;  (** perturbed, recovery armed *)
   dataflow : Wrun.Dataflow.outcome;
   real : real_result option;
+  runtime : (string * Obs.Runtime.delta) list;
+      (** host-side cost of producing this report (GC, CPU, RSS) per
+          stage: model / simulate / dataflow / real / analyze *)
 }
 
 val run :

@@ -15,6 +15,8 @@ type t = {
   divergence : Divergence.t;
   sim : Xtsim.Wavefront_sim.outcome;
   t_iteration : float;
+  runtime : (string * Obs.Runtime.delta) list;
+      (** host-side cost of producing this report, per phase *)
 }
 
 let waves_of (app : App_params.t) =
@@ -25,47 +27,73 @@ let run ?(real = false) ?(model_bus = true) ?(engine = Engine.Event)
     ?(capacity = Obs.Tracer.default_capacity) (cfg : Plugplay.config)
     (app : App_params.t) =
   let waves = waves_of app in
+  (* Host-side runtime cost per stage (no tracer attach: runtime spans
+     are wall-clock nondeterministic, the timelines are simulated time). *)
+  let phases = Obs.Runtime.phases () in
   (* Observed side: the selected engine with wave-tagged spans. *)
   let obs = Obs.Tracer.create ~capacity () in
-  let sim = Engine.observed_run ~model_bus ~obs engine cfg app in
-  let observed =
-    Obs.Timeline.of_spans ~dropped:(Obs.Tracer.dropped obs) ~waves
-      (Obs.Tracer.spans obs)
+  let sim =
+    Obs.Runtime.phase phases "simulate" (fun () ->
+        Engine.observed_run ~model_bus ~obs engine cfg app)
   in
   (* Model side: the same program on the timed dataflow backend, clocks
      advanced by the analytic per-operation costs. *)
   let costs = Wrun.Costs.loggp ~cmp:cfg.cmp cfg.platform cfg.pgrid app in
   let model_tr = Obs.Tracer.create ~capacity () in
-  ignore (Wrun.Dataflow.run ~costs ~obs:model_tr cfg.pgrid app);
-  let model =
-    Obs.Timeline.of_spans ~dropped:(Obs.Tracer.dropped model_tr) ~waves
-      (Obs.Tracer.spans model_tr)
-  in
-  (* Optional real run, one domain per rank. *)
-  let real_tl =
+  Obs.Runtime.phase phases "model" (fun () ->
+      ignore (Wrun.Dataflow.run ~costs ~obs:model_tr cfg.pgrid app));
+  (* Optional real run, one domain per rank; reconstruction happens in
+     the analyze phase with the rest. *)
+  let real_raw =
     if not real then None
-    else begin
-      let htile = max 1 (int_of_float app.htile) in
-      let plan =
-        Kernels.Sweep_exec.plan ~htile ~schedule:app.schedule
-          ~nonwavefront:app.nonwavefront app.grid cfg.pgrid
-      in
-      let trs =
-        Array.init (Proc_grid.cores cfg.pgrid) (fun _ ->
-            Obs.Tracer.create ~capacity ())
-      in
-      ignore (Kernels.Sweep_exec.run ~obs:trs plan);
-      let dropped =
-        Array.fold_left (fun a tr -> a + Obs.Tracer.dropped tr) 0 trs
-      in
-      Some (Obs.Timeline.of_spans ~dropped ~waves (Obs.Tracer.merge trs))
-    end
+    else
+      Obs.Runtime.phase phases "real" (fun () ->
+          let htile = max 1 (int_of_float app.htile) in
+          let plan =
+            Kernels.Sweep_exec.plan ~htile ~schedule:app.schedule
+              ~nonwavefront:app.nonwavefront app.grid cfg.pgrid
+          in
+          let trs =
+            Array.init (Proc_grid.cores cfg.pgrid) (fun _ ->
+                Obs.Tracer.create ~capacity ())
+          in
+          ignore (Kernels.Sweep_exec.run ~obs:trs plan);
+          let dropped =
+            Array.fold_left (fun a tr -> a + Obs.Tracer.dropped tr) 0 trs
+          in
+          Some (trs, dropped))
   in
-  let t_iteration = Plugplay.time_per_iteration app cfg in
-  let divergence =
-    Divergence.analyze ~model ~observed ~t_iteration ~elapsed:sim.elapsed
+  let report =
+    Obs.Runtime.phase phases "analyze" @@ fun () ->
+    let observed =
+      Obs.Timeline.of_spans ~dropped:(Obs.Tracer.dropped obs) ~waves
+        (Obs.Tracer.spans obs)
+    in
+    let model =
+      Obs.Timeline.of_spans ~dropped:(Obs.Tracer.dropped model_tr) ~waves
+        (Obs.Tracer.spans model_tr)
+    in
+    let real_tl =
+      Option.map
+        (fun (trs, dropped) ->
+          Obs.Timeline.of_spans ~dropped ~waves (Obs.Tracer.merge trs))
+        real_raw
+    in
+    let t_iteration = Plugplay.time_per_iteration app cfg in
+    let divergence =
+      Divergence.analyze ~model ~observed ~t_iteration ~elapsed:sim.elapsed
+    in
+    {
+      observed;
+      model;
+      real = real_tl;
+      divergence;
+      sim;
+      t_iteration;
+      runtime = [];
+    }
   in
-  { observed; model; real = real_tl; divergence; sim; t_iteration }
+  { report with runtime = Obs.Runtime.report phases }
 
 let pp ?(metric = Obs.Timeline.Wait) ppf t =
   let heat title tl =
@@ -78,7 +106,8 @@ let pp ?(metric = Obs.Timeline.Wait) ppf t =
   (match t.real with
   | Some tl -> heat "real (shared-memory domains)" tl
   | None -> ());
-  Divergence.pp ppf t.divergence
+  Divergence.pp ppf t.divergence;
+  Format.fprintf ppf "@.runtime:@.%a@." Obs.Runtime.pp_report t.runtime
 
 (* One machine-readable document bundling the timelines and the
    attribution; the timelines embed their own schema ids. *)

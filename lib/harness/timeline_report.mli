@@ -13,6 +13,9 @@ type t = {
   divergence : Divergence.t;
   sim : Xtsim.Wavefront_sim.outcome;
   t_iteration : float;
+  runtime : (string * Obs.Runtime.delta) list;
+      (** host-side cost of producing this report (GC, CPU, RSS) per
+          stage: simulate / model / real / analyze *)
 }
 
 val run :

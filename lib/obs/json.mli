@@ -1,7 +1,9 @@
-(** An alias of {!Obs.Json} (the codec moved there so the run ledger can
-    share it); kept so benchmark-layer callers keep reading naturally. *)
+(** A minimal JSON value, printer and parser — just enough to round-trip
+    the benchmark report and run-ledger schemas without a JSON dependency.
+    Lives in [Obs] so both the ledger and the benchmark layer (which
+    depends on [Obs]) share one codec. *)
 
-type t = Obs.Json.t =
+type t =
   | Null
   | Bool of bool
   | Num of float

@@ -1,0 +1,204 @@
+(* The append-only run ledger. Writing must never fail a run (read-only
+   CWDs return Error, callers warn); reading skips malformed lines so one
+   interrupted write cannot poison the history. *)
+
+let schema = "wavefront-ledger/v1"
+let default_path = Filename.concat "_wavefront" "ledger.jsonl"
+
+type t = {
+  timestamp : float;
+  subcommand : string;
+  engine : string;
+  config_hash : string;
+  spec_digest : string;
+  git : string;
+  duration_s : float;
+  metrics : (string * float) list;
+  runtime : (string * float) list;
+}
+
+let v ?(engine = "") ?(config_hash = "") ?(spec_digest = "") ?(git = "")
+    ?(metrics = []) ?(runtime = []) ~timestamp ~duration_s subcommand =
+  {
+    timestamp;
+    subcommand;
+    engine;
+    config_hash;
+    spec_digest;
+    git;
+    duration_s;
+    metrics;
+    runtime;
+  }
+
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception _ -> ""
+  | ic -> (
+      let line = try input_line ic with End_of_file | Sys_error _ -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> line
+      | _ -> ""
+      | exception _ -> "")
+
+let to_json r =
+  let nums kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) kvs) in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("timestamp", Json.Num r.timestamp);
+      ("subcommand", Json.Str r.subcommand);
+      ("engine", Json.Str r.engine);
+      ("config_hash", Json.Str r.config_hash);
+      ("spec_digest", Json.Str r.spec_digest);
+      ("git", Json.Str r.git);
+      ("duration_s", Json.Num r.duration_s);
+      ("metrics", nums r.metrics);
+      ("runtime", nums r.runtime);
+    ]
+
+let to_json_line r = Json.to_string (to_json r)
+
+let of_json j =
+  let str name = Json.get_str name (Json.member name j) in
+  let num name = Json.get_num name (Json.member name j) in
+  let nums name =
+    match Json.member name j with
+    | Some (Json.Obj kvs) ->
+        List.map
+          (fun (k, v) ->
+            match v with
+            | Json.Num x -> (k, x)
+            | _ -> raise (Json.Parse_error ("non-number metric " ^ k)))
+          kvs
+    | _ -> raise (Json.Parse_error ("missing or non-object field " ^ name))
+  in
+  let s = str "schema" in
+  if s <> schema then raise (Json.Parse_error ("unknown schema " ^ s));
+  {
+    timestamp = num "timestamp";
+    subcommand = str "subcommand";
+    engine = str "engine";
+    config_hash = str "config_hash";
+    spec_digest = str "spec_digest";
+    git = str "git";
+    duration_s = num "duration_s";
+    metrics = nums "metrics";
+    runtime = nums "runtime";
+  }
+
+let of_json_line line =
+  match of_json (Json.of_string line) with
+  | r -> Ok r
+  | exception Json.Parse_error m -> Error m
+
+let append ?(path = default_path) r =
+  let dir = Filename.dirname path in
+  match
+    if dir <> "." && not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  with
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+      Error ("cannot create " ^ dir)
+  | () -> (
+      match
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+      with
+      | exception Sys_error m -> Error m
+      | oc ->
+          output_string oc (to_json_line r);
+          output_char oc '\n';
+          close_out oc;
+          Ok ())
+
+let load ?(path = default_path) () =
+  if not (Sys.file_exists path) then Ok ([], 0)
+  else
+    match open_in path with
+    | exception Sys_error m -> Error m
+    | ic ->
+        let recs = ref [] and skipped = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line = "" then ()
+             else
+               match of_json_line line with
+               | Ok r -> recs := r :: !recs
+               | Error _ -> incr skipped
+           done
+         with End_of_file -> ());
+        close_in ic;
+        Ok (List.rev !recs, !skipped)
+
+(* --- comparison --- *)
+
+type verdict = Regression | Improvement | Unchanged | Only_base | Only_current
+
+type diff = {
+  name : string;
+  base : float option;
+  current : float option;
+  delta_pct : float;
+  verdict : verdict;
+}
+
+(* "completed" (and dotted variants) counts successes: more is better.
+   Everything else the ledger records is a time, a count of work done, or
+   a resource figure — lower is better. *)
+let higher_is_better name =
+  let n = String.length name in
+  let suffix = "completed" in
+  let ns = String.length suffix in
+  n >= ns && String.sub name (n - ns) ns = suffix
+
+let judged_metrics r = ("duration_s", r.duration_s) :: r.metrics
+
+let compare_one ~min_delta_pct name base current =
+  match (base, current) with
+  | None, None -> assert false
+  | None, Some _ -> { name; base; current; delta_pct = nan; verdict = Only_current }
+  | Some _, None -> { name; base; current; delta_pct = nan; verdict = Only_base }
+  | Some b, Some c ->
+      let delta_pct =
+        if b = c then 0.0
+        else if b = 0.0 then (if c > 0.0 then infinity else neg_infinity)
+        else (c -. b) /. Float.abs b *. 100.0
+      in
+      let verdict =
+        if Float.is_nan b || Float.is_nan c then Unchanged
+        else if Float.abs delta_pct < min_delta_pct then Unchanged
+        else
+          let worse = if higher_is_better name then c < b else c > b in
+          if worse then Regression else Improvement
+      in
+      { name; base; current; delta_pct; verdict }
+
+let compare_runs ?(min_delta_pct = 5.0) base current =
+  let b = judged_metrics base and c = judged_metrics current in
+  let names =
+    List.map fst b
+    @ List.filter (fun n -> not (List.mem_assoc n b)) (List.map fst c)
+  in
+  List.map
+    (fun name ->
+      compare_one ~min_delta_pct name (List.assoc_opt name b)
+        (List.assoc_opt name c))
+    names
+
+let regressions diffs =
+  List.filter (fun d -> d.verdict = Regression) diffs
+
+let verdict_name = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+  | Unchanged -> "unchanged"
+  | Only_base -> "only in base"
+  | Only_current -> "only in current"
+
+let pp_diff ppf d =
+  let side = function
+    | Some v -> Printf.sprintf "%.6g" v
+    | None -> "-"
+  in
+  Format.fprintf ppf "%-32s %14s %14s %+8.1f%%  %s" d.name (side d.base)
+    (side d.current) d.delta_pct (verdict_name d.verdict)

@@ -1,0 +1,89 @@
+(** The persistent run ledger: one [wavefront-ledger/v1] JSONL record per
+    CLI invocation, appended to [_wavefront/ledger.jsonl], so runs can be
+    listed and diffed across invocations (the durable cross-run record
+    model reconciliation needs).
+
+    Record schema (one JSON object per line):
+    {v
+    { "schema": "wavefront-ledger/v1",
+      "timestamp": <unix seconds>,
+      "subcommand": "simulate", "engine": "batched",
+      "config_hash": "<12-hex digest of the resolved configuration>",
+      "spec_digest": "<md5 of --spec file, or \"\">",
+      "git": "<git describe --always --dirty, or \"\">",
+      "duration_s": 0.42,
+      "metrics": { "outcome.elapsed": ..., ... },
+      "runtime": { "runtime.minor_words": ..., ... } }
+    v} *)
+
+type t = {
+  timestamp : float;  (** unix seconds *)
+  subcommand : string;
+  engine : string;  (** [""] when the subcommand has no engine *)
+  config_hash : string;
+  spec_digest : string;  (** [""] when no spec file was given *)
+  git : string;  (** [""] when git is unavailable *)
+  duration_s : float;
+  metrics : (string * float) list;  (** key outcome numbers *)
+  runtime : (string * float) list;  (** {!Runtime.delta_kv} of the run *)
+}
+
+val schema : string
+(** ["wavefront-ledger/v1"]. *)
+
+val default_path : string
+(** ["_wavefront/ledger.jsonl"], relative to the working directory. *)
+
+val v :
+  ?engine:string ->
+  ?config_hash:string ->
+  ?spec_digest:string ->
+  ?git:string ->
+  ?metrics:(string * float) list ->
+  ?runtime:(string * float) list ->
+  timestamp:float ->
+  duration_s:float ->
+  string ->
+  t
+
+val git_describe : unit -> string
+(** [git describe --always --dirty] of the working directory; [""] when
+    git is missing, this is not a repository, or the subprocess fails. *)
+
+val to_json_line : t -> string
+(** One line, no trailing newline. *)
+
+val of_json_line : string -> (t, string) result
+
+val append : ?path:string -> t -> (unit, string) result
+(** Append one record to the ledger (creating the directory and file as
+    needed). Errors are returned, not raised — a read-only working
+    directory must not fail the run being recorded. *)
+
+val load : ?path:string -> unit -> (t list * int, string) result
+(** All parsable records in file order plus the count of skipped
+    (blank or malformed) lines. [Error] only when the file exists but
+    cannot be read; a missing ledger is [Ok ([], 0)]. *)
+
+(** {1 Cross-run comparison} *)
+
+type verdict = Regression | Improvement | Unchanged | Only_base | Only_current
+
+type diff = {
+  name : string;
+  base : float option;
+  current : float option;
+  delta_pct : float;  (** [nan] when only one side has the metric *)
+  verdict : verdict;
+}
+
+val compare_runs : ?min_delta_pct:float -> t -> t -> diff list
+(** [compare_runs base current]: metric-by-metric diff of [duration_s]
+    plus the outcome metrics of two records (runtime deltas are
+    informational and not judged). Moves
+    under [min_delta_pct] (default 5.0, the bench_stats gate threshold)
+    are [Unchanged]. Lower is better for every metric except those named
+    [*completed*], where a decrease regresses. *)
+
+val regressions : diff list -> diff list
+val pp_diff : Format.formatter -> diff -> unit

@@ -128,6 +128,34 @@ let quantile h q =
     Float.min h.maxv (Float.max h.minv mid)
   end
 
+(* Cumulative buckets for exposition formats. Only occupied buckets get
+   an entry (the geometric grid has ~347, almost all empty); cumulative
+   counts are monotone over any upper-bound subset, so the sparse list is
+   still a valid cumulative histogram. The terminal +Inf entry always
+   carries the full count. *)
+type bucket = { le : float; count : int; cumulative : int }
+
+let buckets h =
+  let nb = Array.length h.buckets in
+  let acc = ref [] and cum = ref 0 in
+  for k = 0 to nb - 1 do
+    let c = h.buckets.(k) in
+    if c > 0 then begin
+      cum := !cum + c;
+      let le =
+        if k = nb - 1 then infinity
+        else h.lo *. Float.exp (float_of_int k *. h.log_r)
+      in
+      acc := { le; count = c; cumulative = !cum } :: !acc
+    end
+  done;
+  let tail =
+    match !acc with
+    | { le; _ } :: _ when le = infinity -> []
+    | _ -> [ { le = infinity; count = 0; cumulative = h.n } ]
+  in
+  List.rev_append !acc tail
+
 (* --- Snapshots and rendering --- *)
 
 type sample =
@@ -157,6 +185,20 @@ let snapshot t =
     t.rev_order
 
 let find t name = Option.map sample_of (Hashtbl.find_opt t.tbl name)
+
+(* Raw views, for renderers (OpenMetrics) that need the underlying
+   histogram rather than the quantile summary. *)
+type view = Vcounter of int | Vgauge of float | Vhistogram of histogram
+
+let views t =
+  List.rev_map
+    (fun name ->
+      ( name,
+        match Hashtbl.find t.tbl name with
+        | Counter c -> Vcounter c.count
+        | Gauge g -> Vgauge g.value
+        | Histogram h -> Vhistogram h ))
+    t.rev_order
 
 let pp_sample ppf = function
   | Count n -> Format.fprintf ppf "%d" n

@@ -53,6 +53,16 @@ val quantile : histogram -> float -> float
     to the observed min/max — relative error bounded by the bucket width
     (~9%). [nan] when empty. *)
 
+type bucket = { le : float; count : int; cumulative : int }
+
+val buckets : histogram -> bucket list
+(** Occupied buckets in ascending upper-bound order, with cumulative
+    counts, terminated by an [le = infinity] entry carrying the full
+    observation count — the shape OpenMetrics exposition wants. Empty
+    buckets are omitted (cumulative counts stay monotone over any
+    upper-bound subset, so the sparse list is still a valid cumulative
+    histogram). *)
+
 (** {1 Snapshots} *)
 
 type sample =
@@ -72,6 +82,12 @@ val snapshot : t -> (string * sample) list
 (** In metric insertion order. *)
 
 val find : t -> string -> sample option
+
+type view = Vcounter of int | Vgauge of float | Vhistogram of histogram
+
+(** Raw views in insertion order — what a renderer that needs the live
+    histogram (not the quantile summary) consumes. *)
+val views : t -> (string * view) list
 val pp_sample : Format.formatter -> sample -> unit
 val pp : Format.formatter -> t -> unit
 val to_csv : t -> string

@@ -1,0 +1,92 @@
+(* OpenMetrics text exposition (the Prometheus-compatible subset): one
+   # TYPE line per family, samples with the caller's base labels on every
+   line, cumulative histogram buckets, and a closing # EOF. *)
+
+let sanitize_name name =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let b = Buffer.create (String.length name + 1) in
+  String.iteri
+    (fun i c ->
+      if i = 0 && c >= '0' && c <= '9' then Buffer.add_char b '_';
+      Buffer.add_char b (if ok c then c else '_'))
+    name;
+  if Buffer.length b = 0 then "_" else Buffer.contents b
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let fmt_value v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.12g" v
+
+(* The {label="value",...} suffix; empty when there are no labels. [extra]
+   appends the per-sample le label after the caller's base labels. *)
+let label_str ?extra labels =
+  let all = match extra with None -> labels | Some kv -> labels @ [ kv ] in
+  match all with
+  | [] -> ""
+  | kvs ->
+      let b = Buffer.create 64 in
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (sanitize_name k);
+          Buffer.add_string b "=\"";
+          Buffer.add_string b (escape_label_value v);
+          Buffer.add_char b '"')
+        kvs;
+      Buffer.add_char b '}';
+      Buffer.contents b
+
+let render ?(labels = []) reg =
+  let b = Buffer.create 1024 in
+  let base = label_str labels in
+  let line name suffix lbls v =
+    Buffer.add_string b name;
+    Buffer.add_string b suffix;
+    Buffer.add_string b lbls;
+    Buffer.add_char b ' ';
+    Buffer.add_string b (fmt_value v);
+    Buffer.add_char b '\n'
+  in
+  List.iter
+    (fun (raw_name, view) ->
+      let name = sanitize_name raw_name in
+      match view with
+      | Metrics.Vcounter n ->
+          Buffer.add_string b ("# TYPE " ^ name ^ " counter\n");
+          line name "_total" base (float_of_int n)
+      | Metrics.Vgauge v ->
+          Buffer.add_string b ("# TYPE " ^ name ^ " gauge\n");
+          line name "" base v
+      | Metrics.Vhistogram h ->
+          Buffer.add_string b ("# TYPE " ^ name ^ " histogram\n");
+          List.iter
+            (fun { Metrics.le; cumulative; _ } ->
+              let lbls = label_str ~extra:("le", fmt_value le) labels in
+              line name "_bucket" lbls (float_of_int cumulative))
+            (Metrics.buckets h);
+          line name "_sum" base (Metrics.sum h);
+          line name "_count" base (float_of_int (Metrics.observations h)))
+    (Metrics.views reg);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

@@ -1,0 +1,25 @@
+(** OpenMetrics / Prometheus text exposition of a {!Metrics} registry —
+    the scrape surface a serving deployment consumes.
+
+    Rendering rules:
+    - metric and label names are sanitized to [[a-zA-Z0-9_:]] (invalid
+      characters become ['_'], a leading digit gains one), so registry
+      names like ["sim.per_iteration"] expose as [sim_per_iteration];
+    - counters render as [name_total], gauges as [name], histograms as
+      cumulative [name_bucket{le="..."}] series (occupied buckets plus
+      the mandatory [le="+Inf"]) with [name_sum] and [name_count];
+    - label values escape backslash, double quote and newline per the
+      spec; [nan]/infinite values render as [NaN]/[+Inf]/[-Inf];
+    - the exposition ends with [# EOF]. *)
+
+val render : ?labels:(string * string) list -> Metrics.t -> string
+(** [render ~labels reg] is the full exposition, with [labels] attached
+    to every sample (e.g. [("subcommand", "simulate")]). *)
+
+val escape_label_value : string -> string
+(** The label-value escaping alone (backslash, double quote and newline
+    gain a backslash prefix, newline becoming a literal backslash-n);
+    exposed for tests. *)
+
+val sanitize_name : string -> string
+(** The metric/label name mangling alone; exposed for tests. *)

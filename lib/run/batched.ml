@@ -69,6 +69,10 @@ type t = {
   cols : int;  (* timeline wave columns: nsweeps * ntiles *)
   msg_ew : int;
   msg_ns : int;
+  faces : int * int;
+      (* (msg_ew, msg_ns), preallocated: [Backend.compute] returns it
+         instead of building a fresh tuple per tile, keeping the
+         steady-state step allocation-free *)
   model : Perturb.Model.t option;
   recover : recovery option;
   tracer : Obs.Tracer.t option;
@@ -241,8 +245,12 @@ module Backend = struct
     let axis2 = match axis with Substrate.X -> 0 | Y -> 2 in
     let dlv = if axis2 = 0 then t.dlv_x else t.dlv_y in
     let delivered = dlv.((rank * t.ntiles) + tile) in
-    if Float.is_nan delivered then raise (Stuck_on { rank; src });
-    let wait = Float.max 0.0 (delivered -. t0) in
+    (* open-coded nan test and max: [Float.is_nan]/[Float.max] are calls
+       that box their float arguments under classic ocamlopt, and this is
+       the per-message hot path the zero-alloc gate measures *)
+    if delivered <> delivered then raise (Stuck_on { rank; src });
+    let wait = delivered -. t0 in
+    let wait = if wait > 0.0 then wait else 0.0 in
     t.clock.(rank) <-
       t0 +. wait +. t.c_rovh.(axis2 + link_onchip t ~rank ~peer:src ~axis2);
     t.rcvd.(rank) <- t.rcvd.(rank) + 1;
@@ -343,7 +351,7 @@ module Backend = struct
         ch "perturb.straggler" (Perturb.Model.straggler_delay m ~rank);
         ch "perturb.pulse" (Perturb.Model.pulse_extra m ~rank);
         ch "perturb.periodic" (Perturb.Model.periodic_extra m ~rank));
-    (t.msg_ew, t.msg_ns)
+    t.faces
 
   let precompute t ~rank ~tile =
     let d = Costs.precompute t.costs in
@@ -555,18 +563,15 @@ let pp_outcome ppf (o : outcome) =
 
 let substrate : (t, int) Substrate.s = (module Backend)
 
-let run ?(iterations = 1) ?tiling ?perturb ?recover ?obs ?cells
-    ?(domains = 1) ~costs pg (app : Wavefront_core.App_params.t) =
-  if domains < 1 then invalid_arg "Batched.run: domains must be >= 1";
-  if domains > 1 && obs <> None then
-    invalid_arg "Batched.run: span tracing requires domains = 1";
-  let cfg = Program.of_app ~iterations ?tiling pg app in
+(* Build the flat engine state for one program configuration; shared by
+   [run] and the [Steady] telemetry probe so both exercise the identical
+   hot-path caches. *)
+let make_state ~perturb ~recover ~obs ~cells ~costs pg
+    (cfg : Program.config) =
   let ranks = Proc_grid.cores pg in
   let rows = pg.Proc_grid.rows and cols = pg.Proc_grid.cols in
-  let domains = min domains rows in
   let ntiles = cfg.Program.tiling.Program.ntiles in
-  let sweeps = Sweeps.Schedule.sweeps cfg.Program.schedule in
-  let nsweeps = List.length sweeps in
+  let nsweeps = List.length (Sweeps.Schedule.sweeps cfg.Program.schedule) in
   (* One locality probe per grid link at setup; the tile loop then never
      touches the node-rectangle arithmetic. *)
   let loc_bits = Bytes.make (ranks * 4) '\000' in
@@ -603,59 +608,71 @@ let run ?(iterations = 1) ?tiling ?perturb ?recover ?obs ?cells
       [| a.(0) +. bi_ew; a.(1) +. bi_ew; a.(2) +. bi_ns; a.(3) +. bi_ns |]
     else a
   in
-  let t =
-    {
-      costs;
-      ranks;
-      ntiles;
-      cols = nsweeps * ntiles;
-      msg_ew = cfg.Program.msg_ew;
-      msg_ns = cfg.Program.msg_ns;
-      model = Option.map (Perturb.Model.create ~ranks) perturb;
-      recover =
-        (match recover with
-        | Some p when Perturb.Recover.enabled p ->
-            Some
-              {
-                policy = p;
-                last_ckpt = Array.make ranks 0;
-                cur_wave = Array.make ranks 0;
-                revived = Array.make ranks false;
-                ckpts = Array.make ranks 0;
-              }
-        | _ -> None);
-      tracer = obs;
-      sink = cells;
-      clock = Array.make ranks 0.0;
-      sweep = Array.make ranks 0;
-      finish = Array.make ranks 0.0;
-      status = Array.make ranks Alive;
-      sent = Array.make ranks 0;
-      rcvd = Array.make ranks 0;
-      dlv_x = Array.make (ranks * ntiles) nan;
-      dlv_y = Array.make (ranks * ntiles) nan;
-      loc_bits;
-      c_send = add_bus (per_link (Costs.send_busy_at costs));
-      c_flight = per_link (Costs.in_flight_at costs);
-      c_rovh = add_bus (per_link (fun loc _ -> Costs.recv_overhead_at costs loc));
-      bi_ew;
-      bi_ns;
-      bus_acc = Array.make ranks 0.0;
-      cur_col = Array.make ranks (-1);
-      hi_col = Array.make ranks (-1);
-      span_end = Array.make ranks 0.0;
-      col_start = Array.make ranks 0.0;
-      acc_compute = Array.make ranks 0.0;
-      acc_send = Array.make ranks 0.0;
-      acc_recv = Array.make ranks 0.0;
-      acc_wait = Array.make ranks 0.0;
-      acc_spans = Array.make ranks 0;
-      recording = false;
-      eops = Array.make ranks [];
-      eop_t0 = Array.make ranks 0.0;
-      halo_dlv = Array.make ranks nan;
-    }
-  in
+  {
+    costs;
+    ranks;
+    ntiles;
+    cols = nsweeps * ntiles;
+    msg_ew = cfg.Program.msg_ew;
+    msg_ns = cfg.Program.msg_ns;
+    faces = (cfg.Program.msg_ew, cfg.Program.msg_ns);
+    model = Option.map (Perturb.Model.create ~ranks) perturb;
+    recover =
+      (match recover with
+      | Some p when Perturb.Recover.enabled p ->
+          Some
+            {
+              policy = p;
+              last_ckpt = Array.make ranks 0;
+              cur_wave = Array.make ranks 0;
+              revived = Array.make ranks false;
+              ckpts = Array.make ranks 0;
+            }
+      | _ -> None);
+    tracer = obs;
+    sink = cells;
+    clock = Array.make ranks 0.0;
+    sweep = Array.make ranks 0;
+    finish = Array.make ranks 0.0;
+    status = Array.make ranks Alive;
+    sent = Array.make ranks 0;
+    rcvd = Array.make ranks 0;
+    dlv_x = Array.make (ranks * ntiles) nan;
+    dlv_y = Array.make (ranks * ntiles) nan;
+    loc_bits;
+    c_send = add_bus (per_link (Costs.send_busy_at costs));
+    c_flight = per_link (Costs.in_flight_at costs);
+    c_rovh = add_bus (per_link (fun loc _ -> Costs.recv_overhead_at costs loc));
+    bi_ew;
+    bi_ns;
+    bus_acc = Array.make ranks 0.0;
+    cur_col = Array.make ranks (-1);
+    hi_col = Array.make ranks (-1);
+    span_end = Array.make ranks 0.0;
+    col_start = Array.make ranks 0.0;
+    acc_compute = Array.make ranks 0.0;
+    acc_send = Array.make ranks 0.0;
+    acc_recv = Array.make ranks 0.0;
+    acc_wait = Array.make ranks 0.0;
+    acc_spans = Array.make ranks 0;
+    recording = false;
+    eops = Array.make ranks [];
+    eop_t0 = Array.make ranks 0.0;
+    halo_dlv = Array.make ranks nan;
+  }
+
+let run ?(iterations = 1) ?tiling ?perturb ?recover ?obs ?cells
+    ?(domains = 1) ~costs pg (app : Wavefront_core.App_params.t) =
+  if domains < 1 then invalid_arg "Batched.run: domains must be >= 1";
+  if domains > 1 && obs <> None then
+    invalid_arg "Batched.run: span tracing requires domains = 1";
+  let cfg = Program.of_app ~iterations ?tiling pg app in
+  let ranks = Proc_grid.cores pg in
+  let rows = pg.Proc_grid.rows and cols = pg.Proc_grid.cols in
+  let domains = min domains rows in
+  let ntiles = cfg.Program.tiling.Program.ntiles in
+  let sweeps = Sweeps.Schedule.sweeps cfg.Program.schedule in
+  let t = make_state ~perturb ~recover ~obs ~cells ~costs pg cfg in
   (* Row bands: domain k owns 0-based rows [k*rows/domains,
      (k+1)*rows/domains), i.e. the contiguous rank range [band k]. *)
   let band k = (k * rows / domains * cols, (k + 1) * rows / domains * cols) in
@@ -984,3 +1001,71 @@ let run_timeline ?iterations ?tiling ?perturb ?recover ?domains ~costs pg app
     }
   in
   (o, tl)
+
+(* --- the steady-state telemetry probe --- *)
+
+(* An interior rank of a live engine state, stepped through the exact
+   per-tile backend op sequence of the wavefront section — precompute,
+   the two upstream receives, compute, the two downstream sends — over
+   and over, with its delivery slots re-primed before each step. This is
+   the repeatable form of the engine's steady-state work the zero-alloc
+   gate measures: unobserved (no tracer, no sink, no perturbation), one
+   step advances only the rank's clock and flat-array slots. *)
+module Steady = struct
+  type nonrec probe = {
+    state : t;
+    rank : int;
+    west : int;
+    north : int;
+    east : int;
+    south : int;
+  }
+
+  (* Static so a step passes an existing tuple, not a fresh one. *)
+  let flow = (1, 1, 1)
+
+  let probe ~costs pg (app : Wavefront_core.App_params.t) =
+    let cols = pg.Proc_grid.cols and rows = pg.Proc_grid.rows in
+    if cols < 3 || rows < 3 then
+      invalid_arg "Batched.Steady.probe: the grid must be at least 3x3";
+    let cfg = Program.of_app pg app in
+    let state =
+      make_state ~perturb:None ~recover:None ~obs:None ~cells:None ~costs
+        pg cfg
+    in
+    let rank = Proc_grid.rank pg ((cols / 2) + 1, (rows / 2) + 1) in
+    {
+      state;
+      rank;
+      west = rank - 1;
+      north = rank - cols;
+      east = rank + 1;
+      south = rank + cols;
+    }
+
+  let step p =
+    let t = p.state in
+    let rank = p.rank in
+    let slot = rank * t.ntiles in
+    (* Re-prime tile 0's delivery slots as if both upstream neighbours
+       had just sent: zero wait, same arithmetic as a mid-sweep rank. *)
+    let now = t.clock.(rank) in
+    t.dlv_x.(slot) <- now;
+    t.dlv_y.(slot) <- now;
+    Backend.tile_begin t ~rank ~pos:Substrate.start_position ~wave:0;
+    Backend.precompute t ~rank ~tile:0;
+    let x =
+      Backend.recv t ~rank ~src:p.west ~axis:Substrate.X ~tile:0 ~h:0
+        ~bytes:t.msg_ew
+    in
+    let y =
+      Backend.recv t ~rank ~src:p.north ~axis:Substrate.Y ~tile:0 ~h:0
+        ~bytes:t.msg_ns
+    in
+    let fx, fy = Backend.compute t ~rank ~dir:flow ~tile:0 ~h:0 ~x ~y in
+    Backend.send t ~rank ~dst:p.east ~axis:Substrate.X ~tile:0 fx;
+    Backend.send t ~rank ~dst:p.south ~axis:Substrate.Y ~tile:0 fy
+
+  let clock p = p.state.clock.(p.rank)
+  let messages p = p.state.sent.(p.rank) + p.state.rcvd.(p.rank)
+end

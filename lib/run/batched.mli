@@ -82,6 +82,30 @@ val run :
     epilogue halo/collective stages are outside the Table-6 wavefront
     section and are never bus-charged. *)
 
+(** The steady-state telemetry probe: an interior rank of a live engine
+    state stepped through the exact per-tile backend op sequence of the
+    wavefront section (precompute, two receives, compute, two sends),
+    unobserved and unperturbed, with its delivery slots re-primed before
+    each step. One [step] is the engine's repeatable steady-state unit
+    of work; the telemetry gate measures it at 0 minor words. *)
+module Steady : sig
+  type probe
+
+  val probe :
+    costs:Costs.t -> Proc_grid.t -> Wavefront_core.App_params.t -> probe
+  (** Raises [Invalid_argument] unless the grid is at least 3x3 (the
+      probe rank must have all four neighbours). *)
+
+  val step : probe -> unit
+
+  val clock : probe -> float
+  (** The probe rank's virtual clock — strictly increasing across
+      steps, which is how tests see the step really ran. *)
+
+  val messages : probe -> int
+  (** Messages the probe rank has sent plus received. *)
+end
+
 val run_timeline :
   ?iterations:int ->
   ?tiling:Program.tiling ->

@@ -427,6 +427,105 @@ let test_critical_path_report () =
   Alcotest.(check int) "walk itself unchanged" (List.length ok.steps)
     (List.length cut.steps)
 
+(* --- OpenMetrics exposition --- *)
+
+let test_openmetrics_escaping () =
+  Alcotest.(check string) "backslash, quote, newline"
+    {|say \"hi\"\\\n done|}
+    (Obs.Openmetrics.escape_label_value "say \"hi\"\\\n done");
+  Alcotest.(check string) "clean value untouched" "batched"
+    (Obs.Openmetrics.escape_label_value "batched")
+
+let test_openmetrics_sanitize () =
+  Alcotest.(check string) "dots become underscores" "sim_per_iteration"
+    (Obs.Openmetrics.sanitize_name "sim.per_iteration");
+  Alcotest.(check string) "leading digit prefixed" "_9lives"
+    (Obs.Openmetrics.sanitize_name "9lives");
+  Alcotest.(check string) "colon allowed" "ns:metric"
+    (Obs.Openmetrics.sanitize_name "ns:metric");
+  Alcotest.(check string) "empty name survives" "_"
+    (Obs.Openmetrics.sanitize_name "")
+
+let test_openmetrics_empty_registry () =
+  Alcotest.(check string) "just the terminator" "# EOF\n"
+    (Obs.Openmetrics.render (Obs.Metrics.create ()))
+
+(* Counter and gauge families with base labels: the exact exposition is
+   pinned, label escaping included. *)
+let test_openmetrics_golden () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "sim.events" in
+  Obs.Metrics.inc ~by:42 c;
+  Obs.Metrics.set (Obs.Metrics.gauge m "gap") 1.5;
+  Obs.Metrics.set (Obs.Metrics.gauge m "empty.gauge") Float.nan;
+  let got =
+    Obs.Openmetrics.render
+      ~labels:[ ("subcommand", "simulate"); ("note", "a\"b") ]
+      m
+  in
+  let expected =
+    "# TYPE sim_events counter\n\
+     sim_events_total{subcommand=\"simulate\",note=\"a\\\"b\"} 42.0\n\
+     # TYPE gap gauge\n\
+     gap{subcommand=\"simulate\",note=\"a\\\"b\"} 1.5\n\
+     # TYPE empty_gauge gauge\n\
+     empty_gauge{subcommand=\"simulate\",note=\"a\\\"b\"} NaN\n\
+     # EOF\n"
+  in
+  Alcotest.(check string) "golden exposition" expected got
+
+(* Histogram rendering: cumulative bucket counts are monotone, the
+   mandatory +Inf bucket closes the series with the full observation
+   count, and sum/count agree with the registry. *)
+let test_openmetrics_histogram () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 1.0; 2.0; 4.0; 250.0; 250.0 ];
+  let text = Obs.Openmetrics.render m in
+  let lines = String.split_on_char '\n' text in
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if String.length l > 11 && String.sub l 0 11 = "lat_bucket{" then
+          match String.rindex_opt l ' ' with
+          | Some i ->
+              Some
+                (float_of_string
+                   (String.sub l (i + 1) (String.length l - i - 1)))
+          | None -> None
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "at least two buckets" true
+    (List.length bucket_counts >= 2);
+  let rec monotone = function
+    | a :: (b :: _ as tl) -> a <= b && monotone tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative counts monotone" true
+    (monotone bucket_counts);
+  Alcotest.(check bool) "has the +Inf bucket" true
+    (List.exists
+       (fun l ->
+         String.length l > 11
+         && String.sub l 0 11 = "lat_bucket{"
+         && String.length l >= 14
+         &&
+         match String.index_opt l '}' with
+         | Some _ ->
+             (* the le label is the only label here *)
+             String.sub l 11 (String.index l '}' - 11) = "le=\"+Inf\""
+         | None -> false)
+       lines);
+  Alcotest.(check (float 0.0)) "+Inf carries every observation" 6.0
+    (List.nth bucket_counts (List.length bucket_counts - 1));
+  Alcotest.(check bool) "sum line present" true
+    (List.exists
+       (fun l -> String.length l >= 8 && String.sub l 0 8 = "lat_sum ")
+       lines);
+  Alcotest.(check bool) "count line correct" true
+    (List.mem "lat_count 6.0" lines)
+
 let suite =
   [
     ( "obs.ring",
@@ -468,4 +567,17 @@ let suite =
       ] );
     ( "obs.profile",
       [ Alcotest.test_case "report stability" `Quick test_profile_stable ] );
+    ( "obs.openmetrics",
+      [
+        Alcotest.test_case "label-value escaping" `Quick
+          test_openmetrics_escaping;
+        Alcotest.test_case "name sanitization" `Quick
+          test_openmetrics_sanitize;
+        Alcotest.test_case "empty registry is just # EOF" `Quick
+          test_openmetrics_empty_registry;
+        Alcotest.test_case "golden exposition" `Quick
+          test_openmetrics_golden;
+        Alcotest.test_case "histogram buckets cumulative to +Inf" `Quick
+          test_openmetrics_histogram;
+      ] );
   ]
