@@ -1448,6 +1448,34 @@ let alloc_targets =
           fun () -> ignore (Wrun.Batched.run ~costs pg app));
     };
     {
+      tname = "serve-predict";
+      tdoc =
+        "Api.predict_into: the daemon's parse -> Eval.run -> serialize hot \
+         path (ratchet, not zero: JSON parse and response render allocate a \
+         bounded constant)";
+      (* Measured at 211,424 minor words per request on this body at the
+         default 4096-core grid, ~51 words/core: the parse and the
+         response render are small constants, the bulk is the
+         per-request Eval.create hoisting its O(cores) communication
+         tables. The ratchet pins 256k so only a real regression trips
+         it — quadratic table growth or a per-column response copy is
+         tens of millions. *)
+      budget = 256_000.0;
+      titerations = 1000;
+      prepare =
+        (fun ~cores ->
+          let body =
+            Printf.sprintf
+              {|{"app":{"name":"sweep3d","nx":256,"ny":256,"nz":256},"machine":{"platform":"xt4","cores":%d,"cores_per_node":2}}|}
+              cores
+          in
+          let buf = Buffer.create 4096 in
+          fun () ->
+            match Serve.Api.predict_into buf body with
+            | Ok () -> ()
+            | Error m -> Fmt.failwith "serve-predict: %s" m);
+    };
+    {
       tname = "control-alloc";
       tdoc = "a deliberately allocating closure (the gate's negative control)";
       budget = 0.0;
@@ -1695,6 +1723,233 @@ let runs_cmd =
   in
   Cmd.group (Cmd.info "runs" ~doc) [ runs_list_cmd; runs_compare_cmd ]
 
+(* --- serve / slam --- *)
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind or target.")
+
+let port_arg ~default doc =
+  Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc)
+
+let seed_serve_arg =
+  Arg.(value & opt int 42
+       & info [ "seed" ] ~docv:"SEED"
+           ~doc:"PRNG seed for the chaos/request streams.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress output.")
+
+let serve_main host port workers queue max_body header_timeout_ms deadline_ms
+    chaos_burst chaos_fail chaos_slow chaos_slow_ms breaker_window
+    breaker_min_calls breaker_threshold breaker_cooldown seed quiet =
+  let chaos =
+    Serve.Chaos.v ~fail_burst:chaos_burst ~fail_rate:chaos_fail
+      ~slow_rate:chaos_slow ~slow_ms:chaos_slow_ms ()
+  in
+  let cfg =
+    {
+      Serve.Server.host;
+      port;
+      workers;
+      queue_capacity = queue;
+      max_body;
+      header_timeout_ms;
+      default_deadline_ms = deadline_ms;
+      chaos;
+      seed;
+      breaker_window;
+      breaker_min_calls;
+      breaker_threshold;
+      breaker_cooldown_s = breaker_cooldown;
+      quiet;
+    }
+  in
+  exit (Serve.Server.run cfg)
+
+let serve_cmd =
+  let doc =
+    "Serve the plug-and-play model over HTTP: predictions, design-space \
+     sweeps, health and metrics, with load shedding, deadlines, a \
+     validation circuit breaker and graceful drain"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Endpoints: GET /healthz, GET /readyz (503 while draining), GET \
+         /metrics (OpenMetrics), POST /v1/predict (model evaluation, \
+         optionally cross-validated against the batched engine behind a \
+         circuit breaker), POST /v1/sweep (bounded (Htile, grid, K) \
+         design-space sweep with a Pareto frontier).";
+      `P
+        "Robustness contracts: connections beyond the admission queue are \
+         answered 429 with Retry-After; a request's X-Deadline-Ms header \
+         caps its total evaluation time (504 on expiry, checked \
+         cooperatively inside sweeps); requests whose headers stall past \
+         the header budget get 408; SIGTERM/SIGINT drain the backlog so \
+         every admitted connection is answered, then exit 0.";
+    ]
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue capacity; beyond it connections shed \
+                   with 429.")
+  in
+  let max_body =
+    Arg.(value & opt int (1024 * 1024)
+         & info [ "max-body" ] ~docv:"BYTES"
+             ~doc:"Request body cap; larger advertisements get 413 before \
+                   the body is read.")
+  in
+  let header_timeout =
+    Arg.(value & opt float 2000.0
+         & info [ "header-timeout-ms" ] ~docv:"MS"
+             ~doc:"Budget for a request to arrive in full (slow-loris \
+                   defense, 408).")
+  in
+  let deadline =
+    Arg.(value & opt float 10_000.0
+         & info [ "default-deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline when X-Deadline-Ms is absent.")
+  in
+  let chaos_burst =
+    Arg.(value & opt int 0
+         & info [ "chaos-fail-burst" ] ~docv:"N"
+             ~doc:"Chaos: fail the first N validation calls (opens the \
+                   breaker deterministically, then lets it recover).")
+  in
+  let chaos_fail =
+    Arg.(value & opt float 0.0
+         & info [ "chaos-fail-rate" ] ~docv:"P"
+             ~doc:"Chaos: steady-state validation failure probability.")
+  in
+  let chaos_slow =
+    Arg.(value & opt float 0.0
+         & info [ "chaos-slow-rate" ] ~docv:"P"
+             ~doc:"Chaos: probability of stalling a validation call.")
+  in
+  let chaos_slow_ms =
+    Arg.(value & opt float 50.0
+         & info [ "chaos-slow-ms" ] ~docv:"MS"
+             ~doc:"Chaos: stall duration for --chaos-slow-rate.")
+  in
+  let breaker_window =
+    Arg.(value & opt int 16
+         & info [ "breaker-window" ] ~docv:"N"
+             ~doc:"Sliding outcome window of the validation breaker.")
+  in
+  let breaker_min_calls =
+    Arg.(value & opt int 4
+         & info [ "breaker-min-calls" ] ~docv:"N"
+             ~doc:"Outcomes required before the failure rate is judged.")
+  in
+  let breaker_threshold =
+    Arg.(value & opt float 0.5
+         & info [ "breaker-threshold" ] ~docv:"F"
+             ~doc:"Failure fraction that opens the breaker.")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt float 2.0
+         & info [ "breaker-cooldown-s" ] ~docv:"S"
+             ~doc:"Open-state cooldown before the half-open probe.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(const serve_main $ host_arg
+          $ port_arg ~default:8080 "Port to bind (0 = ephemeral)."
+          $ workers $ queue $ max_body $ header_timeout $ deadline
+          $ chaos_burst $ chaos_fail $ chaos_slow $ chaos_slow_ms
+          $ breaker_window $ breaker_min_calls $ breaker_threshold
+          $ breaker_cooldown $ seed_serve_arg $ quiet_arg)
+
+let slam_main host port requests clients seed client_timeout latency_budget
+    expect_breaker fail_on_invariant report quiet =
+  let cfg =
+    {
+      Serve.Slam.host;
+      port;
+      requests;
+      clients;
+      seed;
+      client_timeout_s = client_timeout;
+      latency_budget_ms = latency_budget;
+      expect_breaker;
+      fail_on_invariant;
+      report_path = report;
+      quiet;
+    }
+  in
+  exit (Serve.Slam.run cfg)
+
+let slam_cmd =
+  let doc =
+    "Chaos/soak-test a running serve daemon with a seeded mix of valid, \
+     malformed, oversized, slow-loris and deadline-doomed requests, then \
+     assert its robustness invariants"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Invariants: the daemon survives; every awaited connection gets a \
+         well-formed status line; the daemon's own accounting reconciles \
+         (requests = outcomes + in-flight + queued on the final /metrics \
+         scrape); malformed/oversized/slow-loris/expired requests get \
+         their contracted 400/413/408/504 (shedding 429s excepted); the \
+         fast-path p99 stays under the latency budget. With \
+         --expect-breaker, the validation breaker must have opened and \
+         recovered. Exit 0 on success, 1 when an invariant failed under \
+         --fail-on-invariant, 2 when the daemon is unreachable.";
+    ]
+  in
+  let requests =
+    Arg.(value & opt int 1000
+         & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total requests.")
+  in
+  let clients =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client domains.")
+  in
+  let client_timeout =
+    Arg.(value & opt float 10.0
+         & info [ "client-timeout-s" ] ~docv:"S"
+             ~doc:"Per-connection give-up budget (a hang past it is an \
+                   invariant breach).")
+  in
+  let latency_budget =
+    Arg.(value & opt float 2000.0
+         & info [ "latency-budget-ms" ] ~docv:"MS"
+             ~doc:"Fast-path p99 bound.")
+  in
+  let expect_breaker =
+    Arg.(value & flag
+         & info [ "expect-breaker" ]
+             ~doc:"Assert the validation breaker opened and recovered \
+                   (pair with the daemon's --chaos-fail-burst).")
+  in
+  let fail_on_invariant =
+    Arg.(value & flag
+         & info [ "fail-on-invariant" ]
+             ~doc:"Exit 1 when any invariant failed (default: report and \
+                   exit 0).")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Write the wavefront-slam/v1 JSON report here.")
+  in
+  Cmd.v (Cmd.info "slam" ~doc ~man)
+    Term.(const slam_main $ host_arg
+          $ port_arg ~default:8080 "Daemon port to target."
+          $ requests $ clients $ seed_serve_arg $ client_timeout
+          $ latency_budget $ expect_breaker $ fail_on_invariant $ report
+          $ quiet_arg)
+
 (* --- main --- *)
 
 let default =
@@ -1713,4 +1968,4 @@ let () =
           [ predict_cmd; explain_cmd; simulate_cmd; validate_cmd; report_cmd;
             profile_cmd; perturb_cmd; recover_cmd; timeline_cmd; idlewave_cmd;
             bench_cmd; figure_cmd; scale_cmd; fit_cmd; measure_cmd;
-            telemetry_cmd; runs_cmd ]))
+            telemetry_cmd; runs_cmd; serve_cmd; slam_cmd ]))

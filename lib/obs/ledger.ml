@@ -92,6 +92,14 @@ let of_json_line line =
   | r -> Ok r
   | exception Json.Parse_error m -> Error m
 
+(* One record = one [Unix.write] of the whole line (newline included) on
+   an O_APPEND descriptor. POSIX appends each write atomically at the
+   current end of file, so concurrent writers (CI jobs sharing a ledger,
+   the serve daemon's drain flush racing a slam run's own record) can
+   interleave *records* but never bytes within one — no torn lines, and a
+   crash mid-append leaves at most one truncated trailing line, which
+   [load] skips. Buffered channels gave neither guarantee: their flushes
+   split a record at the buffer boundary. *)
 let append ?(path = default_path) r =
   let dir = Filename.dirname path in
   match
@@ -101,14 +109,20 @@ let append ?(path = default_path) r =
       Error ("cannot create " ^ dir)
   | () -> (
       match
-        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
       with
-      | exception Sys_error m -> Error m
-      | oc ->
-          output_string oc (to_json_line r);
-          output_char oc '\n';
-          close_out oc;
-          Ok ())
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | fd ->
+          let line = Bytes.of_string (to_json_line r ^ "\n") in
+          let res =
+            match Unix.write fd line 0 (Bytes.length line) with
+            | n when n = Bytes.length line -> Ok ()
+            | _ -> Error "short ledger write"
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (Unix.error_message e)
+          in
+          Unix.close fd;
+          res)
 
 let load ?(path = default_path) () =
   if not (Sys.file_exists path) then Ok ([], 0)

@@ -57,8 +57,12 @@ val of_json_line : string -> (t, string) result
 
 val append : ?path:string -> t -> (unit, string) result
 (** Append one record to the ledger (creating the directory and file as
-    needed). Errors are returned, not raised — a read-only working
-    directory must not fail the run being recorded. *)
+    needed). The record goes out as a single [O_APPEND] write — POSIX
+    appends it atomically, so concurrent writers can interleave records
+    but never tear one, and a crash mid-append leaves at most one
+    truncated trailing line (which {!load} skips). Errors are returned,
+    not raised — a read-only working directory must not fail the run
+    being recorded. *)
 
 val load : ?path:string -> unit -> (t list * int, string) result
 (** All parsable records in file order plus the count of skipped

@@ -1,0 +1,140 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  mutex : Mutex.t;
+  window : int;
+  min_calls : int;
+  failure_threshold : float;
+  cooldown_s : float;
+  (* Sliding outcome window: ring of the last [window] results. *)
+  ring : bool array;  (* true = failure *)
+  mutable ring_len : int;
+  mutable ring_pos : int;
+  mutable st : state;
+  mutable opened_at : float;  (* valid when st = Open *)
+  mutable probe_out : bool;  (* valid when st = Half_open *)
+  mutable admitted : int;
+  mutable rejected : int;
+  mutable successes : int;
+  mutable failures : int;
+  mutable opens : int;
+  mutable closes : int;
+}
+
+let create ?(window = 16) ?(min_calls = 4) ?(failure_threshold = 0.5)
+    ?(cooldown_s = 2.0) () =
+  if window < 1 then invalid_arg "Breaker.create: window must be >= 1";
+  if min_calls < 1 then invalid_arg "Breaker.create: min_calls must be >= 1";
+  if not (failure_threshold > 0.0 && failure_threshold <= 1.0) then
+    invalid_arg "Breaker.create: failure_threshold must be in (0, 1]";
+  if not (cooldown_s > 0.0) then
+    invalid_arg "Breaker.create: cooldown_s must be > 0";
+  {
+    mutex = Mutex.create ();
+    window;
+    min_calls;
+    failure_threshold;
+    cooldown_s;
+    ring = Array.make window false;
+    ring_len = 0;
+    ring_pos = 0;
+    st = Closed;
+    opened_at = neg_infinity;
+    probe_out = false;
+    admitted = 0;
+    rejected = 0;
+    successes = 0;
+    failures = 0;
+    opens = 0;
+    closes = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let reset_window t =
+  t.ring_len <- 0;
+  t.ring_pos <- 0
+
+let push_outcome t ~failed =
+  t.ring.(t.ring_pos) <- failed;
+  t.ring_pos <- (t.ring_pos + 1) mod t.window;
+  if t.ring_len < t.window then t.ring_len <- t.ring_len + 1
+
+let failure_fraction t =
+  let fails = ref 0 in
+  for i = 0 to t.ring_len - 1 do
+    if t.ring.(i) then incr fails
+  done;
+  float_of_int !fails /. float_of_int t.ring_len
+
+(* Apply the time-driven Open -> Half_open transition. Call with the
+   mutex held. *)
+let tick ~now t =
+  if t.st = Open && now -. t.opened_at >= t.cooldown_s then begin
+    t.st <- Half_open;
+    t.probe_out <- false
+  end
+
+let state ~now t =
+  locked t (fun () ->
+      tick ~now t;
+      t.st)
+
+let trip ~now t =
+  t.st <- Open;
+  t.opened_at <- now;
+  t.opens <- t.opens + 1;
+  reset_window t
+
+let acquire ~now t =
+  locked t (fun () ->
+      tick ~now t;
+      match t.st with
+      | Closed ->
+          t.admitted <- t.admitted + 1;
+          `Run
+      | Open ->
+          t.rejected <- t.rejected + 1;
+          `Reject
+      | Half_open ->
+          if t.probe_out then begin
+            t.rejected <- t.rejected + 1;
+            `Reject
+          end
+          else begin
+            t.probe_out <- true;
+            t.admitted <- t.admitted + 1;
+            `Probe
+          end)
+
+let record ~now ~ok t =
+  locked t (fun () ->
+      if ok then t.successes <- t.successes + 1
+      else t.failures <- t.failures + 1;
+      match t.st with
+      | Closed ->
+          push_outcome t ~failed:(not ok);
+          if
+            t.ring_len >= t.min_calls
+            && failure_fraction t >= t.failure_threshold
+          then trip ~now t
+      | Half_open ->
+          if ok then begin
+            t.st <- Closed;
+            t.closes <- t.closes + 1;
+            reset_window t
+          end
+          else trip ~now t
+      | Open ->
+          (* A straggler admitted before the trip reporting late: the
+             window was reset at the trip, nothing more to decide. *)
+          ())
+
+let admitted t = locked t (fun () -> t.admitted)
+let rejected t = locked t (fun () -> t.rejected)
+let successes t = locked t (fun () -> t.successes)
+let failures t = locked t (fun () -> t.failures)
+let opens t = locked t (fun () -> t.opens)
+let closes t = locked t (fun () -> t.closes)

@@ -1,0 +1,65 @@
+(** A circuit breaker guarding an expensive, failure-prone dependency —
+    here the batched-engine validation path behind [/v1/predict].
+
+    Classic three-state machine:
+
+    - [Closed]: calls flow; outcomes land in a sliding window of the
+      last [window] results. Once at least [min_calls] outcomes are in
+      the window and the failure fraction reaches [failure_threshold],
+      the breaker opens.
+    - [Open]: calls are rejected without touching the dependency until
+      [cooldown_s] has elapsed, then the breaker moves to half-open.
+    - [Half_open]: exactly one probe call is admitted ([`Probe]); its
+      success closes the breaker (window reset), its failure re-opens it
+      (cooldown restarts). Concurrent callers during the probe are
+      rejected.
+
+    Every operation takes [~now] explicitly — the state machine is
+    driven by the caller's clock, so tests exercise open/cool-down/probe
+    transitions with a fake clock and QCheck pins the contracts
+    (opens after threshold, single probe, monotone reconciling
+    counters). All operations are thread-safe. *)
+
+type t
+
+type state = Closed | Open | Half_open
+
+val create :
+  ?window:int ->
+  ?min_calls:int ->
+  ?failure_threshold:float ->
+  ?cooldown_s:float ->
+  unit ->
+  t
+(** Defaults: [window = 16], [min_calls = 4], [failure_threshold = 0.5],
+    [cooldown_s = 2.0]. Raises [Invalid_argument] on a non-positive
+    window/min_calls/cooldown or a threshold outside (0, 1]. *)
+
+val state : now:float -> t -> state
+(** Observing the state applies any due [Open] → [Half_open] transition. *)
+
+val acquire : now:float -> t -> [ `Run | `Probe | `Reject ]
+(** Ask to call the dependency. [`Run] (closed), [`Probe] (the single
+    half-open trial — caller must {!record} its outcome), or [`Reject]
+    (open, or half-open with the probe already out). Every [`Run] or
+    [`Probe] must be followed by exactly one {!record}. *)
+
+val record : now:float -> ok:bool -> t -> unit
+(** Report the outcome of an admitted call. *)
+
+(** {1 Monotone counters}
+
+    [admitted = successes + failures] once every admitted call has been
+    recorded; [admitted + rejected] is the total number of {!acquire}
+    calls. *)
+
+val admitted : t -> int
+val rejected : t -> int
+val successes : t -> int
+val failures : t -> int
+
+val opens : t -> int
+(** Closed/half-open → open transitions. *)
+
+val closes : t -> int
+(** Half-open → closed transitions (successful probes). *)

@@ -1,0 +1,11 @@
+type t = float
+
+let none = infinity
+
+let of_budget_ms ~now ms =
+  if Float.is_nan ms || ms <= 0.0 then now
+  else if ms = infinity then none
+  else now +. (ms /. 1000.0)
+
+let expired ~now t = now >= t
+let remaining_s ~now t = if t = none then infinity else Float.max 0.0 (t -. now)

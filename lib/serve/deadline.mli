@@ -1,0 +1,29 @@
+(** Request deadlines as absolute wall-clock instants.
+
+    A deadline is set once at admission (from the [X-Deadline-Ms] header
+    or the server default) and propagated down the call chain as a plain
+    float — every layer compares against the same instant, so queueing
+    delay, parse time and evaluation all draw from one budget instead of
+    each layer granting itself a fresh timeout.
+
+    All operations take [~now] explicitly so tests can drive a fake
+    clock. Contracts pinned by QCheck in [test/suite_serve.ml]:
+    [of_budget_ms] + [expired] never cut a budget short, and cooperative
+    checkpoint loops overrun a deadline by at most one checkpoint
+    interval. *)
+
+type t = float
+(** Absolute unix seconds; {!none} means no deadline. *)
+
+val none : t
+(** [infinity] — never expires. *)
+
+val of_budget_ms : now:float -> float -> t
+(** [of_budget_ms ~now ms] is the instant [ms] milliseconds after [now].
+    Non-positive or non-finite budgets yield an already-expired deadline
+    ([now]). *)
+
+val expired : now:float -> t -> bool
+
+val remaining_s : now:float -> t -> float
+(** Seconds left; never negative; [infinity] for {!none}. *)

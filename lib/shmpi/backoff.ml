@@ -1,0 +1,32 @@
+(* The single definition of the repository's polling backoff: 1 us
+   doubling to a 1 ms cap (see backoff.mli for why it exists). *)
+
+type policy = { min_s : float; max_s : float }
+
+let v ~min_s ~max_s =
+  if not (min_s > 0.0 && min_s <= max_s) then
+    invalid_arg "Backoff.v: need 0 < min_s <= max_s";
+  { min_s; max_s }
+
+let poll = { min_s = 1e-6; max_s = 1e-3 }
+let first p = p.min_s
+let next p sleep = Float.min (sleep *. 2.0) p.max_s
+
+(* Decorrelated jitter (Brooker): uniform in [min, 3 * prev), capped.
+   The draw keeps retriers spread out instead of re-colliding on the
+   doubling ladder's rungs. *)
+let jittered p ~rand sleep =
+  let hi = 3.0 *. sleep in
+  let drawn = if hi <= p.min_s then p.min_s else p.min_s +. rand (hi -. p.min_s) in
+  Float.min drawn p.max_s
+
+let wait_until ?(policy = poll) ~deadline ready =
+  let rec go sleep =
+    if ready () then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Unix.sleepf sleep;
+      go (next policy sleep)
+    end
+  in
+  go (first policy)

@@ -180,36 +180,32 @@ let recv_into t dst =
   else (payload, wait)
 
 (* OCaml's [Condition] carries no timed wait, so a deadline receive polls
-   the queue under the mutex and sleeps between probes with exponential
-   backoff (1 us doubling to a 1 ms cap): a payload already in flight is
-   picked up within microseconds, while a dead sender costs at most one
-   wakeup per millisecond until the deadline. A timed-out call pops
-   nothing and pools nothing — the channel is left exactly as found, so
-   it remains usable (and its counters consistent) after the timeout. *)
-let backoff_min = 1e-6
-let backoff_max = 1e-3
+   the queue under the mutex and sleeps between probes with the shared
+   {!Backoff.poll} policy (1 us doubling to a 1 ms cap): a payload
+   already in flight is picked up within microseconds, while a dead
+   sender costs at most one wakeup per millisecond until the deadline. A
+   timed-out call pops nothing and pools nothing — the channel is left
+   exactly as found, so it remains usable (and its counters consistent)
+   after the timeout. *)
 
 let recv_deadline t ~timeout_us =
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. (timeout_us *. 1e-6) in
-  let rec poll sleep =
+  let got = ref None in
+  let ready () =
     Mutex.lock t.mutex;
     if not (Queue.is_empty t.queue) then begin
-      let payload = pop_locked t in
+      got := Some (pop_locked t);
       Mutex.unlock t.mutex;
-      Some payload
+      true
     end
     else begin
       Mutex.unlock t.mutex;
-      if Unix.gettimeofday () >= deadline then None
-      else begin
-        Unix.sleepf sleep;
-        poll (Float.min (sleep *. 2.0) backoff_max)
-      end
+      false
     end
   in
-  let payload = poll backoff_min in
-  (payload, (Unix.gettimeofday () -. t0) *. 1e6)
+  ignore (Backoff.wait_until ~deadline ready);
+  (!got, (Unix.gettimeofday () -. t0) *. 1e6)
 
 let recv_into_deadline t dst ~timeout_us =
   match recv_deadline t ~timeout_us with

@@ -156,18 +156,20 @@ let barrier_impl ?(rank = -1) t =
         done
     | Some timeout_us ->
         (* No timed [Condition.wait] in the stdlib, so the deadline path
-           polls the epoch with the same backoff as the channels. A rank
-           that gives up retracts its arrival so the barrier's count stays
-           consistent for whoever inspects the wreckage. *)
+           polls the epoch with the shared {!Backoff.poll} policy, the
+           same one the channels use. A rank that gives up retracts its
+           arrival so the barrier's count stays consistent for whoever
+           inspects the wreckage. *)
         let t0 = Unix.gettimeofday () in
         let deadline = t0 +. (timeout_us *. 1e-6) in
-        let sleep = ref 1e-6 in
-        while t.barrier_epoch = epoch && Unix.gettimeofday () < deadline do
-          Mutex.unlock t.barrier_mutex;
-          Unix.sleepf !sleep;
-          sleep := Float.min (!sleep *. 2.0) 1e-3;
-          Mutex.lock t.barrier_mutex
-        done;
+        Mutex.unlock t.barrier_mutex;
+        ignore
+          (Backoff.wait_until ~deadline (fun () ->
+               Mutex.lock t.barrier_mutex;
+               let arrived = t.barrier_epoch <> epoch in
+               Mutex.unlock t.barrier_mutex;
+               arrived));
+        Mutex.lock t.barrier_mutex;
         if t.barrier_epoch = epoch then begin
           t.barrier_count <- t.barrier_count - 1;
           Mutex.unlock t.barrier_mutex;

@@ -4,4 +4,4 @@ let () =
    @ Suite_core.suite @ Suite_xtsim.suite @ Suite_shmpi.suite @ Suite_kernels.suite @ Suite_extensions.suite @ Suite_pipeline.suite @ Suite_golden.suite @ Suite_collectives.suite @ Suite_apps.suite @ Suite_tools.suite @ Suite_invariants.suite @ Suite_obs.suite @ Suite_run.suite @ Suite_perturb.suite
    @ Suite_timeline.suite @ Suite_bench_stats.suite @ Suite_recover.suite
    @ Suite_idlewave.suite @ Suite_batched.suite @ Suite_batched_bus.suite
-  @ Suite_telemetry.suite)
+  @ Suite_telemetry.suite @ Suite_serve.suite)
